@@ -1,0 +1,50 @@
+//! Criterion micro-benches: invocation-mode real overhead (E1 companion).
+//!
+//! Measures the *harness* cost of each invocation mode on a live two-node
+//! deployment at a tiny time scale (modeled costs ≈ 0, so the numbers are
+//! the real per-operation overhead of the runtime machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jsym_core::testkit::{register_test_classes, shell_with_idle_machines};
+use jsym_core::{CostModel, JsObj, Placement, Value};
+use jsym_net::NodeId;
+use std::time::Duration;
+
+fn bench_invocations(c: &mut Criterion) {
+    let d = shell_with_idle_machines(2)
+        .time_scale(1e-6)
+        .cost_model(CostModel::free())
+        .boot();
+    register_test_classes(&d);
+    let reg = d.register_app().unwrap();
+    let obj = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(1)), None).unwrap();
+
+    let mut g = c.benchmark_group("invocation");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    g.bench_function("sinvoke_null", |b| {
+        b.iter(|| obj.sinvoke("get", &[]).unwrap())
+    });
+    g.bench_function("sinvoke_64k", |b| {
+        let payload = Value::floats(vec![0.0; 16 * 1024]);
+        b.iter(|| obj.sinvoke("echo", std::slice::from_ref(&payload)).unwrap())
+    });
+    g.bench_function("ainvoke_issue_and_wait", |b| {
+        b.iter(|| {
+            let h = obj.ainvoke("get", &[]).unwrap();
+            h.get_result().unwrap()
+        })
+    });
+    g.bench_function("oinvoke_issue", |b| {
+        b.iter(|| obj.oinvoke("add", &[Value::I64(1)]).unwrap())
+    });
+    g.finish();
+
+    reg.unregister().unwrap();
+    d.shutdown();
+}
+
+criterion_group!(benches, bench_invocations);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: a small distributed Jacobi run end-to-end (boot, ghost
+//! exchange rounds, teardown) — the communication-bound counterpart to the
+//! compute-bound matmul bench.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jsym_cluster::catalog::{testbed_machines, LoadKind};
+use jsym_cluster::jacobi::{register_jacobi_classes, run_jacobi};
+use jsym_core::JsShell;
+use std::time::Duration;
+
+fn bench_jacobi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jacobi");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(6));
+
+    g.bench_function("grid32_2nodes_10iters", |b| {
+        b.iter(|| {
+            let d = JsShell::new()
+                .time_scale(1e-4)
+                // Monitoring off: at this scale the default failure timeout
+                // (10 virtual s = 1 ms real) would misfire under load.
+                .monitor_period(1e9)
+                .failure_timeout(1e12)
+                .add_machines(testbed_machines(2, LoadKind::Dedicated, 1))
+                .boot();
+            register_jacobi_classes(&d);
+            let cluster = d.vda().request_cluster(2, None).unwrap();
+            let report = run_jacobi(&d, &cluster, 32, 10, false, false).unwrap();
+            d.shutdown();
+            report.virt_seconds
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_jacobi);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench: one Figure 5 cell end-to-end (N=200, 4 dedicated
+//! nodes), exercising the whole stack — boot, codebase, replication, task
+//! farming, teardown. The statistical run backs the fig5 harness numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jsym_cluster::catalog::LoadKind;
+use jsym_cluster::fig5::run_cell;
+use std::time::Duration;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(8));
+
+    g.bench_function("fig5_cell_n200_4nodes_dedicated", |b| {
+        b.iter(|| run_cell(200, 4, LoadKind::Dedicated, 1e-3, 7, false))
+    });
+    g.bench_function("fig5_cell_n200_sequential", |b| {
+        b.iter(|| run_cell(200, 1, LoadKind::Dedicated, 1e-3, 7, false))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion micro-benches: migration round trips (E2 companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jsym_core::testkit::{register_test_classes, shell_with_idle_machines};
+use jsym_core::{CostModel, JsObj, MigrateTarget, Placement, Value};
+use jsym_net::NodeId;
+use std::time::Duration;
+
+fn bench_migration(c: &mut Criterion) {
+    let d = shell_with_idle_machines(2)
+        .time_scale(1e-6)
+        .cost_model(CostModel::free())
+        .boot();
+    register_test_classes(&d);
+    let reg = d.register_app().unwrap();
+    let cb = reg.codebase();
+    cb.add("blob.jar", 1000);
+    for m in d.machines() {
+        cb.load_phys(m).unwrap();
+    }
+
+    let mut g = c.benchmark_group("migration");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    for &size in &[1usize << 10, 1 << 16, 1 << 20] {
+        let obj = JsObj::create(
+            &reg,
+            "Blob",
+            &[Value::I64(size as i64)],
+            Placement::OnPhys(NodeId(0)),
+            None,
+        )
+        .unwrap();
+        g.bench_with_input(BenchmarkId::new("ping_pong", size), &size, |b, _| {
+            let mut at = obj.get_location().unwrap();
+            b.iter(|| {
+                let dst = if at == NodeId(0) {
+                    NodeId(1)
+                } else {
+                    NodeId(0)
+                };
+                obj.migrate(MigrateTarget::ToPhys(dst), None).unwrap();
+                at = dst;
+            })
+        });
+        obj.free().unwrap();
+    }
+    g.finish();
+    reg.unregister().unwrap();
+    d.shutdown();
+}
+
+criterion_group!(benches, bench_migration);
+criterion_main!(benches);

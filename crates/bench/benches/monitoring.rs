@@ -1,0 +1,55 @@
+//! Criterion micro-benches: monitoring building blocks (E6).
+//!
+//! The NAS samples ~44 parameters per node per period, evaluates constraint
+//! sets against them and averages snapshots up the manager hierarchy. These
+//! are the per-round CPU costs of that machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jsym_net::SimClock;
+use jsym_sysmon::{
+    aggregate, JsConstraints, LoadModel, LoadProfile, MachineSpec, SimMachine, SysParam,
+};
+use std::time::Duration;
+
+fn bench_monitoring(c: &mut Criterion) {
+    let clock = SimClock::default();
+    let machines: Vec<SimMachine> = (0..13)
+        .map(|i| {
+            SimMachine::new(
+                MachineSpec::generic(&format!("m{i}"), 30.0, 256.0),
+                LoadModel::new(LoadProfile::Day, i as u64),
+                clock.clone(),
+            )
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("monitoring");
+    g.sample_size(50)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    g.bench_function("snapshot_44_params", |b| b.iter(|| machines[0].snapshot()));
+
+    let snaps: Vec<_> = machines.iter().map(|m| m.snapshot()).collect();
+    g.bench_function("average_13_nodes", |b| {
+        b.iter(|| aggregate::average(&snaps))
+    });
+
+    let mut constr = JsConstraints::new();
+    constr.set(SysParam::NodeName, "!=", "milena");
+    constr.set(SysParam::CpuSysPct, "<=", 10);
+    constr.set(SysParam::IdlePct, ">=", 50);
+    constr.set(SysParam::AvailMem, ">=", 50);
+    constr.set(SysParam::SwapSpaceRatio, "<=", 0.3);
+    g.bench_function("constraints_eval_5_terms", |b| {
+        b.iter(|| constr.holds(&snaps[0]))
+    });
+
+    g.bench_function("violating_scan_13_nodes", |b| {
+        b.iter(|| snaps.iter().filter(|s| !constr.holds(s)).count())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_monitoring);
+criterion_main!(benches);

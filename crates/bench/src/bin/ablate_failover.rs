@@ -1,0 +1,74 @@
+//! E5 — manager-failover latency vs heartbeat period (paper §5.1).
+//!
+//! A cluster manager is killed; its backup must detect the silence (no
+//! heartbeats past the failure timeout) and take over. Detection latency
+//! should track `failure_timeout` (here 3× the monitoring period), the
+//! knob the JS-Shell exposes.
+
+use jsym_bench::write_json;
+use jsym_core::testkit::{register_test_classes, shell_with_idle_machines};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    monitor_period: f64,
+    failure_timeout: f64,
+    detection_virt_seconds: f64,
+    backup_took_over: bool,
+}
+
+fn run(period: f64) -> Row {
+    let timeout = period * 3.0;
+    let d = shell_with_idle_machines(4)
+        .time_scale(2e-3)
+        .monitor_period(period)
+        .failure_timeout(timeout)
+        .boot();
+    register_test_classes(&d);
+    let cluster = d.vda().request_cluster(4, None).unwrap();
+    let manager = cluster.manager().unwrap();
+    let backup = cluster.backup_manager().unwrap();
+    let clock = d.clock().clone();
+
+    // Let heartbeats establish (a few periods).
+    clock.sleep(period * 4.0);
+
+    let killed_at = clock.now();
+    d.kill_node(manager.phys());
+    // Wait for the registry to mark the failure.
+    let deadline = killed_at + timeout * 20.0 + 200.0;
+    while !d.vda().is_failed(manager.phys()) && clock.now() < deadline {
+        clock.sleep(period / 4.0);
+    }
+    let detected_at = clock.now();
+    let row = Row {
+        monitor_period: period,
+        failure_timeout: timeout,
+        detection_virt_seconds: detected_at - killed_at,
+        backup_took_over: cluster.manager() == Some(backup),
+    };
+    d.shutdown();
+    row
+}
+
+fn main() {
+    println!(
+        "{:>10} {:>10} {:>14} {:>10}",
+        "period[s]", "timeout[s]", "detection[s]", "takeover"
+    );
+    let mut rows = Vec::new();
+    for period in [2.0, 5.0, 10.0, 20.0] {
+        let row = run(period);
+        println!(
+            "{:>10.1} {:>10.1} {:>14.2} {:>10}",
+            row.monitor_period,
+            row.failure_timeout,
+            row.detection_virt_seconds,
+            row.backup_took_over
+        );
+        rows.push(row);
+    }
+    if let Ok(path) = write_json("ablate_failover", &rows) {
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,83 @@
+//! E2 — migration-cost ablation: explicit migration time vs object state
+//! size, within the fast segment and across the slow one.
+//!
+//! The paper's migration protocol (Figure 3) ships the serialized object;
+//! the dominant costs are state (de)serialization on both agents and the
+//! transfer itself, so time should grow linearly in state size with a slope
+//! set by the link.
+
+use jsym_bench::write_json;
+use jsym_core::testkit::register_test_classes;
+use jsym_core::{JsObj, JsShell, MachineConfig, MigrateTarget, Placement, Value};
+use jsym_net::{LinkClass, NodeId};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    state_bytes: usize,
+    link: String,
+    virt_seconds: f64,
+}
+
+fn main() {
+    // Nodes 0,1 on 100 Mbit/s; node 2 on the 10 Mbit/s segment.
+    let mut shell = JsShell::new().time_scale(1e-2);
+    for (name, link) in [
+        ("fast-a", LinkClass::Lan100),
+        ("fast-b", LinkClass::Lan100),
+        ("slow-c", LinkClass::Lan10),
+    ] {
+        let mut m = MachineConfig::idle(name, 50.0);
+        m.link = link;
+        shell = shell.add_machine(m);
+    }
+    let d = shell.boot();
+    register_test_classes(&d);
+    let reg = d.register_app().unwrap();
+    let cb = reg.codebase();
+    cb.add("blob.jar", 100_000);
+    for m in d.machines() {
+        cb.load_phys(m).unwrap();
+    }
+    let clock = d.clock().clone();
+    let mut rows = Vec::new();
+
+    println!("{:>12} {:>10} {:>12}", "state[B]", "link", "time[s]");
+    for &size in &[1usize << 10, 1 << 14, 1 << 18, 1 << 20, 4 << 20] {
+        let obj = JsObj::create(
+            &reg,
+            "Blob",
+            &[Value::I64(size as i64)],
+            Placement::OnPhys(NodeId(0)),
+            None,
+        )
+        .unwrap();
+        // Within the fast segment: 0 → 1.
+        let t0 = clock.now();
+        obj.migrate(MigrateTarget::ToPhys(NodeId(1)), None).unwrap();
+        let fast = clock.now() - t0;
+        // Across to the slow segment: 1 → 2.
+        let t0 = clock.now();
+        obj.migrate(MigrateTarget::ToPhys(NodeId(2)), None).unwrap();
+        let slow = clock.now() - t0;
+        println!("{:>12} {:>10} {:>12.4}", size, "lan100", fast);
+        println!("{:>12} {:>10} {:>12.4}", size, "lan10", slow);
+        rows.push(Row {
+            state_bytes: size,
+            link: "lan100".into(),
+            virt_seconds: fast,
+        });
+        rows.push(Row {
+            state_bytes: size,
+            link: "lan10".into(),
+            virt_seconds: slow,
+        });
+        obj.free().unwrap();
+    }
+
+    if let Ok(path) = write_json("ablate_migration", &rows) {
+        eprintln!("wrote {}", path.display());
+    }
+    reg.unregister().unwrap();
+    d.shutdown();
+}

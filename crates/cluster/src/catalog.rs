@@ -1,0 +1,274 @@
+//! The 13-workstation testbed catalogue.
+
+use jsym_core::MachineConfig;
+use jsym_net::LinkClass;
+use jsym_sysmon::{LoadModel, LoadProfile, MachineSpec};
+use serde::{Deserialize, Serialize};
+
+/// The six Sun workstation models of the paper's testbed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SunModel {
+    /// SPARCstation 4/110 (microSPARC-II, 110 MHz, 10 Mbit/s Ethernet).
+    Ss4_110,
+    /// SPARCstation 10/40 (SuperSPARC, 40 MHz, 10 Mbit/s Ethernet).
+    Ss10_40,
+    /// SPARCstation 5/70 (microSPARC-II, 70 MHz, 10 Mbit/s Ethernet).
+    Ss5_70,
+    /// Sun Ultra 1/170 (UltraSPARC-I, 167 MHz, 100 Mbit/s Ethernet).
+    Ultra1_170,
+    /// Sun Ultra 10/300 (UltraSPARC-IIi, 300 MHz, 100 Mbit/s Ethernet).
+    Ultra10_300,
+    /// Sun Ultra 10/440 (UltraSPARC-IIi, 440 MHz, 100 Mbit/s Ethernet).
+    Ultra10_440,
+}
+
+impl SunModel {
+    /// Application-visible Java floating-point rate in Mflop/s.
+    ///
+    /// Calibrated to JDK 1.2.1 + JIT on Solaris 7: Java Grande era
+    /// measurements put Ultra-class machines at a few tens of Mflop/s and
+    /// microSPARC-class machines in the low single digits.
+    pub fn java_mflops(self) -> f64 {
+        match self {
+            SunModel::Ss4_110 => 3.4,
+            SunModel::Ss10_40 => 2.4,
+            SunModel::Ss5_70 => 2.9,
+            SunModel::Ultra1_170 => 12.0,
+            SunModel::Ultra10_300 => 21.0,
+            SunModel::Ultra10_440 => 30.0,
+        }
+    }
+
+    /// Display label matching the paper's naming.
+    pub fn label(self) -> &'static str {
+        match self {
+            SunModel::Ss4_110 => "SPARCstation 4/110",
+            SunModel::Ss10_40 => "SPARCstation 10/40",
+            SunModel::Ss5_70 => "SPARCstation 5/70",
+            SunModel::Ultra1_170 => "Sun Ultra 1/170",
+            SunModel::Ultra10_300 => "Sun Ultra 10/300",
+            SunModel::Ultra10_440 => "Sun Ultra 10/440",
+        }
+    }
+
+    /// CPU type string.
+    pub fn cpu_type(self) -> &'static str {
+        match self {
+            SunModel::Ss4_110 | SunModel::Ss5_70 => "microSPARC-II",
+            SunModel::Ss10_40 => "SuperSPARC",
+            SunModel::Ultra1_170 => "UltraSPARC-I",
+            SunModel::Ultra10_300 | SunModel::Ultra10_440 => "UltraSPARC-IIi",
+        }
+    }
+
+    /// Clock rate in MHz.
+    pub fn mhz(self) -> u32 {
+        match self {
+            SunModel::Ss4_110 => 110,
+            SunModel::Ss10_40 => 40,
+            SunModel::Ss5_70 => 70,
+            SunModel::Ultra1_170 => 167,
+            SunModel::Ultra10_300 => 300,
+            SunModel::Ultra10_440 => 440,
+        }
+    }
+
+    /// Physical memory in MB (typical configurations of the era).
+    pub fn mem_mb(self) -> f64 {
+        match self {
+            SunModel::Ss4_110 | SunModel::Ss5_70 => 64.0,
+            SunModel::Ss10_40 => 96.0,
+            SunModel::Ultra1_170 => 128.0,
+            SunModel::Ultra10_300 | SunModel::Ultra10_440 => 256.0,
+        }
+    }
+
+    /// Whether this model sits on the 100 Mbit/s segment.
+    pub fn is_ultra(self) -> bool {
+        matches!(
+            self,
+            SunModel::Ultra1_170 | SunModel::Ultra10_300 | SunModel::Ultra10_440
+        )
+    }
+
+    /// The network attachment class: Ultras on 100 Mbit/s, the rest on the
+    /// shared 10 Mbit/s segment (paper §6).
+    pub fn link_class(self) -> LinkClass {
+        if self.is_ultra() {
+            LinkClass::Lan100
+        } else {
+            LinkClass::Lan10
+        }
+    }
+}
+
+/// The day/night regimes of the paper's experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoadKind {
+    /// Daytime: workstations in use by their owners.
+    Day,
+    /// Night: very little user load.
+    Night,
+    /// Fully dedicated (no background load at all) — not in the paper;
+    /// used for calibration and ablations.
+    Dedicated,
+}
+
+impl LoadKind {
+    /// The load profile for this regime.
+    pub fn profile(self) -> LoadProfile {
+        match self {
+            LoadKind::Day => LoadProfile::Day,
+            LoadKind::Night => LoadProfile::Night,
+            LoadKind::Dedicated => LoadProfile::Idle,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            LoadKind::Day => "day",
+            LoadKind::Night => "night",
+            LoadKind::Dedicated => "dedicated",
+        }
+    }
+}
+
+/// The testbed, fastest machine first. The experiment's *n*-node
+/// configurations use the first *n* entries, which matches how one would
+/// pick machines for a performance study; the one-node baseline is the
+/// head of this list.
+///
+/// Counts: 4× Ultra 10/440, 2× Ultra 10/300, 2× Ultra 1/170,
+/// 2× SPARCstation 4/110, 1× SPARCstation 5/70, 2× SPARCstation 10/40 — 13
+/// machines, 8 of them Ultras on the fast segment. The paper names the six
+/// models but not their counts; the counts here are calibrated so that the
+/// first six machines are nearly homogeneous, which is what makes the
+/// paper's "almost linear speed-up ... for up to 6 nodes" possible at all
+/// on a heterogeneous testbed (see DESIGN.md).
+pub const TESTBED: [(SunModel, &str); 13] = [
+    (SunModel::Ultra10_440, "rachel"),
+    (SunModel::Ultra10_440, "milena"),
+    (SunModel::Ultra10_440, "figaro"),
+    (SunModel::Ultra10_440, "amadeus"),
+    (SunModel::Ultra10_300, "tosca"),
+    (SunModel::Ultra10_300, "aida"),
+    (SunModel::Ultra1_170, "carmen"),
+    (SunModel::Ultra1_170, "otello"),
+    (SunModel::Ss4_110, "fidelio"),
+    (SunModel::Ss4_110, "nabucco"),
+    (SunModel::Ss5_70, "turandot"),
+    (SunModel::Ss10_40, "salome"),
+    (SunModel::Ss10_40, "elektra"),
+];
+
+/// Builds the machine configuration of one testbed workstation.
+pub fn machine_config(model: SunModel, name: &str, load: LoadKind, seed: u64) -> MachineConfig {
+    let spec = MachineSpec::generic(name, model.java_mflops(), model.mem_mb())
+        .with_model(model.label(), model.cpu_type(), model.mhz())
+        .with_net(
+            if model.is_ultra() {
+                "ethernet-100"
+            } else {
+                "ethernet-10"
+            },
+            model.link_class().latency() * 1e3,
+            if model.is_ultra() { 100.0 } else { 10.0 },
+        );
+    MachineConfig {
+        spec,
+        load: LoadModel::new(load.profile(), seed),
+        link: model.link_class(),
+    }
+}
+
+/// The first `n` testbed machines under the given load regime. Per-machine
+/// load streams are decorrelated via `base_seed + index`.
+pub fn testbed_machines(n: usize, load: LoadKind, base_seed: u64) -> Vec<MachineConfig> {
+    assert!(n >= 1 && n <= TESTBED.len(), "testbed has 1..=13 machines");
+    TESTBED[..n]
+        .iter()
+        .enumerate()
+        .map(|(i, (model, name))| machine_config(*model, name, load, base_seed + i as u64))
+        .collect()
+}
+
+/// Aggregate peak Java Mflop/s of the first `n` testbed machines.
+pub fn aggregate_mflops(n: usize) -> f64 {
+    TESTBED[..n].iter().map(|(m, _)| m.java_mflops()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_has_thirteen_machines_of_six_models() {
+        assert_eq!(TESTBED.len(), 13);
+        let models: std::collections::HashSet<_> = TESTBED.iter().map(|(m, _)| *m).collect();
+        assert_eq!(models.len(), 6);
+        let ultras = TESTBED.iter().filter(|(m, _)| m.is_ultra()).count();
+        assert_eq!(ultras, 8);
+    }
+
+    #[test]
+    fn testbed_is_ordered_fastest_first() {
+        let speeds: Vec<f64> = TESTBED.iter().map(|(m, _)| m.java_mflops()).collect();
+        for w in speeds.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9, "not sorted: {speeds:?}");
+        }
+    }
+
+    #[test]
+    fn machine_names_are_unique() {
+        let names: std::collections::HashSet<_> = TESTBED.iter().map(|(_, n)| *n).collect();
+        assert_eq!(names.len(), 13);
+    }
+
+    #[test]
+    fn ultras_are_fast_and_on_fast_ethernet() {
+        for (model, _) in TESTBED {
+            if model.is_ultra() {
+                assert!(model.java_mflops() >= 10.0);
+                assert_eq!(model.link_class(), LinkClass::Lan100);
+            } else {
+                assert!(model.java_mflops() < 5.0);
+                assert_eq!(model.link_class(), LinkClass::Lan10);
+            }
+        }
+    }
+
+    #[test]
+    fn config_reflects_model() {
+        let cfg = machine_config(SunModel::Ultra10_440, "rachel", LoadKind::Night, 1);
+        assert_eq!(cfg.spec.name, "rachel");
+        assert_eq!(cfg.spec.peak_mflops, 30.0);
+        assert_eq!(cfg.spec.cpu_mhz, 440);
+        assert_eq!(cfg.link, LinkClass::Lan100);
+        let slow = machine_config(SunModel::Ss10_40, "salome", LoadKind::Night, 1);
+        assert_eq!(slow.link, LinkClass::Lan10);
+    }
+
+    #[test]
+    fn testbed_machines_slices_and_seeds() {
+        let ms = testbed_machines(5, LoadKind::Day, 100);
+        assert_eq!(ms.len(), 5);
+        assert_eq!(ms[0].spec.name, "rachel");
+        // Different seeds → decorrelated day loads.
+        assert_ne!(ms[0].load.cpu_at(500.0), ms[1].load.cpu_at(500.0));
+    }
+
+    #[test]
+    fn aggregate_speed_is_monotone() {
+        for n in 1..13 {
+            assert!(aggregate_mflops(n + 1) > aggregate_mflops(n));
+        }
+        assert!((aggregate_mflops(2) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "testbed has 1..=13 machines")]
+    fn zero_machines_rejected() {
+        testbed_machines(0, LoadKind::Night, 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # jsym-cluster — the CLUSTER 2000 testbed simulation and workloads
+//!
+//! The paper's evaluation (§6) runs a master/slave matrix multiplication on
+//! "a non-dedicated heterogeneous cluster of 13 Sun workstations comprising
+//! Sparcstations 4/110, Sparcstations 10/40, Sparcstation 5/70, Sun Ultras
+//! 1/170, Sun Ultras 10/300, and Sun Ultras 10/440. All Sun Ultra
+//! workstations are connected based on 100 Mbits/sec bandwidth, whereas
+//! communication among all other workstations rely on 10 Mbits/sec
+//! bandwidth."
+//!
+//! This crate provides:
+//!
+//! * [`catalog`] — that testbed as machine configurations (model speeds
+//!   calibrated to JDK 1.2.1-era Java floating-point throughput);
+//! * [`matmul`] — the `Matrix` distributed class and the master/slave
+//!   driver transcribed from the paper's Figure 6, plus the sequential
+//!   baseline used for the one-node points;
+//! * [`fig5`] — the experiment driver regenerating Figure 5 (execution time
+//!   vs. number of nodes, several problem sizes, day/night load);
+//! * [`pipeline`] — an additional locality-oriented workload (a stage
+//!   pipeline mapped across a site) used by the examples.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod fig5;
+pub mod jacobi;
+pub mod matmul;
+pub mod pipeline;

@@ -1,0 +1,413 @@
+//! The paper's evaluation workload: master/slave matrix multiplication
+//! (§6, Figure 6), plus the sequential baseline used for one-node points.
+
+use jsym_core::{snapshot_state, Deployment, InvokeCtx, JsClass, JsError, JsObj, Placement, Value};
+use jsym_sysmon::SimMachine;
+use jsym_vda::Cluster;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The artifact carrying the `Matrix` class ("../matrix-test/classes.jar"
+/// in Figure 6); ~300 KB of byte-code.
+pub const MATRIX_ARTIFACT: &str = "matrix-classes.jar";
+/// Size of [`MATRIX_ARTIFACT`].
+pub const MATRIX_ARTIFACT_BYTES: usize = 300_000;
+
+/// The slave-side `Matrix` class: holds the replicated B matrix and
+/// multiplies row-blocks of A against it.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Matrix {
+    dim_a2: usize,
+    dim_b2: usize,
+    b: Vec<f32>,
+    /// When false, the arithmetic is skipped (cost is still modeled) — used
+    /// by large benchmark runs where the numeric result is not checked.
+    verify: bool,
+}
+
+impl Matrix {
+    /// Builds an empty Matrix slave (B arrives via `init`).
+    pub fn from_args(_args: &[Value]) -> Self {
+        Matrix {
+            dim_a2: 0,
+            dim_b2: 0,
+            b: Vec::new(),
+            verify: true,
+        }
+    }
+}
+
+impl JsClass for Matrix {
+    fn class_name(&self) -> &str {
+        "Matrix"
+    }
+
+    fn invoke(
+        &mut self,
+        method: &str,
+        args: &[Value],
+        ctx: &mut InvokeCtx<'_>,
+    ) -> jsym_core::Result<Value> {
+        match method {
+            // init(dimA2, dimB2, B, verify) — replicate B on this node
+            // (paper: one-sided invocation of method init).
+            "init" => {
+                let dim_a2 = args.first().and_then(Value::as_i64).unwrap_or(0) as usize;
+                let dim_b2 = args.get(1).and_then(Value::as_i64).unwrap_or(0) as usize;
+                let b = args
+                    .get(2)
+                    .and_then(Value::as_floats)
+                    .ok_or_else(|| JsError::BadArguments("init(.., B: floats)".into()))?;
+                if b.len() != dim_a2 * dim_b2 {
+                    return Err(JsError::BadArguments(format!(
+                        "B has {} elements, expected {}",
+                        b.len(),
+                        dim_a2 * dim_b2
+                    )));
+                }
+                self.dim_a2 = dim_a2;
+                self.dim_b2 = dim_b2;
+                self.b = b.as_ref().clone();
+                self.verify = args.get(3).and_then(Value::as_bool).unwrap_or(true);
+                Ok(Value::Null)
+            }
+            // multiply(first_row, rowsA) → [first_row, C-block]
+            "multiply" => {
+                let first_row = args
+                    .first()
+                    .and_then(Value::as_i64)
+                    .ok_or_else(|| JsError::BadArguments("multiply(first_row, rows)".into()))?;
+                let rows_a = args
+                    .get(1)
+                    .and_then(Value::as_floats)
+                    .ok_or_else(|| JsError::BadArguments("multiply(first_row, rows)".into()))?;
+                if self.dim_a2 == 0 {
+                    return Err(JsError::MethodFailed("init was never called".into()));
+                }
+                let n_rows = rows_a.len() / self.dim_a2;
+                // The modeled cost: 2·rows·K·M flops of Java arithmetic.
+                let flops = 2.0 * n_rows as f64 * self.dim_a2 as f64 * self.dim_b2 as f64;
+                ctx.compute(flops);
+                let mut block = vec![0.0f32; n_rows * self.dim_b2];
+                if self.verify {
+                    for r in 0..n_rows {
+                        let a_row = &rows_a[r * self.dim_a2..(r + 1) * self.dim_a2];
+                        let c_row = &mut block[r * self.dim_b2..(r + 1) * self.dim_b2];
+                        for (k, &a) in a_row.iter().enumerate() {
+                            let b_row = &self.b[k * self.dim_b2..(k + 1) * self.dim_b2];
+                            for (c, &b) in c_row.iter_mut().zip(b_row) {
+                                *c += a * b;
+                            }
+                        }
+                    }
+                }
+                Ok(Value::List(vec![
+                    Value::I64(first_row),
+                    Value::F32Vec(Arc::new(block)),
+                ]))
+            }
+            // Setup barrier: confirms a previously issued one-sided init
+            // has been applied (per-object FIFO makes this a happens-after).
+            "ready" => Ok(Value::Bool(self.dim_a2 > 0)),
+            _ => Err(JsError::NoSuchMethod {
+                class: "Matrix".into(),
+                method: method.to_owned(),
+            }),
+        }
+    }
+
+    fn snapshot(&self) -> jsym_core::Result<Vec<u8>> {
+        snapshot_state(self)
+    }
+}
+
+/// Registers the `Matrix` class (carried by [`MATRIX_ARTIFACT`]).
+pub fn register_matmul_classes(deployment: &Deployment) {
+    deployment
+        .classes()
+        .register_class::<Matrix, _>("Matrix", Some(MATRIX_ARTIFACT), |args| {
+            Ok(Matrix::from_args(args))
+        });
+}
+
+/// Parameters of one master/slave run.
+#[derive(Clone, Debug)]
+pub struct MatmulConfig {
+    /// Matrix dimension (N×N · N×N).
+    pub n: usize,
+    /// Rows of A per task; fixed for the whole run (paper: "The number of
+    /// rows does not change during execution of the application").
+    pub rows_per_task: usize,
+    /// Whether slaves actually compute values (tests) or only model the
+    /// cost (large benchmark sweeps).
+    pub verify: bool,
+    /// Master poll interval in virtual seconds (the paper's WHILE loop).
+    pub poll_interval: f64,
+}
+
+impl MatmulConfig {
+    /// A configuration with the experiment defaults: ~26 tasks, verification
+    /// on, 10 ms poll (the paper's master polls in a tight loop; a small
+    /// virtual pause keeps the simulated master from monopolising its CPU).
+    pub fn new(n: usize) -> Self {
+        MatmulConfig {
+            n,
+            rows_per_task: n.div_ceil(26).max(1),
+            verify: true,
+            poll_interval: 0.01,
+        }
+    }
+
+    /// Disables numeric verification (cost-model-only slaves).
+    pub fn without_verification(mut self) -> Self {
+        self.verify = false;
+        self
+    }
+}
+
+/// Outcome of one master/slave run.
+#[derive(Clone, Debug)]
+pub struct MatmulReport {
+    /// Virtual seconds of the multiplication itself: task farming from the
+    /// first task issued through the last merged result. This is the
+    /// quantity Figure 5 plots; setup is reported separately.
+    pub virt_seconds: f64,
+    /// Virtual seconds of setup: codebase distribution, object creation and
+    /// the replication of matrix B.
+    pub setup_seconds: f64,
+    /// Number of tasks farmed out.
+    pub tasks: usize,
+    /// Number of slave nodes.
+    pub nodes: usize,
+    /// `Some(true)` when verification ran and every sampled element of C
+    /// matched the direct product.
+    pub correct: Option<bool>,
+    /// RMI-layer messages sent during the run (network-wide delta).
+    pub messages: u64,
+}
+
+/// Deterministic test matrices: small integers so f32 products are exact.
+fn a_elem(i: usize, j: usize) -> f32 {
+    ((i * 31 + j * 7) % 13) as f32 - 6.0
+}
+fn b_elem(i: usize, j: usize) -> f32 {
+    ((i * 17 + j * 3) % 11) as f32 - 5.0
+}
+
+/// The master/slave matrix multiplication of Figure 6, transcribed onto the
+/// Rust API. Registers an application, loads the codebase onto the cluster,
+/// replicates B with one-sided invocations, farms out row-block tasks with
+/// asynchronous invocations, merges results as they become ready, and
+/// unregisters.
+pub fn run_master_slave(
+    deployment: &Deployment,
+    cluster: &Cluster,
+    cfg: &MatmulConfig,
+) -> jsym_core::Result<MatmulReport> {
+    let n = cfg.n;
+    let clock = deployment.clock().clone();
+    let msgs_before = deployment.net_stats().msgs_sent;
+
+    // register JavaSymphony application
+    let reg = deployment.register_app()?;
+
+    let t_setup = clock.now();
+
+    // define codebase and load on cluster c1
+    let cb = reg.codebase();
+    cb.add(MATRIX_ARTIFACT, MATRIX_ARTIFACT_BYTES);
+    cb.load_cluster(cluster).inspect_err(|_e| {
+        let _ = reg.unregister();
+    })?;
+
+    // allocate and initialize matrices A, B (C is assembled from results)
+    let a: Arc<Vec<f32>> = Arc::new((0..n * n).map(|idx| a_elem(idx / n, idx % n)).collect());
+    let b: Arc<Vec<f32>> = Arc::new((0..n * n).map(|idx| b_elem(idx / n, idx % n)).collect());
+    let mut c = vec![0.0f32; n * n];
+
+    let nr_nodes = cluster.nr_nodes();
+    // One Matrix object per cluster node; copy matrix B to all cluster
+    // nodes via one-sided invocation of init.
+    let mut slaves: Vec<JsObj> = Vec::with_capacity(nr_nodes);
+    for i in 0..nr_nodes {
+        let node = cluster.get_node(i)?;
+        let slave = JsObj::create(&reg, "Matrix", &[], Placement::OnNode(&node), None)?;
+        slave.oinvoke(
+            "init",
+            &[
+                Value::I64(n as i64),
+                Value::I64(n as i64),
+                Value::F32Vec(Arc::clone(&b)),
+                Value::Bool(cfg.verify),
+            ],
+        )?;
+        slaves.push(slave);
+    }
+
+    // Wait until every replica of B has been applied (one-sided init gives
+    // no completion, but per-object FIFO means a synchronous `ready` call
+    // returning true happens after it).
+    for slave in &slaves {
+        let ok = slave.sinvoke("ready", &[])?;
+        if ok != Value::Bool(true) {
+            return Err(JsError::MethodFailed("init not applied".into()));
+        }
+    }
+    let t_start = clock.now();
+    let setup_seconds = t_start - t_setup;
+
+    // determine nr of tasks to be processed by cluster nodes
+    let rows_per_task = cfg.rows_per_task.max(1);
+    let nr_tasks = n.div_ceil(rows_per_task);
+    let mut next_task = 0usize;
+    // nodeBusy[i] = Some(task) while node i executes task
+    let mut node_busy: Vec<Option<usize>> = vec![None; nr_nodes];
+    let mut handles: Vec<Option<jsym_core::ResultHandle>> = (0..nr_nodes).map(|_| None).collect();
+    let mut merged = 0usize;
+
+    let merge = |result: Value, c: &mut [f32]| -> jsym_core::Result<()> {
+        let list = result
+            .as_list()
+            .ok_or_else(|| JsError::MethodFailed("bad multiply result".into()))?;
+        let first_row = list[0].as_i64().unwrap_or(0) as usize;
+        let block = list[1]
+            .as_floats()
+            .ok_or_else(|| JsError::MethodFailed("bad multiply block".into()))?;
+        let rows = block.len() / n;
+        c[first_row * n..(first_row + rows) * n].copy_from_slice(block);
+        Ok(())
+    };
+
+    // distribute tasks (sets of rows of matrix A) to nodes of cluster
+    while merged < nr_tasks {
+        let mut progressed = false;
+        for i in 0..nr_nodes {
+            // node is executing task: is the result available?
+            if node_busy[i].is_some() {
+                let ready = handles[i].as_ref().is_some_and(|h| h.is_ready());
+                if ready {
+                    let h = handles[i].take().expect("handle present");
+                    merge(h.get_result()?, &mut c)?; // merge result in matrix C
+                    node_busy[i] = None; // node is free again
+                    merged += 1;
+                    progressed = true;
+                }
+            }
+            // node is free to work on next task
+            if node_busy[i].is_none() && next_task < nr_tasks {
+                let first_row = next_task * rows_per_task;
+                let rows = rows_per_task.min(n - first_row);
+                let task_rows: Arc<Vec<f32>> =
+                    Arc::new(a[first_row * n..(first_row + rows) * n].to_vec());
+                let h = slaves[i].ainvoke(
+                    "multiply",
+                    &[Value::I64(first_row as i64), Value::F32Vec(task_rows)],
+                )?;
+                handles[i] = Some(h);
+                node_busy[i] = Some(next_task);
+                next_task += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            clock.sleep(cfg.poll_interval);
+        }
+    }
+
+    let virt_seconds = clock.now() - t_start;
+
+    // ... do something with the result: verify a sample against the direct
+    // product when requested.
+    let correct = if cfg.verify {
+        Some(verify_sample(&a, &b, &c, n))
+    } else {
+        None
+    };
+
+    for s in &slaves {
+        let _ = s.free();
+    }
+    // unregister JavaSymphony application
+    reg.unregister()?;
+
+    Ok(MatmulReport {
+        virt_seconds,
+        setup_seconds,
+        tasks: nr_tasks,
+        nodes: nr_nodes,
+        correct,
+        messages: deployment.net_stats().msgs_sent - msgs_before,
+    })
+}
+
+/// Spot-checks C against the direct product on a deterministic sample of
+/// elements (full O(N³) verification would dwarf the simulation itself).
+fn verify_sample(a: &[f32], b: &[f32], c: &[f32], n: usize) -> bool {
+    let stride = (n / 17).max(1);
+    for i in (0..n).step_by(stride) {
+        for j in (0..n).step_by(stride) {
+            let mut expect = 0.0f32;
+            for k in 0..n {
+                expect += a[i * n + k] * b[k * n + j];
+            }
+            if (c[i * n + j] - expect).abs() > 1e-3 * expect.abs().max(1.0) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The paper's one-node points: "the times plotted for the one-node
+/// experiments are based on a sequential matrix multiplication that does not
+/// use JavaSymphony at all". Executes 2·N³ flops on `machine` and returns
+/// the virtual seconds taken.
+pub fn run_sequential(machine: &SimMachine, n: usize) -> f64 {
+    let clock = machine.clock().clone();
+    let t0 = clock.now();
+    machine.compute(2.0 * (n as f64).powi(3));
+    clock.now() - t0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_matrices_are_small_integers() {
+        for i in 0..20 {
+            for j in 0..20 {
+                assert!(a_elem(i, j).abs() <= 6.5);
+                assert!(b_elem(i, j).abs() <= 5.5);
+                assert_eq!(a_elem(i, j), a_elem(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn verify_sample_accepts_true_product_and_rejects_garbage() {
+        let n = 12;
+        let a: Vec<f32> = (0..n * n).map(|idx| a_elem(idx / n, idx % n)).collect();
+        let b: Vec<f32> = (0..n * n).map(|idx| b_elem(idx / n, idx % n)).collect();
+        let mut c = vec![0.0f32; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                for j in 0..n {
+                    c[i * n + j] += a[i * n + k] * b[k * n + j];
+                }
+            }
+        }
+        assert!(verify_sample(&a, &b, &c, n));
+        c[5] += 1.0;
+        assert!(!verify_sample(&a, &b, &c, n));
+    }
+
+    #[test]
+    fn config_defaults_give_about_26_tasks() {
+        let cfg = MatmulConfig::new(1000);
+        assert_eq!(cfg.rows_per_task, 39);
+        assert_eq!(1000usize.div_ceil(cfg.rows_per_task), 26);
+        assert!(cfg.verify);
+        assert!(!cfg.clone().without_verification().verify);
+    }
+}

@@ -1,0 +1,488 @@
+//! The application object agent (AppOA).
+//!
+//! One per registered application (paper §5.2): keeps the
+//! *local-objects-table* mapping every object the application created to the
+//! PubOA currently holding it, issues invocations, and orchestrates object
+//! migration. The AppOA is the location authority for its objects — the
+//! migration protocol always informs it (Figure 3), and remote PubOAs whose
+//! invocations race with a migration come back here to re-resolve
+//! (Figure 4).
+
+use crate::calltable::{Reissue, Slot};
+use crate::error::JsError;
+use crate::ids::{AgentAddr, AgentKind, AppId, IdGen, ObjectHandle, ObjectId, ReqId};
+use crate::msg::Msg;
+use crate::runtime::NodeShared;
+use crate::value::{args_wire_size, Value};
+use crate::{Result, ResultHandle};
+use jsym_net::NodeId;
+use jsym_sysmon::{JsConstraints, SysParam};
+use jsym_vda::{ResourcePool, VdaRegistry};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+
+/// One row of the AppOA's local-objects-table.
+#[derive(Clone, Debug)]
+pub(crate) struct AppObjEntry {
+    /// Node whose PubOA currently holds the object.
+    pub location: NodeId,
+    /// The object's class (diagnostics; location is the load-bearing field).
+    #[allow(dead_code)]
+    pub class: String,
+}
+
+/// Shared state of one application object agent.
+pub(crate) struct AppShared {
+    pub id: AppId,
+    pub home: NodeId,
+    /// The node runtime hosting this AppOA. Weak: the deployment owns the
+    /// node runtimes; apps must not keep a dead deployment alive.
+    pub node: Weak<NodeShared>,
+    pub pool: ResourcePool,
+    pub vda: VdaRegistry,
+    /// The local-objects-table.
+    pub objects: Mutex<HashMap<ObjectId, AppObjEntry>>,
+    pub unregistered: AtomicBool,
+}
+
+impl AppShared {
+    pub(crate) fn addr(&self) -> AgentAddr {
+        AgentAddr::app_oa(self.home, self.id)
+    }
+
+    pub(crate) fn node_shared(&self) -> Result<Arc<NodeShared>> {
+        self.node.upgrade().ok_or(JsError::ShuttingDown)
+    }
+
+    fn ensure_registered(&self) -> Result<()> {
+        if self.unregistered.load(Ordering::Relaxed) {
+            Err(JsError::AppUnregistered)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Current location of one of this application's objects.
+    pub(crate) fn location_of(&self, obj: ObjectId) -> Option<NodeId> {
+        self.objects.lock().get(&obj).map(|e| e.location)
+    }
+
+    /// The first-order handle for one of this app's objects.
+    pub(crate) fn handle_for(&self, obj: ObjectId) -> ObjectHandle {
+        ObjectHandle {
+            id: obj,
+            origin: self.addr(),
+        }
+    }
+
+    // ------------------------------------------------------------- creation
+
+    /// Creates an object of `class` on `target`, entering it into the
+    /// local-objects-table.
+    pub(crate) fn create_object(
+        self: &Arc<Self>,
+        class: &str,
+        args: &[Value],
+        target: NodeId,
+    ) -> Result<ObjectId> {
+        self.ensure_registered()?;
+        let node = self.node_shared()?;
+        let obj = IdGen::object();
+        let req = IdGen::req();
+        node.machine
+            .compute(node.cost.invoke_caller(args_wire_size(args)));
+        node.call(
+            AgentAddr::pub_oa(target),
+            req,
+            Msg::CreateObject {
+                req,
+                reply_to: self.addr(),
+                obj,
+                class: class.to_owned(),
+                args: args.to_vec(),
+                origin: self.addr(),
+            },
+        )?;
+        self.objects.lock().insert(
+            obj,
+            AppObjEntry {
+                location: target,
+                class: class.to_owned(),
+            },
+        );
+        Ok(obj)
+    }
+
+    /// Re-creates a persistent object from stored state on `target`.
+    pub(crate) fn create_from_state(
+        self: &Arc<Self>,
+        class: &str,
+        state: Vec<u8>,
+        target: NodeId,
+    ) -> Result<ObjectId> {
+        self.ensure_registered()?;
+        let node = self.node_shared()?;
+        let obj = IdGen::object();
+        let req = IdGen::req();
+        node.machine.compute(node.cost.state_cost(state.len()));
+        node.call(
+            AgentAddr::pub_oa(target),
+            req,
+            Msg::CreateFromState {
+                req,
+                reply_to: self.addr(),
+                obj,
+                class: class.to_owned(),
+                state,
+                origin: self.addr(),
+            },
+        )?;
+        self.objects.lock().insert(
+            obj,
+            AppObjEntry {
+                location: target,
+                class: class.to_owned(),
+            },
+        );
+        Ok(obj)
+    }
+
+    /// Re-creates an object *under its existing id* from checkpointed state
+    /// (failure recovery): the instance is installed on `target` and the
+    /// local-objects-table is repointed, so existing handles keep working.
+    pub(crate) fn restore_object_at(
+        self: &Arc<Self>,
+        obj: ObjectId,
+        class: &str,
+        state: Vec<u8>,
+        target: NodeId,
+    ) -> Result<()> {
+        self.ensure_registered()?;
+        let node = self.node_shared()?;
+        let req = IdGen::req();
+        node.machine.compute(node.cost.state_cost(state.len()));
+        node.call(
+            AgentAddr::pub_oa(target),
+            req,
+            Msg::CreateFromState {
+                req,
+                reply_to: self.addr(),
+                obj,
+                class: class.to_owned(),
+                state,
+                origin: self.addr(),
+            },
+        )?;
+        let mut objects = self.objects.lock();
+        match objects.get_mut(&obj) {
+            Some(entry) => entry.location = target,
+            None => {
+                objects.insert(
+                    obj,
+                    AppObjEntry {
+                        location: target,
+                        class: class.to_owned(),
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    // ----------------------------------------------------------- invocation
+
+    /// Issues one invocation towards the currently known location, returning
+    /// the pending slot. Used by all three invocation modes.
+    fn issue(
+        self: &Arc<Self>,
+        obj: ObjectId,
+        method: &str,
+        args: &[Value],
+        want_reply: bool,
+    ) -> Result<(ReqId, Option<Slot>)> {
+        self.ensure_registered()?;
+        let node = self.node_shared()?;
+        let loc = self.location_of(obj).ok_or(JsError::NoSuchObject(obj))?;
+        let req = IdGen::req();
+        // Caller-side dispatch + marshalling.
+        node.machine
+            .compute(node.cost.invoke_caller(args_wire_size(args)));
+        let slot = want_reply.then(|| node.calls.register(req));
+        let msg = Msg::Invoke {
+            req,
+            reply_to: want_reply.then(|| self.addr()),
+            obj,
+            method: method.to_owned(),
+            args: args.to_vec(),
+        };
+        if let Err(e) = node.send(AgentAddr::pub_oa(loc), msg) {
+            node.calls.forget(req);
+            return Err(e);
+        }
+        Ok((req, slot))
+    }
+
+    /// `ainvoke` — asynchronous invocation returning a [`ResultHandle`].
+    pub(crate) fn ainvoke(
+        self: &Arc<Self>,
+        obj: ObjectId,
+        method: &str,
+        args: &[Value],
+    ) -> Result<ResultHandle> {
+        let (_, slot) = self.issue(obj, method, args, true)?;
+        let slot = slot.expect("reply requested");
+        let node = self.node_shared()?;
+        let app = Arc::clone(self);
+        let method_owned = method.to_owned();
+        let args_owned = args.to_vec();
+        let reissue: Arc<Reissue> = Arc::new(move || {
+            // The object moved while the call was in flight; back off a
+            // little, then re-issue against the (by now updated) table.
+            if let Ok(n) = app.node_shared() {
+                n.clock.sleep(n.config.retry_backoff);
+            }
+            let (_, slot) = app.issue(obj, &method_owned, &args_owned, true)?;
+            Ok(slot.expect("reply requested"))
+        });
+        let machine = node.machine.clone();
+        let cost = node.cost;
+        Ok(ResultHandle::new(
+            slot,
+            reissue,
+            node.config.call_timeout,
+            Box::new(move |v: &Value| {
+                // Caller-side result unmarshalling.
+                machine.compute(cost.result_cost(Msg::reply_wire_size(&Ok(v.clone()))));
+            }),
+        ))
+    }
+
+    /// `sinvoke` — synchronous invocation (blocks for the result).
+    pub(crate) fn sinvoke(
+        self: &Arc<Self>,
+        obj: ObjectId,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value> {
+        self.ainvoke(obj, method, args)?.get_result()
+    }
+
+    /// `oinvoke` — one-sided invocation: no result, no completion wait.
+    pub(crate) fn oinvoke(
+        self: &Arc<Self>,
+        obj: ObjectId,
+        method: &str,
+        args: &[Value],
+    ) -> Result<()> {
+        self.issue(obj, method, args, false)?;
+        Ok(())
+    }
+
+    /// Issues a static invocation to `class`'s static context on `node`.
+    pub(crate) fn static_issue(
+        self: &Arc<Self>,
+        class: &str,
+        target: NodeId,
+        method: &str,
+        args: &[Value],
+        want_reply: bool,
+    ) -> Result<Option<Slot>> {
+        self.ensure_registered()?;
+        let node = self.node_shared()?;
+        let req = IdGen::req();
+        node.machine
+            .compute(node.cost.invoke_caller(args_wire_size(args)));
+        let slot = want_reply.then(|| node.calls.register(req));
+        let msg = Msg::StaticInvoke {
+            req,
+            reply_to: want_reply.then(|| self.addr()),
+            class: class.to_owned(),
+            method: method.to_owned(),
+            args: args.to_vec(),
+        };
+        if let Err(e) = node.send(AgentAddr::pub_oa(target), msg) {
+            node.calls.forget(req);
+            return Err(e);
+        }
+        Ok(slot)
+    }
+
+    // ------------------------------------------------------------ migration
+
+    /// Explicitly migrates `obj` to `dst` (paper Figure 3: this AppOA is
+    /// `ao`). Blocks until the destination confirmed; updates the table.
+    pub(crate) fn migrate_object(self: &Arc<Self>, obj: ObjectId, dst: NodeId) -> Result<()> {
+        self.ensure_registered()?;
+        let node = self.node_shared()?;
+        let mut attempts = 0;
+        loop {
+            let loc = self.location_of(obj).ok_or(JsError::NoSuchObject(obj))?;
+            if loc == dst {
+                return Ok(());
+            }
+            let req = IdGen::req();
+            node.machine.compute(node.cost.migrate_flops);
+            let out = node.call(
+                AgentAddr::pub_oa(loc),
+                req,
+                Msg::MigrateRequest {
+                    req,
+                    reply_to: self.addr(),
+                    obj,
+                    dst,
+                },
+            );
+            match out {
+                Ok(v) => {
+                    let new_loc = NodeId(v.as_i64().unwrap_or(dst.0 as i64) as u32);
+                    if let Some(e) = self.objects.lock().get_mut(&obj) {
+                        e.location = new_loc;
+                    }
+                    return Ok(());
+                }
+                // Someone else migrated it concurrently; re-read and retry.
+                Err(JsError::ObjectMoved(_)) => {
+                    attempts += 1;
+                    if attempts > node.config.max_retries {
+                        return Err(JsError::Timeout);
+                    }
+                    node.clock.sleep(node.config.retry_backoff);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- persistence
+
+    /// Stores an object's state, returning its persistence key (§4.7).
+    pub(crate) fn store_object(
+        self: &Arc<Self>,
+        obj: ObjectId,
+        key: Option<&str>,
+    ) -> Result<String> {
+        self.ensure_registered()?;
+        let node = self.node_shared()?;
+        let loc = self.location_of(obj).ok_or(JsError::NoSuchObject(obj))?;
+        let req = IdGen::req();
+        let v = node.call(
+            AgentAddr::pub_oa(loc),
+            req,
+            Msg::StoreObject {
+                req,
+                reply_to: self.addr(),
+                obj,
+                key: key.map(str::to_owned),
+            },
+        )?;
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| JsError::MethodFailed("bad store reply".into()))
+    }
+
+    // -------------------------------------------------------------- freeing
+
+    /// Frees an object: removes it from the table and tells its host (§4.4).
+    pub(crate) fn free_object(self: &Arc<Self>, obj: ObjectId) -> Result<()> {
+        let node = self.node_shared()?;
+        let entry = self
+            .objects
+            .lock()
+            .remove(&obj)
+            .ok_or(JsError::NoSuchObject(obj))?;
+        // One-sided: freeing exists to reduce book-keeping, not to block.
+        let _ = node.send(AgentAddr::pub_oa(entry.location), Msg::FreeObject { obj });
+        Ok(())
+    }
+
+    /// Objects currently located on `phys` (for automatic migration).
+    pub(crate) fn objects_on(&self, phys: NodeId) -> Vec<ObjectId> {
+        self.objects
+            .lock()
+            .iter()
+            .filter(|(_, e)| e.location == phys)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Unregisters the application: the table is dropped and every hosted
+    /// object freed (paper §4.1 — unregistration lets the runtime reduce
+    /// book-keeping and reclaim memory).
+    pub(crate) fn unregister(self: &Arc<Self>) -> Result<()> {
+        if self.unregistered.swap(true, Ordering::Relaxed) {
+            return Err(JsError::AppUnregistered);
+        }
+        let node = self.node_shared()?;
+        let drained: Vec<(ObjectId, AppObjEntry)> = self.objects.lock().drain().collect();
+        for (obj, entry) in drained {
+            let _ = node.send(AgentAddr::pub_oa(entry.location), Msg::FreeObject { obj });
+        }
+        node.apps.write().remove(&self.id);
+        Ok(())
+    }
+}
+
+/// Handles AppOA-addressed messages (runs inline on the receiver thread —
+/// these are all table lookups).
+pub(crate) fn handle_app_msg(shared: &Arc<NodeShared>, app: AppId, msg: Msg) {
+    let Some(app_shared) = shared.apps.read().get(&app).cloned() else {
+        // Unknown app: answer calls with an error so the caller unblocks.
+        if let Msg::WhereIs { req, reply_to, obj } = msg {
+            shared.send_reply(reply_to, req, Err(JsError::NoSuchObject(obj)));
+        }
+        return;
+    };
+    match msg {
+        Msg::WhereIs { req, reply_to, obj } => {
+            let result = app_shared
+                .location_of(obj)
+                .map(|n| Value::I64(n.0 as i64))
+                .ok_or(JsError::NoSuchObject(obj));
+            shared.send_reply(reply_to, req, result);
+        }
+        _ => {
+            // AppOAs accept no other requests.
+        }
+    }
+}
+
+// ---------------------------------------------------------------- placement
+
+/// Picks the least-loaded machine out of `candidates` that satisfies
+/// `constraints` ("JRS chooses a node with the smallest system load and
+/// reasonable resources available", §4.4).
+pub(crate) fn pick_least_loaded(
+    pool: &ResourcePool,
+    candidates: &[NodeId],
+    constraints: Option<&JsConstraints>,
+) -> Result<NodeId> {
+    let mut best: Option<(f64, NodeId)> = None;
+    for &id in candidates {
+        let Ok(snap) = pool.snapshot_of(id) else {
+            continue;
+        };
+        if let Some(c) = constraints {
+            if !c.holds(&snap) {
+                continue;
+            }
+        }
+        let load = snap.num(SysParam::CpuLoad1).unwrap_or(f64::MAX);
+        if best.is_none_or(|(b, _)| load < b) {
+            best = Some((load, id));
+        }
+    }
+    best.map(|(_, id)| id).ok_or_else(|| {
+        JsError::PlacementFailed("no candidate node satisfies the constraints".into())
+    })
+}
+
+/// Resolves [`AgentKind`] display for diagnostics.
+#[allow(dead_code)]
+pub(crate) fn agent_kind_label(kind: AgentKind) -> String {
+    match kind {
+        AgentKind::Pub => "pub".to_owned(),
+        AgentKind::App(a) => format!("{a}"),
+    }
+}

@@ -1,0 +1,81 @@
+//! Automatic object migration (paper §4.6, §5.2).
+//!
+//! "The PubOA periodically examines whether the constraints of the stored
+//! virtual architectures are still fulfilled ... The AppOA is then trying to
+//! migrate all objects originating from its JSA that are on this list to
+//! other architecture components which fulfill the original constraints. To
+//! maintain locality JRS tries to migrate objects of one node to another
+//! node within the same cluster of the original node", then the same site,
+//! then the domain.
+
+use crate::shell::DeploymentInner;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// Supervisor loop: wakes every `period` virtual seconds, finds nodes whose
+/// creation constraints no longer hold, and migrates affected objects to the
+/// nearest (cluster → site → domain) machine that satisfies them.
+pub(crate) fn run(deployment: Weak<DeploymentInner>, period: f64) {
+    loop {
+        // Sleep one period in small real slices so shutdown stays prompt.
+        {
+            let Some(d) = deployment.upgrade() else {
+                return;
+            };
+            if d.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            let deadline = d.clock.now() + period;
+            while d.clock.now() < deadline {
+                if d.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            if !d.automigration.load(Ordering::Relaxed) {
+                continue;
+            }
+            let moved = round(&d);
+            if moved > 0 {
+                d.events.record(
+                    d.clock.now(),
+                    crate::RuntimeEvent::AutoMigrationRound { migrated: moved },
+                );
+            }
+        }
+    }
+}
+
+/// One auto-migration round. Returns the number of objects migrated;
+/// exposed crate-internally so tests can drive rounds deterministically.
+pub(crate) fn round(d: &Arc<DeploymentInner>) -> usize {
+    let violations = d.vda.violating_nodes();
+    if violations.is_empty() {
+        return 0;
+    }
+    let mut migrated = 0;
+    for (node_key, phys) in violations {
+        let node = d.vda.node_handle(node_key);
+        let constraints = d.vda.effective_constraints(&node);
+        // Locality order: same cluster, then same site, then same domain.
+        let target = d.vda.locality_candidates(&node).into_iter().find(|&cand| {
+            d.pool
+                .snapshot_of(cand)
+                .map(|snap| constraints.holds(&snap))
+                .unwrap_or(false)
+        });
+        let Some(target) = target else {
+            continue; // nowhere satisfying the constraints; leave objects
+        };
+        let apps: Vec<_> = d.apps.read().values().cloned().collect();
+        for app in apps {
+            for obj in app.objects_on(phys) {
+                if app.migrate_object(obj, target).is_ok() {
+                    migrated += 1;
+                }
+            }
+        }
+    }
+    migrated
+}

@@ -1,0 +1,134 @@
+//! The RMI/serialization cost model.
+//!
+//! JavaSymphony rides on Java/RMI under JDK 1.2.1, whose per-call and
+//! serialization overheads were substantial (the Java Grande RMI papers the
+//! paper cites, [20, 21], report milliseconds per call and a few MB/s of
+//! serialization throughput on late-90s hardware). These costs are what make
+//! "more than 10 nodes increases the execution time ... mostly due to a
+//! larger number of RMIs" (paper §6), so they must be modeled, not ignored.
+//!
+//! Costs are expressed in *flops-equivalents* and executed on the
+//! [`jsym_sysmon::SimMachine`] of the paying node: a slow SPARCstation pays
+//! proportionally more wall time for the same marshalling work than a fast
+//! Ultra, and marshalling contends with application compute — both true on
+//! the real testbed.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost parameters for runtime operations. All values are in flops
+/// (machine-relative work), converted to time by the executing node.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Fixed caller-side cost of issuing one RMI (proxy dispatch, socket
+    /// write, protocol header).
+    pub rmi_dispatch_flops: f64,
+    /// Caller-side serialization cost per argument byte.
+    pub marshal_flops_per_byte: f64,
+    /// Callee-side fixed dispatch cost (thread hand-off, reflective lookup).
+    pub serve_dispatch_flops: f64,
+    /// Callee-side deserialization cost per argument byte (and, reversed,
+    /// result marshalling).
+    pub unmarshal_flops_per_byte: f64,
+    /// Fixed cost of a remote object creation beyond the RMI itself.
+    pub create_flops: f64,
+    /// Fixed cost of a migration at each participating agent.
+    pub migrate_flops: f64,
+    /// Serialization cost per byte of migrated/persisted object state.
+    pub state_flops_per_byte: f64,
+}
+
+impl CostModel {
+    /// Caller-side cost of an invocation with `arg_bytes` of arguments.
+    #[inline]
+    pub fn invoke_caller(&self, arg_bytes: usize) -> f64 {
+        self.rmi_dispatch_flops + self.marshal_flops_per_byte * arg_bytes as f64
+    }
+
+    /// Callee-side cost before executing a method.
+    #[inline]
+    pub fn invoke_callee(&self, arg_bytes: usize) -> f64 {
+        self.serve_dispatch_flops + self.unmarshal_flops_per_byte * arg_bytes as f64
+    }
+
+    /// Cost of producing/consuming a result of `result_bytes`.
+    #[inline]
+    pub fn result_cost(&self, result_bytes: usize) -> f64 {
+        self.unmarshal_flops_per_byte * result_bytes as f64
+    }
+
+    /// Cost of serializing or restoring `state_bytes` of object state.
+    #[inline]
+    pub fn state_cost(&self, state_bytes: usize) -> f64 {
+        self.migrate_flops + self.state_flops_per_byte * state_bytes as f64
+    }
+
+    /// A cost model in which everything is free — useful for isolating
+    /// algorithmic effects in tests.
+    pub fn free() -> Self {
+        CostModel {
+            rmi_dispatch_flops: 0.0,
+            marshal_flops_per_byte: 0.0,
+            serve_dispatch_flops: 0.0,
+            unmarshal_flops_per_byte: 0.0,
+            create_flops: 0.0,
+            migrate_flops: 0.0,
+            state_flops_per_byte: 0.0,
+        }
+    }
+}
+
+impl Default for CostModel {
+    /// Calibrated against JDK 1.2.1-era RMI measurements: a null RMI costs
+    /// ~1 ms on a 25 Mflop/s Ultra (25 k flops dispatch), serialization
+    /// throughput of ~2 MB/s on the same box (≈ 12 flops/byte), and object
+    /// creation/migration adding a few ms of bookkeeping.
+    fn default() -> Self {
+        CostModel {
+            rmi_dispatch_flops: 25_000.0,
+            marshal_flops_per_byte: 12.0,
+            serve_dispatch_flops: 15_000.0,
+            unmarshal_flops_per_byte: 8.0,
+            create_flops: 50_000.0,
+            migrate_flops: 60_000.0,
+            state_flops_per_byte: 14.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_scale_with_bytes() {
+        let c = CostModel::default();
+        assert!(c.invoke_caller(1000) > c.invoke_caller(0));
+        assert!(c.invoke_callee(1000) > c.invoke_callee(0));
+        assert_eq!(
+            c.invoke_caller(100) - c.invoke_caller(0),
+            100.0 * c.marshal_flops_per_byte
+        );
+    }
+
+    #[test]
+    fn null_rmi_is_about_a_millisecond_on_an_ultra() {
+        // 25 k flops on a 25 Mflop/s machine = 1 ms — the era's null-RMI cost.
+        let c = CostModel::default();
+        let secs = c.invoke_caller(0) / 25e6;
+        assert!((0.0005..0.002).contains(&secs), "null RMI = {secs}s");
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        let c = CostModel::free();
+        assert_eq!(c.invoke_caller(1 << 20), 0.0);
+        assert_eq!(c.state_cost(1 << 20), 0.0);
+    }
+
+    #[test]
+    fn state_cost_includes_fixed_part() {
+        let c = CostModel::default();
+        assert_eq!(c.state_cost(0), c.migrate_flops);
+        assert!(c.state_cost(1000) > c.state_cost(0));
+    }
+}

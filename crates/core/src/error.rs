@@ -1,0 +1,121 @@
+//! Runtime errors.
+
+use crate::ids::ObjectId;
+use jsym_net::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors surfaced by the JavaSymphony runtime.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum JsError {
+    /// The class is not registered with the class registry.
+    UnknownClass(String),
+    /// The class's code has not been loaded onto the target node — the
+    /// selective-classloading precondition (paper §4.3) was violated.
+    ClassNotLoaded {
+        /// The class being instantiated or restored.
+        class: String,
+        /// The node missing the code.
+        node: NodeId,
+    },
+    /// The object does not exist (never created, or already freed).
+    NoSuchObject(ObjectId),
+    /// The object is not (or no longer) on the node the message reached;
+    /// carries the authoritative location if the replier knows it.
+    ObjectMoved(ObjectId),
+    /// The invoked method does not exist on the object.
+    NoSuchMethod {
+        /// The object's class.
+        class: String,
+        /// The missing method.
+        method: String,
+    },
+    /// A method was called with the wrong arguments.
+    BadArguments(String),
+    /// A method implementation failed.
+    MethodFailed(String),
+    /// The target node is dead or unreachable.
+    NodeUnreachable(NodeId),
+    /// A request timed out waiting for its reply.
+    Timeout,
+    /// The result of this handle was already consumed.
+    ResultConsumed,
+    /// Object state (de)serialization failed.
+    Serialization(String),
+    /// No stored object under this persistence key.
+    NoSuchStoredObject(String),
+    /// A virtual-architecture operation failed.
+    Vda(String),
+    /// The application has unregistered; its agent no longer accepts work.
+    AppUnregistered,
+    /// No node satisfied the placement request (constraints, empty component).
+    PlacementFailed(String),
+    /// The deployment is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for JsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsError::UnknownClass(c) => write!(f, "class {c:?} is not registered"),
+            JsError::ClassNotLoaded { class, node } => {
+                write!(f, "class {class:?} is not loaded on node {node}")
+            }
+            JsError::NoSuchObject(id) => write!(f, "object {id} does not exist"),
+            JsError::ObjectMoved(id) => write!(f, "object {id} has moved"),
+            JsError::NoSuchMethod { class, method } => {
+                write!(f, "class {class:?} has no method {method:?}")
+            }
+            JsError::BadArguments(m) => write!(f, "bad arguments: {m}"),
+            JsError::MethodFailed(m) => write!(f, "method failed: {m}"),
+            JsError::NodeUnreachable(n) => write!(f, "node {n} is unreachable"),
+            JsError::Timeout => write!(f, "request timed out"),
+            JsError::ResultConsumed => write!(f, "result already consumed"),
+            JsError::Serialization(m) => write!(f, "serialization failed: {m}"),
+            JsError::NoSuchStoredObject(k) => write!(f, "no stored object under key {k:?}"),
+            JsError::Vda(m) => write!(f, "virtual architecture error: {m}"),
+            JsError::AppUnregistered => write!(f, "application has unregistered"),
+            JsError::PlacementFailed(m) => write!(f, "placement failed: {m}"),
+            JsError::ShuttingDown => write!(f, "deployment is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for JsError {}
+
+impl From<jsym_vda::VdaError> for JsError {
+    fn from(e: jsym_vda::VdaError) -> Self {
+        JsError::Vda(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_interesting_cases() {
+        assert_eq!(
+            JsError::UnknownClass("Matrix".into()).to_string(),
+            "class \"Matrix\" is not registered"
+        );
+        assert_eq!(
+            JsError::ClassNotLoaded {
+                class: "Matrix".into(),
+                node: NodeId(2)
+            }
+            .to_string(),
+            "class \"Matrix\" is not loaded on node n2"
+        );
+        assert_eq!(
+            JsError::NoSuchObject(ObjectId(7)).to_string(),
+            "object obj7 does not exist"
+        );
+    }
+
+    #[test]
+    fn vda_errors_convert() {
+        let e: JsError = jsym_vda::VdaError::ConstraintsUnsatisfied.into();
+        assert!(matches!(e, JsError::Vda(_)));
+    }
+}

@@ -1,0 +1,150 @@
+//! Identifiers and agent addresses.
+
+use jsym_net::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Globally unique id of a distributed object.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Id of a registered application (one per [`crate::JsRegistration`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AppId(pub u32);
+
+impl fmt::Debug for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Correlation id for request/reply exchanges.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReqId(pub u64);
+
+impl fmt::Debug for ReqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// Which agent on a node a message is addressed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AgentKind {
+    /// The node's public object agent.
+    Pub,
+    /// An application object agent hosted on the node.
+    App(AppId),
+}
+
+/// Full address of an agent: node + agent kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AgentAddr {
+    /// The node the agent lives on.
+    pub node: NodeId,
+    /// Which agent on that node.
+    pub agent: AgentKind,
+}
+
+impl AgentAddr {
+    /// Address of the PubOA on `node`.
+    pub fn pub_oa(node: NodeId) -> Self {
+        AgentAddr {
+            node,
+            agent: AgentKind::Pub,
+        }
+    }
+
+    /// Address of application `app`'s AppOA on `node`.
+    pub fn app_oa(node: NodeId, app: AppId) -> Self {
+        AgentAddr {
+            node,
+            agent: AgentKind::App(app),
+        }
+    }
+}
+
+/// A first-order object handle (paper §5.2: "Object handles (first-order
+/// objects) can be passed to methods of other objects that may reside on
+/// arbitrary nodes").
+///
+/// Carries the object's id and the address of the AppOA it originates from —
+/// the authority that always knows the object's current location, consulted
+/// when an invocation races with a migration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ObjectHandle {
+    /// The object's id.
+    pub id: ObjectId,
+    /// The AppOA the object originates from.
+    pub origin: AgentAddr,
+}
+
+/// Process-wide id generators. JavaSymphony runs one JRS per process in this
+/// reproduction, so process-global counters are sufficient and keep ids
+/// unique even across deployments in one test binary.
+pub(crate) struct IdGen;
+
+static NEXT_OBJECT: AtomicU64 = AtomicU64::new(1);
+static NEXT_REQ: AtomicU64 = AtomicU64::new(1);
+static NEXT_APP: AtomicU64 = AtomicU64::new(1);
+
+impl IdGen {
+    pub fn object() -> ObjectId {
+        ObjectId(NEXT_OBJECT.fetch_add(1, Ordering::Relaxed))
+    }
+    pub fn req() -> ReqId {
+        ReqId(NEXT_REQ.fetch_add(1, Ordering::Relaxed))
+    }
+    pub fn app() -> AppId {
+        AppId(NEXT_APP.fetch_add(1, Ordering::Relaxed) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_monotone() {
+        let a = IdGen::object();
+        let b = IdGen::object();
+        assert!(b > a);
+        let r1 = IdGen::req();
+        let r2 = IdGen::req();
+        assert_ne!(r1, r2);
+        assert_ne!(IdGen::app(), IdGen::app());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ObjectId(4).to_string(), "obj4");
+        assert_eq!(AppId(2).to_string(), "app2");
+        assert_eq!(format!("{:?}", ReqId(9)), "req9");
+    }
+
+    #[test]
+    fn agent_addr_constructors() {
+        let p = AgentAddr::pub_oa(NodeId(3));
+        assert_eq!(p.agent, AgentKind::Pub);
+        let a = AgentAddr::app_oa(NodeId(3), AppId(1));
+        assert_eq!(a.agent, AgentKind::App(AppId(1)));
+        assert_eq!(a.node, NodeId(3));
+    }
+}

@@ -1,0 +1,258 @@
+//! The agent wire protocol.
+//!
+//! Every message between agents travels as a [`Packet`] inside a
+//! [`jsym_net::Payload`], addressed to an agent on the destination node. The
+//! declared wire size feeds the network delay model; it approximates what
+//! Java serialization of the same message would occupy.
+
+use crate::error::JsError;
+use crate::ids::{AgentAddr, AgentKind, ObjectId, ReqId};
+use crate::value::{args_wire_size, Args, Value};
+use jsym_net::NodeId;
+use jsym_sysmon::SysSnapshot;
+
+/// A message plus the agent it is addressed to.
+#[derive(Debug)]
+pub(crate) struct Packet {
+    pub to: AgentKind,
+    pub msg: Msg,
+}
+
+/// Aggregation level of a monitoring report (paper §5.1). Carried on the
+/// wire for protocol completeness; receivers key aggregates by label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(dead_code)]
+pub(crate) enum ReportLevel {
+    Node,
+    Cluster,
+    Site,
+    Domain,
+}
+
+/// Protocol messages between AppOAs, PubOAs and NAs.
+#[derive(Debug)]
+pub(crate) enum Msg {
+    // ---------------------------------------------------------------- OAS
+    /// Create an object instance of `class` on the receiving PubOA.
+    CreateObject {
+        req: ReqId,
+        reply_to: AgentAddr,
+        obj: ObjectId,
+        class: String,
+        args: Args,
+        origin: AgentAddr,
+    },
+    /// Re-create an object from serialized state (persistent load).
+    CreateFromState {
+        req: ReqId,
+        reply_to: AgentAddr,
+        obj: ObjectId,
+        class: String,
+        state: Vec<u8>,
+        origin: AgentAddr,
+    },
+    /// Release an object (one-sided; no reply).
+    FreeObject { obj: ObjectId },
+    /// Invoke `method` on `obj`. `reply_to: None` marks a one-sided
+    /// invocation (`oinvoke`) — no result, no completion message.
+    Invoke {
+        req: ReqId,
+        reply_to: Option<AgentAddr>,
+        obj: ObjectId,
+        method: String,
+        args: Args,
+    },
+    /// Completion of a request.
+    Reply {
+        req: ReqId,
+        result: Result<Value, JsError>,
+    },
+    /// Ask an origin AppOA where one of its objects currently lives
+    /// (paper Figure 4). Replies `I64(node)`.
+    WhereIs {
+        req: ReqId,
+        reply_to: AgentAddr,
+        obj: ObjectId,
+    },
+    /// Ask the PubOA holding `obj` to migrate it to `dst`
+    /// (paper Figure 3, step 1). Replies `I64(dst)` once confirmed.
+    MigrateRequest {
+        req: ReqId,
+        reply_to: AgentAddr,
+        obj: ObjectId,
+        dst: NodeId,
+    },
+    /// Transfer of the serialized object to the destination PubOA
+    /// (Figure 3, step 2). The reply is the confirmation (step 3).
+    MigrateTransfer {
+        req: ReqId,
+        reply_to: AgentAddr,
+        obj: ObjectId,
+        class: String,
+        state: Vec<u8>,
+        origin: AgentAddr,
+    },
+    /// Store the object's state under a persistence key. Replies
+    /// `Str(key)`.
+    StoreObject {
+        req: ReqId,
+        reply_to: AgentAddr,
+        obj: ObjectId,
+        key: Option<String>,
+    },
+    /// Ship a codebase artifact to the receiving node (selective
+    /// classloading, §4.3). Replies `Null`.
+    LoadArtifact {
+        req: ReqId,
+        reply_to: AgentAddr,
+        name: String,
+        bytes: usize,
+    },
+    /// Remove a previously loaded artifact (one-sided). Carries the size so
+    /// the node can release the accounted memory.
+    UnloadArtifact { name: String, bytes: usize },
+    // ---------------------------------------------------------------- NAS
+    /// Periodic monitoring report to a manager.
+    SysReport {
+        from: NodeId,
+        #[allow(dead_code)]
+        level: ReportLevel,
+        label: String,
+        snapshot: SysSnapshot,
+    },
+    /// Liveness heartbeat.
+    Heartbeat { from: NodeId },
+    /// Invoke a *static* method of `class` on the receiving node's static
+    /// context (paper §7 future work: "extending JavaSymphony to handle
+    /// static methods and variables").
+    StaticInvoke {
+        req: ReqId,
+        reply_to: Option<AgentAddr>,
+        class: String,
+        method: String,
+        args: Args,
+    },
+}
+
+impl Msg {
+    /// Approximate serialized size in bytes, for the network cost model.
+    pub(crate) fn wire_size(&self) -> usize {
+        const HDR: usize = 48; // addressing, ids, protocol framing
+        match self {
+            Msg::CreateObject { class, args, .. } => HDR + 32 + class.len() + args_wire_size(args),
+            Msg::CreateFromState { class, state, .. } => HDR + 32 + class.len() + state.len(),
+            Msg::FreeObject { .. } => HDR,
+            Msg::Invoke { method, args, .. } => HDR + 16 + method.len() + args_wire_size(args),
+            Msg::Reply { result, .. } => {
+                HDR + match result {
+                    Ok(v) => v.wire_size(),
+                    Err(_) => 64,
+                }
+            }
+            Msg::WhereIs { .. } => HDR + 8,
+            Msg::MigrateRequest { .. } => HDR + 16,
+            Msg::MigrateTransfer { class, state, .. } => HDR + 32 + class.len() + state.len(),
+            Msg::StoreObject { key, .. } => HDR + 8 + key.as_deref().map_or(0, str::len),
+            Msg::LoadArtifact { name, bytes, .. } => HDR + name.len() + bytes,
+            Msg::UnloadArtifact { name, .. } => HDR + name.len(),
+            // A full snapshot is ~44 parameters; Java-serialized ≈ 800 B.
+            Msg::SysReport { label, .. } => HDR + 800 + label.len(),
+            Msg::Heartbeat { .. } => HDR,
+            Msg::StaticInvoke {
+                class,
+                method,
+                args,
+                ..
+            } => HDR + 16 + class.len() + method.len() + args_wire_size(args),
+        }
+    }
+
+    /// The reply-size of `result` as it will travel back (used by callers to
+    /// pre-charge unmarshalling).
+    pub(crate) fn reply_wire_size(result: &Result<Value, JsError>) -> usize {
+        48 + match result {
+            Ok(v) => v.wire_size(),
+            Err(_) => 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::IdGen;
+
+    fn addr() -> AgentAddr {
+        AgentAddr::pub_oa(NodeId(0))
+    }
+
+    #[test]
+    fn invoke_size_tracks_args() {
+        let small = Msg::Invoke {
+            req: IdGen::req(),
+            reply_to: Some(addr()),
+            obj: ObjectId(1),
+            method: "m".into(),
+            args: vec![],
+        };
+        let big = Msg::Invoke {
+            req: IdGen::req(),
+            reply_to: Some(addr()),
+            obj: ObjectId(1),
+            method: "m".into(),
+            args: vec![Value::floats(vec![0.0; 1000])],
+        };
+        assert!(big.wire_size() > small.wire_size() + 3900);
+    }
+
+    #[test]
+    fn transfer_size_tracks_state() {
+        let m = Msg::MigrateTransfer {
+            req: IdGen::req(),
+            reply_to: addr(),
+            obj: ObjectId(1),
+            class: "C".into(),
+            state: vec![0; 5000],
+            origin: addr(),
+        };
+        assert!(m.wire_size() >= 5000);
+    }
+
+    #[test]
+    fn artifact_load_pays_its_bytes() {
+        let m = Msg::LoadArtifact {
+            req: IdGen::req(),
+            reply_to: addr(),
+            name: "classes.jar".into(),
+            bytes: 300_000,
+        };
+        assert!(m.wire_size() >= 300_000);
+        // Unload is control-plane only.
+        let u = Msg::UnloadArtifact {
+            name: "classes.jar".into(),
+            bytes: 300_000,
+        };
+        assert!(u.wire_size() < 100);
+    }
+
+    #[test]
+    fn heartbeat_is_small_and_report_is_substantial() {
+        let hb = Msg::Heartbeat { from: NodeId(2) };
+        assert!(hb.wire_size() < 64);
+        let report = Msg::SysReport {
+            from: NodeId(2),
+            level: ReportLevel::Node,
+            label: "vc0".into(),
+            snapshot: SysSnapshot::empty(0.0),
+        };
+        assert!(report.wire_size() > 500);
+    }
+
+    #[test]
+    fn reply_size_covers_result_value() {
+        let ok: Result<Value, JsError> = Ok(Value::floats(vec![0.0; 100]));
+        assert!(Msg::reply_wire_size(&ok) > 400);
+        let err: Result<Value, JsError> = Err(JsError::Timeout);
+        assert_eq!(Msg::reply_wire_size(&err), 48 + 64);
+    }
+}

@@ -1,0 +1,467 @@
+//! The public object agent (PubOA).
+//!
+//! One per node (paper §5.2, Figure 2): hosts object instances in the
+//! remote-objects-table, executes their methods, participates in the
+//! migration protocol, stores/loads persistent objects and receives codebase
+//! artifacts. Long-running handlers execute on worker threads so the node's
+//! receiver loop stays responsive — the paper's PubOA similarly runs "one
+//! thread for every local AppOA, one thread for all remote AppOAs, one
+//! thread for all remote PubOAs".
+
+use crate::class::InvokeCtx;
+use crate::error::JsError;
+use crate::ids::{AgentAddr, IdGen, ObjectId};
+use crate::msg::Msg;
+use crate::runtime::{spawn_worker, NodeClient, NodeShared, ObjEntry};
+use crate::value::{args_wire_size, Value};
+use crate::Result;
+use jsym_net::NodeId;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Handles one PubOA-addressed message.
+pub(crate) fn handle(shared: &Arc<NodeShared>, src: NodeId, msg: Msg) {
+    match msg {
+        Msg::CreateObject {
+            req,
+            reply_to,
+            obj,
+            class,
+            args,
+            origin,
+        } => {
+            let sh = Arc::clone(shared);
+            spawn_worker(shared, "create", move || {
+                let result = create_object(&sh, obj, &class, &args, origin);
+                sh.send_reply(reply_to, req, result);
+            });
+        }
+        Msg::CreateFromState {
+            req,
+            reply_to,
+            obj,
+            class,
+            state,
+            origin,
+        } => {
+            let sh = Arc::clone(shared);
+            spawn_worker(shared, "restore", move || {
+                let result = install_from_state(&sh, obj, &class, &state, origin);
+                sh.send_reply(reply_to, req, result);
+            });
+        }
+        Msg::FreeObject { obj } => {
+            if shared.objects.lock().remove(&obj).is_some() {
+                shared.events.record(
+                    shared.clock.now(),
+                    crate::RuntimeEvent::ObjectFreed {
+                        obj,
+                        node: shared.phys,
+                    },
+                );
+            }
+        }
+        Msg::Invoke {
+            req,
+            reply_to,
+            obj,
+            method,
+            args,
+        } => {
+            // Enqueue on the object's executor *from the receiver thread* so
+            // same-object invocations run in message-arrival order.
+            let entry = shared.objects.lock().get(&obj).cloned();
+            match entry {
+                Some(entry) => {
+                    let sh = Arc::clone(shared);
+                    let exec = Arc::clone(&entry.exec);
+                    exec.submit(
+                        shared,
+                        Box::new(move || {
+                            let result = execute(&sh, obj, &method, &args);
+                            if let Some(to) = reply_to {
+                                sh.send_reply(to, req, result);
+                            }
+                        }),
+                    );
+                }
+                None => {
+                    if let Some(to) = reply_to {
+                        shared.send_reply(to, req, Err(JsError::ObjectMoved(obj)));
+                    }
+                }
+            }
+        }
+        Msg::MigrateRequest {
+            req,
+            reply_to,
+            obj,
+            dst,
+        } => {
+            let sh = Arc::clone(shared);
+            spawn_worker(shared, "migrate", move || {
+                let result = migrate_out(&sh, obj, dst);
+                sh.send_reply(reply_to, req, result);
+            });
+        }
+        Msg::MigrateTransfer {
+            req,
+            reply_to,
+            obj,
+            class,
+            state,
+            origin,
+        } => {
+            let sh = Arc::clone(shared);
+            spawn_worker(shared, "migrate-in", move || {
+                let result = migrate_in(&sh, obj, &class, &state, origin);
+                sh.send_reply(reply_to, req, result);
+            });
+        }
+        Msg::StoreObject {
+            req,
+            reply_to,
+            obj,
+            key,
+        } => {
+            let sh = Arc::clone(shared);
+            spawn_worker(shared, "store", move || {
+                let result = store_object(&sh, obj, key);
+                sh.send_reply(reply_to, req, result);
+            });
+        }
+        Msg::LoadArtifact {
+            req,
+            reply_to,
+            name,
+            bytes,
+        } => {
+            // The transfer already paid its bytes on the wire; installing is
+            // bookkeeping plus memory accounting.
+            let newly = shared.loaded.lock().insert(name.clone());
+            if newly {
+                shared.machine.add_runtime_bytes(bytes as u64);
+                shared
+                    .stats
+                    .artifact_bytes
+                    .fetch_add(bytes as u64, Ordering::Relaxed);
+                shared.events.record(
+                    shared.clock.now(),
+                    crate::RuntimeEvent::ArtifactLoaded {
+                        name,
+                        node: shared.phys,
+                        bytes,
+                    },
+                );
+            }
+            shared.send_reply(reply_to, req, Ok(Value::Null));
+        }
+        Msg::UnloadArtifact { name, bytes } => {
+            if shared.loaded.lock().remove(&name) {
+                shared.machine.sub_runtime_bytes(bytes as u64);
+            }
+        }
+        Msg::SysReport {
+            from,
+            level: _,
+            label,
+            snapshot,
+        } => {
+            shared.na.receive_report(from, &label, snapshot);
+        }
+        Msg::Heartbeat { from } => {
+            // Liveness was already recorded by the dispatcher.
+            let _ = from;
+        }
+        Msg::StaticInvoke {
+            req,
+            reply_to,
+            class,
+            method,
+            args,
+        } => {
+            // Resolve (or lazily create) the class's static context, then
+            // run through its per-context FIFO executor like any object.
+            match static_entry(shared, &class) {
+                Ok(entry) => {
+                    let sh = Arc::clone(shared);
+                    let exec = Arc::clone(&entry.exec);
+                    let instance = Arc::clone(&entry.instance);
+                    exec.submit(
+                        shared,
+                        Box::new(move || {
+                            let result = execute_static(&sh, &instance, &method, &args);
+                            if let Some(to) = reply_to {
+                                sh.send_reply(to, req, result);
+                            }
+                        }),
+                    );
+                }
+                Err(e) => {
+                    if let Some(to) = reply_to {
+                        shared.send_reply(to, req, Err(e));
+                    }
+                }
+            }
+        }
+        // Routed elsewhere by the dispatcher.
+        Msg::Reply { .. } | Msg::WhereIs { .. } => {}
+    }
+    let _ = src;
+}
+
+/// Resolves the per-node static context of `class`, creating it on first
+/// use. Selective classloading applies: the class's artifact must be here.
+fn static_entry(shared: &Arc<NodeShared>, class: &str) -> Result<ObjEntry> {
+    if let Some(entry) = shared.statics.lock().get(class).cloned() {
+        return Ok(entry);
+    }
+    check_class_available(shared, class)?;
+    let instance = shared.classes.create_static(class)?;
+    let mut statics = shared.statics.lock();
+    // Double-checked: another worker may have created it meanwhile.
+    if let Some(entry) = statics.get(class).cloned() {
+        return Ok(entry);
+    }
+    let entry = ObjEntry::new(
+        class.to_owned(),
+        crate::ids::AgentAddr::pub_oa(shared.phys),
+        instance,
+    );
+    statics.insert(class.to_owned(), entry.clone());
+    Ok(entry)
+}
+
+/// Executes a static method on a node's static context. Static contexts do
+/// not migrate, so no moved-object re-check is needed.
+fn execute_static(
+    shared: &Arc<NodeShared>,
+    instance: &Arc<parking_lot::Mutex<Box<dyn crate::JsClass>>>,
+    method: &str,
+    args: &[Value],
+) -> Result<Value> {
+    shared
+        .machine
+        .compute(shared.cost.invoke_callee(args_wire_size(args)));
+    let mut guard = instance.lock();
+    let client = NodeClient {
+        shared: Arc::clone(shared),
+    };
+    let mut ctx = InvokeCtx::new(&shared.machine, shared.phys, &client);
+    let out = guard.invoke(method, args, &mut ctx);
+    shared.stats.invocations.fetch_add(1, Ordering::Relaxed);
+    out
+}
+
+/// Whether `class` may be instantiated here under selective classloading.
+fn check_class_available(shared: &NodeShared, class: &str) -> Result<()> {
+    match shared.classes.artifact_of(class)? {
+        None => Ok(()), // preloaded system class
+        Some(artifact) => {
+            if shared.loaded.lock().contains(&artifact) {
+                Ok(())
+            } else {
+                Err(JsError::ClassNotLoaded {
+                    class: class.to_owned(),
+                    node: shared.phys,
+                })
+            }
+        }
+    }
+}
+
+fn create_object(
+    shared: &Arc<NodeShared>,
+    obj: ObjectId,
+    class: &str,
+    args: &[Value],
+    origin: AgentAddr,
+) -> Result<Value> {
+    check_class_available(shared, class)?;
+    shared
+        .machine
+        .compute(shared.cost.create_flops + shared.cost.invoke_callee(args_wire_size(args)));
+    let instance = shared.classes.create(class, args)?;
+    shared
+        .objects
+        .lock()
+        .insert(obj, ObjEntry::new(class.to_owned(), origin, instance));
+    shared.stats.creations.fetch_add(1, Ordering::Relaxed);
+    shared.events.record(
+        shared.clock.now(),
+        crate::RuntimeEvent::ObjectCreated {
+            obj,
+            class: class.to_owned(),
+            node: shared.phys,
+        },
+    );
+    Ok(Value::Null)
+}
+
+fn install_from_state(
+    shared: &Arc<NodeShared>,
+    obj: ObjectId,
+    class: &str,
+    state: &[u8],
+    origin: AgentAddr,
+) -> Result<Value> {
+    check_class_available(shared, class)?;
+    shared.machine.compute(shared.cost.state_cost(state.len()));
+    let instance = shared.classes.restore(class, state)?;
+    shared
+        .objects
+        .lock()
+        .insert(obj, ObjEntry::new(class.to_owned(), origin, instance));
+    shared.events.record(
+        shared.clock.now(),
+        crate::RuntimeEvent::ObjectRestored {
+            obj,
+            node: shared.phys,
+        },
+    );
+    Ok(Value::Null)
+}
+
+/// Executes a method on a hosted object.
+fn execute(shared: &Arc<NodeShared>, obj: ObjectId, method: &str, args: &[Value]) -> Result<Value> {
+    // Callee-side dispatch + argument unmarshalling.
+    shared
+        .machine
+        .compute(shared.cost.invoke_callee(args_wire_size(args)));
+    let entry = shared
+        .objects
+        .lock()
+        .get(&obj)
+        .cloned()
+        .ok_or(JsError::ObjectMoved(obj))?;
+    let mut instance = entry.instance.lock();
+    // Re-check under the instance lock: a migration may have removed the
+    // entry while we waited. Executing now would mutate state that has
+    // already been shipped elsewhere.
+    if !shared.objects.lock().contains_key(&obj) {
+        return Err(JsError::ObjectMoved(obj));
+    }
+    let client = NodeClient {
+        shared: Arc::clone(shared),
+    };
+    let mut ctx = InvokeCtx::new(&shared.machine, shared.phys, &client);
+    let out = instance.invoke(method, args, &mut ctx);
+    shared.stats.invocations.fetch_add(1, Ordering::Relaxed);
+    out
+}
+
+/// Migration, source side (the paper's `pa1`, Figure 3).
+fn migrate_out(shared: &Arc<NodeShared>, obj: ObjectId, dst: NodeId) -> Result<Value> {
+    if dst == shared.phys {
+        // Migrating to the node it already lives on is a no-op.
+        if shared.objects.lock().contains_key(&obj) {
+            return Ok(Value::I64(dst.0 as i64));
+        }
+        return Err(JsError::ObjectMoved(obj));
+    }
+    // Remove from the table first so new invocations see "moved" and consult
+    // the origin AppOA; in-flight methods still hold the instance lock.
+    let entry = shared
+        .objects
+        .lock()
+        .remove(&obj)
+        .ok_or(JsError::ObjectMoved(obj))?;
+    // Quiesce: wait for unfinished method invocations (paper §4.6).
+    let state = {
+        let instance = entry.instance.lock();
+        instance.snapshot()
+    };
+    let state = match state {
+        Ok(s) => s,
+        Err(e) => {
+            shared.objects.lock().insert(obj, entry);
+            return Err(e);
+        }
+    };
+    let state_bytes = state.len();
+    shared.machine.compute(shared.cost.state_cost(state_bytes));
+    // Step 2: transfer object to pa2 and await its confirmation (step 3).
+    let req = IdGen::req();
+    let outcome = shared.call(
+        AgentAddr::pub_oa(dst),
+        req,
+        Msg::MigrateTransfer {
+            req,
+            reply_to: AgentAddr::pub_oa(shared.phys),
+            obj,
+            class: entry.class.clone(),
+            state,
+            origin: entry.origin,
+        },
+    );
+    match outcome {
+        Ok(_) => {
+            shared.stats.migrations_out.fetch_add(1, Ordering::Relaxed);
+            shared.location_cache.lock().remove(&obj);
+            shared.events.record(
+                shared.clock.now(),
+                crate::RuntimeEvent::Migrated {
+                    obj,
+                    from: shared.phys,
+                    to: dst,
+                    state_bytes,
+                },
+            );
+            Ok(Value::I64(dst.0 as i64))
+        }
+        Err(e) => {
+            // Failed transfer: the object stays here.
+            shared.objects.lock().insert(obj, entry);
+            Err(e)
+        }
+    }
+}
+
+/// Migration, destination side (the paper's `pa2`).
+fn migrate_in(
+    shared: &Arc<NodeShared>,
+    obj: ObjectId,
+    class: &str,
+    state: &[u8],
+    origin: AgentAddr,
+) -> Result<Value> {
+    check_class_available(shared, class)?;
+    shared.machine.compute(shared.cost.state_cost(state.len()));
+    let instance = shared.classes.restore(class, state)?;
+    shared
+        .objects
+        .lock()
+        .insert(obj, ObjEntry::new(class.to_owned(), origin, instance));
+    shared.stats.migrations_in.fetch_add(1, Ordering::Relaxed);
+    shared.location_cache.lock().remove(&obj);
+    Ok(Value::Null)
+}
+
+/// Persists an object's state (paper §4.7): only when no method is
+/// executing, which the instance lock guarantees.
+fn store_object(shared: &Arc<NodeShared>, obj: ObjectId, key: Option<String>) -> Result<Value> {
+    let entry = shared
+        .objects
+        .lock()
+        .get(&obj)
+        .cloned()
+        .ok_or(JsError::ObjectMoved(obj))?;
+    let state = {
+        let instance = entry.instance.lock();
+        if !shared.objects.lock().contains_key(&obj) {
+            return Err(JsError::ObjectMoved(obj));
+        }
+        instance.snapshot()?
+    };
+    shared.machine.compute(shared.cost.state_cost(state.len()));
+    let key = shared.store.put(key, &entry.class, state);
+    shared.stats.stores.fetch_add(1, Ordering::Relaxed);
+    shared.events.record(
+        shared.clock.now(),
+        crate::RuntimeEvent::ObjectStored {
+            obj,
+            key: key.clone(),
+        },
+    );
+    Ok(Value::Str(key))
+}

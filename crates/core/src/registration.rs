@@ -1,0 +1,75 @@
+//! Application registration (paper §4.1).
+
+use crate::appoa::AppShared;
+use crate::codebase::JsCodebase;
+use crate::ids::AppId;
+use crate::jsobj::{resolve_placement, JsObj, Placement};
+use crate::Result;
+use jsym_net::NodeId;
+use jsym_sysmon::JsConstraints;
+use std::sync::Arc;
+
+/// A registered JavaSymphony application ("Every JavaSymphony application
+/// first needs to register with the underlying JRS").
+///
+/// Dropping the registration does *not* unregister — call
+/// [`JsRegistration::unregister`] explicitly, as the paper requires the
+/// programmer to do.
+pub struct JsRegistration {
+    app: Arc<AppShared>,
+}
+
+impl JsRegistration {
+    pub(crate) fn new(app: Arc<AppShared>) -> Self {
+        JsRegistration { app }
+    }
+
+    pub(crate) fn app(&self) -> Arc<AppShared> {
+        Arc::clone(&self.app)
+    }
+
+    /// This application's id.
+    pub fn app_id(&self) -> AppId {
+        self.app.id
+    }
+
+    /// The node this application (and its AppOA) runs on —
+    /// `JS.getLocalNode()`.
+    pub fn local_phys(&self) -> NodeId {
+        self.app.home
+    }
+
+    /// Creates an empty codebase bound to this application (§4.3).
+    pub fn codebase(&self) -> JsCodebase {
+        JsCodebase::new(self.app())
+    }
+
+    /// `JS.load(key)` — re-creates a persistent object from the external
+    /// store (§4.7), placing it per `placement`.
+    pub fn load_stored(
+        &self,
+        key: &str,
+        placement: Placement<'_>,
+        constraints: Option<&JsConstraints>,
+    ) -> Result<JsObj> {
+        let node = self.app.node_shared()?;
+        let stored = node.store.get(key)?;
+        let target = resolve_placement(&self.app, placement, constraints)?;
+        let id = self
+            .app
+            .create_from_state(&stored.class, stored.state, target)?;
+        Ok(JsObj::from_parts_at(self.app(), id, stored.class, target))
+    }
+
+    /// `reg.unregister()` — frees every object the application created and
+    /// releases its book-keeping (§4.1).
+    pub fn unregister(&self) -> Result<()> {
+        self.app.unregister()
+    }
+}
+
+impl std::fmt::Debug for JsRegistration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JsRegistration({} on {})", self.app.id, self.app.home)
+    }
+}

@@ -1,0 +1,574 @@
+//! Per-node runtime: the paper's "single JVM" hosting the node's public
+//! object agent and network agent, plus the receiver thread that routes
+//! incoming messages to the right agent.
+
+use crate::calltable::{CallTable, Slot};
+use crate::class::{ClassRegistry, ObjectCaller};
+use crate::cost::CostModel;
+use crate::error::JsError;
+use crate::ids::{AgentAddr, AgentKind, IdGen, ObjectHandle, ObjectId, ReqId};
+use crate::msg::{Msg, Packet};
+use crate::na::NaState;
+use crate::persist::ObjectStore;
+use crate::value::{args_wire_size, Value};
+use crate::{appoa, puboa, Result};
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use jsym_net::{Envelope, Network, NodeId, Payload, SimClock};
+use jsym_sysmon::SimMachine;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// An object instance hosted by a PubOA (one row of the paper's
+/// remote-objects-table).
+#[derive(Clone)]
+pub(crate) struct ObjEntry {
+    pub class: String,
+    /// The AppOA this object originates from — the location authority.
+    pub origin: AgentAddr,
+    /// The instance; the mutex serializes method execution per object and is
+    /// what migration/persistence wait on to quiesce the object.
+    pub instance: Arc<Mutex<Box<dyn crate::JsClass>>>,
+    /// Per-object invocation queue: methods execute in message-arrival
+    /// order, like RMI calls draining off one connection.
+    pub exec: Arc<ObjExecutor>,
+}
+
+impl ObjEntry {
+    pub(crate) fn new(class: String, origin: AgentAddr, instance: Box<dyn crate::JsClass>) -> Self {
+        ObjEntry {
+            class,
+            origin,
+            instance: Arc::new(Mutex::new(instance)),
+            exec: Arc::new(ObjExecutor::default()),
+        }
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct ExecState {
+    queue: std::collections::VecDeque<Job>,
+    running: bool,
+}
+
+/// Serializes the invocations of one object in arrival order.
+///
+/// The receiver thread enqueues; at most one drain task runs at a time on
+/// the node's worker pool, so an `init` delivered before a `multiply` is
+/// guaranteed to execute before it — matching RMI calls arriving over one
+/// serialized connection.
+#[derive(Default)]
+pub(crate) struct ObjExecutor {
+    state: Mutex<ExecState>,
+}
+
+impl ObjExecutor {
+    /// Enqueues a job, starting a drain task if none is running.
+    pub(crate) fn submit(self: &Arc<Self>, shared: &Arc<NodeShared>, job: Job) {
+        let start_drain = {
+            let mut st = self.state.lock();
+            st.queue.push_back(job);
+            if st.running {
+                false
+            } else {
+                st.running = true;
+                true
+            }
+        };
+        if start_drain {
+            let exec = Arc::clone(self);
+            spawn_worker(shared, "obj-exec", move || exec.drain());
+        }
+    }
+
+    fn drain(&self) {
+        loop {
+            let job = {
+                let mut st = self.state.lock();
+                match st.queue.pop_front() {
+                    Some(j) => j,
+                    None => {
+                        st.running = false;
+                        return;
+                    }
+                }
+            };
+            job();
+        }
+    }
+}
+
+/// Counters exposed as [`crate::NodeStats`].
+#[derive(Default)]
+pub(crate) struct StatCounters {
+    pub invocations: AtomicU64,
+    pub creations: AtomicU64,
+    pub migrations_in: AtomicU64,
+    pub migrations_out: AtomicU64,
+    pub artifact_bytes: AtomicU64,
+    pub stores: AtomicU64,
+}
+
+/// Runtime tunables shared by all agents on a node.
+#[derive(Clone, Debug)]
+pub(crate) struct RuntimeConfig {
+    /// Real-time budget for one request/reply exchange.
+    pub call_timeout: Duration,
+    /// Virtual-seconds pause between retries after `ObjectMoved`.
+    pub retry_backoff: f64,
+    /// Maximum `ObjectMoved` retries before giving up.
+    pub max_retries: u32,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            call_timeout: Duration::from_secs(120),
+            retry_backoff: 0.02,
+            max_retries: 200,
+        }
+    }
+}
+
+/// All state shared between the threads of one node runtime.
+pub(crate) struct NodeShared {
+    pub phys: NodeId,
+    pub machine: SimMachine,
+    pub clock: SimClock,
+    pub net: Network,
+    pub classes: ClassRegistry,
+    pub cost: CostModel,
+    pub config: RuntimeConfig,
+    pub store: ObjectStore,
+    /// Pending request/reply slots for every local caller.
+    pub calls: CallTable,
+    /// The PubOA's remote-objects-table.
+    pub objects: Mutex<HashMap<ObjectId, ObjEntry>>,
+    /// Per-class static contexts hosted on this node (lazily created).
+    pub statics: Mutex<HashMap<String, ObjEntry>>,
+    /// Codebase artifacts present on this node (selective classloading).
+    pub loaded: Mutex<HashSet<String>>,
+    /// AppOAs homed on this node.
+    pub apps: RwLock<HashMap<crate::AppId, Arc<appoa::AppShared>>>,
+    /// Location cache for foreign object handles used in nested calls.
+    pub location_cache: Mutex<HashMap<ObjectId, NodeId>>,
+    /// Network-agent state (monitoring, heartbeats, failure detection).
+    pub na: NaState,
+    pub stats: StatCounters,
+    pub workers: WorkerPool,
+    /// Deployment-wide structural event log.
+    pub events: crate::EventLog,
+    pub shutdown: AtomicBool,
+}
+
+impl NodeShared {
+    /// Sends `msg` to an agent, declaring its wire size. Errors are mapped
+    /// to `NodeUnreachable`.
+    pub fn send(&self, to: AgentAddr, msg: Msg) -> Result<()> {
+        let size = msg.wire_size();
+        let tag = msg_tag(&msg);
+        let dst = to.node;
+        self.net
+            .send(
+                self.phys,
+                dst,
+                Payload::new(tag, size, Packet { to: to.agent, msg }),
+            )
+            .map_err(|_| JsError::NodeUnreachable(dst))
+    }
+
+    /// Sends a reply for `req` to `to`, charging result-marshalling cost.
+    pub fn send_reply(&self, to: AgentAddr, req: ReqId, result: Result<Value>) {
+        let bytes = Msg::reply_wire_size(&result);
+        self.machine.compute(self.cost.result_cost(bytes));
+        let _ = self.send(to, Msg::Reply { req, result });
+    }
+
+    /// Issues a request and blocks for its reply: the synchronous RMI
+    /// primitive every higher-level operation is built on. Caller-side
+    /// marshalling must already have been charged by the caller.
+    ///
+    /// Waits in slices so a node/deployment shutdown unblocks the caller
+    /// promptly even if the request was registered after the shutdown's
+    /// `fail_all` sweep (its reply would otherwise never come).
+    pub fn call(&self, to: AgentAddr, req: ReqId, msg: Msg) -> Result<Value> {
+        if self.shutdown.load(Ordering::Relaxed) {
+            return Err(JsError::ShuttingDown);
+        }
+        let slot = self.calls.register(req);
+        if let Err(e) = self.send(to, msg) {
+            self.calls.forget(req);
+            return Err(e);
+        }
+        let deadline = std::time::Instant::now() + self.config.call_timeout;
+        const SLICE: Duration = Duration::from_millis(50);
+        let out = loop {
+            let remaining = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .unwrap_or(Duration::ZERO);
+            match slot.wait(remaining.min(SLICE)) {
+                Err(JsError::Timeout) => {
+                    if self.shutdown.load(Ordering::Relaxed) {
+                        break Err(JsError::ShuttingDown);
+                    }
+                    if remaining <= SLICE {
+                        break Err(JsError::Timeout);
+                    }
+                }
+                other => break other,
+            }
+        };
+        if out.is_err() {
+            self.calls.forget(req);
+        }
+        out
+    }
+
+    /// Resolves the current location of a foreign handle, consulting the
+    /// origin AppOA when the cache has no answer (paper Figure 4).
+    pub fn resolve_location(&self, handle: ObjectHandle) -> Result<NodeId> {
+        // Hosted right here?
+        if self.objects.lock().contains_key(&handle.id) {
+            return Ok(self.phys);
+        }
+        if let Some(&loc) = self.location_cache.lock().get(&handle.id) {
+            return Ok(loc);
+        }
+        // Ask the origin AppOA. If it is homed on this very node, answer
+        // from its table directly (AppOA↔PubOA on one node interact by
+        // local method invocation in the paper).
+        if handle.origin.node == self.phys {
+            if let AgentKind::App(app) = handle.origin.agent {
+                if let Some(app_shared) = self.apps.read().get(&app).cloned() {
+                    let loc = app_shared
+                        .location_of(handle.id)
+                        .ok_or(JsError::NoSuchObject(handle.id))?;
+                    self.location_cache.lock().insert(handle.id, loc);
+                    return Ok(loc);
+                }
+            }
+            return Err(JsError::NoSuchObject(handle.id));
+        }
+        let req = IdGen::req();
+        let reply_to = AgentAddr::pub_oa(self.phys);
+        let v = self.call(
+            handle.origin,
+            req,
+            Msg::WhereIs {
+                req,
+                reply_to,
+                obj: handle.id,
+            },
+        )?;
+        let loc = NodeId(
+            v.as_i64()
+                .ok_or_else(|| JsError::MethodFailed("bad WhereIs reply".into()))?
+                as u32,
+        );
+        self.location_cache.lock().insert(handle.id, loc);
+        Ok(loc)
+    }
+
+    /// Synchronous invocation of `method` on the object at `loc`, paying
+    /// caller-side costs. Returns `ObjectMoved` untranslated so callers can
+    /// re-resolve.
+    pub fn invoke_at(
+        &self,
+        loc: NodeId,
+        obj: ObjectId,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value> {
+        let req = IdGen::req();
+        self.machine
+            .compute(self.cost.invoke_caller(args_wire_size(args)));
+        let result = self.call(
+            AgentAddr::pub_oa(loc),
+            req,
+            Msg::Invoke {
+                req,
+                reply_to: Some(AgentAddr::pub_oa(self.phys)),
+                obj,
+                method: method.to_owned(),
+                args: args.to_vec(),
+            },
+        )?;
+        // Caller-side result unmarshalling.
+        self.machine.compute(
+            self.cost
+                .result_cost(Msg::reply_wire_size(&Ok(result.clone()))),
+        );
+        Ok(result)
+    }
+
+    /// Full nested-call path with migration retries, used by methods
+    /// invoking other objects' methods.
+    pub fn call_object(&self, handle: ObjectHandle, method: &str, args: &[Value]) -> Result<Value> {
+        let mut attempts = 0;
+        loop {
+            let loc = self.resolve_location(handle)?;
+            match self.invoke_at(loc, handle.id, method, args) {
+                Err(JsError::ObjectMoved(_)) => {
+                    self.location_cache.lock().remove(&handle.id);
+                    attempts += 1;
+                    if attempts > self.config.max_retries {
+                        return Err(JsError::Timeout);
+                    }
+                    self.clock.sleep(self.config.retry_backoff);
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+/// [`ObjectCaller`] backed by a node runtime (for nested invocations from
+/// inside method bodies).
+pub(crate) struct NodeClient {
+    pub shared: Arc<NodeShared>,
+}
+
+impl ObjectCaller for NodeClient {
+    fn call(&self, handle: ObjectHandle, method: &str, args: &[Value]) -> Result<Value> {
+        self.shared.call_object(handle, method, args)
+    }
+}
+
+fn msg_tag(msg: &Msg) -> &'static str {
+    match msg {
+        Msg::CreateObject { .. } => "create",
+        Msg::CreateFromState { .. } => "create-from-state",
+        Msg::FreeObject { .. } => "free",
+        Msg::Invoke { .. } => "invoke",
+        Msg::Reply { .. } => "reply",
+        Msg::WhereIs { .. } => "where-is",
+        Msg::MigrateRequest { .. } => "migrate-req",
+        Msg::MigrateTransfer { .. } => "migrate-xfer",
+        Msg::StoreObject { .. } => "store",
+        Msg::LoadArtifact { .. } => "load-artifact",
+        Msg::UnloadArtifact { .. } => "unload-artifact",
+        Msg::SysReport { .. } => "sys-report",
+        Msg::Heartbeat { .. } => "heartbeat",
+        Msg::StaticInvoke { .. } => "static-invoke",
+    }
+}
+
+/// The receiver thread: routes every incoming envelope to the right agent.
+pub(crate) fn run_receiver(shared: Arc<NodeShared>, rx: Receiver<Envelope>) {
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        let env = match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(env) => env,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        dispatch(&shared, env);
+    }
+    // Nothing will ever complete the pending calls now.
+    shared.calls.fail_all(JsError::ShuttingDown);
+}
+
+fn dispatch(shared: &Arc<NodeShared>, env: Envelope) {
+    let src = env.src;
+    let packet = match env.payload.downcast::<Packet>() {
+        Ok(p) => *p,
+        Err(_) => return, // foreign payload; drop
+    };
+    // Any traffic proves liveness of the sender.
+    shared.na.heard(src, shared.clock.now());
+
+    match packet.msg {
+        // Replies complete pending calls regardless of the addressed agent:
+        // the call table is shared by all local callers.
+        Msg::Reply { req, result } => {
+            shared.calls.complete(req, result);
+        }
+        msg => match packet.to {
+            AgentKind::Pub => puboa::handle(shared, src, msg),
+            AgentKind::App(app) => appoa::handle_app_msg(shared, app, msg),
+        },
+    }
+}
+
+/// Hands a potentially long-running handler to the node's worker pool.
+pub(crate) fn spawn_worker(
+    shared: &Arc<NodeShared>,
+    name: &str,
+    f: impl FnOnce() + Send + 'static,
+) {
+    shared.workers.submit(name, Box::new(f));
+}
+
+/// A small persistent thread pool per node runtime.
+///
+/// Spawning an OS thread costs ~100 µs of real time; at the simulation's
+/// time scales that would leak whole virtual seconds into every RMI. The
+/// pool keeps a few resident workers (enough for the common case of a
+/// handful of concurrent method executions per node) and falls back to
+/// transient threads when every resident worker is blocked — e.g. deep
+/// nested-invocation chains — so the runtime can never deadlock on pool
+/// exhaustion.
+pub(crate) struct WorkerPool {
+    tx: crossbeam::channel::Sender<Job>,
+    resident: u32,
+    active: Arc<AtomicU32>,
+}
+
+impl WorkerPool {
+    pub(crate) fn new(label: &str, resident: u32) -> Self {
+        let (tx, rx) = crossbeam::channel::unbounded::<Job>();
+        let active = Arc::new(AtomicU32::new(0));
+        for i in 0..resident {
+            let rx = rx.clone();
+            let active = Arc::clone(&active);
+            let _ = std::thread::Builder::new()
+                .name(format!("jsym-{label}-w{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        active.fetch_add(1, Ordering::Relaxed);
+                        job();
+                        active.fetch_sub(1, Ordering::Relaxed);
+                    }
+                })
+                .expect("spawn pool worker");
+        }
+        WorkerPool {
+            tx,
+            resident,
+            active,
+        }
+    }
+
+    pub(crate) fn submit(&self, name: &str, job: Job) {
+        // All resident workers busy (likely blocked on nested calls or long
+        // computations): overflow to a transient thread so progress is
+        // never gated on pool capacity.
+        if self.active.load(Ordering::Relaxed) >= self.resident {
+            let _ = std::thread::Builder::new()
+                .name(format!("jsym-ovf-{name}"))
+                .spawn(job);
+            return;
+        }
+        if let Err(e) = self.tx.send(job) {
+            // Pool torn down mid-shutdown: run nothing.
+            drop(e);
+        }
+    }
+}
+
+/// Creates a completed slot — used when an operation can be answered
+/// without any network traffic.
+#[allow(dead_code)]
+pub(crate) fn ready_slot(result: Result<Value>) -> Slot {
+    let s = Slot::new();
+    s.complete(result);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PlMutex;
+    use std::time::Duration;
+
+    #[test]
+    fn worker_pool_runs_jobs_and_overflows() {
+        let pool = WorkerPool::new("t", 2);
+        let done = Arc::new(AtomicU32::new(0));
+        // Saturate the two residents with blocking jobs, then submit more:
+        // the overflow path must still make progress.
+        let gate = Arc::new(std::sync::Barrier::new(3));
+        for _ in 0..2 {
+            let gate = Arc::clone(&gate);
+            let done = Arc::clone(&done);
+            pool.submit(
+                "blocker",
+                Box::new(move || {
+                    gate.wait();
+                    done.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+        }
+        // Give the residents a moment to pick the blockers up.
+        std::thread::sleep(Duration::from_millis(20));
+        let done2 = Arc::clone(&done);
+        pool.submit(
+            "overflow",
+            Box::new(move || {
+                done2.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        // The overflow job completes even though both residents are blocked.
+        for _ in 0..200 {
+            if done.load(Ordering::SeqCst) >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(done.load(Ordering::SeqCst) >= 1, "overflow job never ran");
+        gate.wait(); // release the blockers
+        for _ in 0..200 {
+            if done.load(Ordering::SeqCst) == 3 {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("not all jobs completed: {}", done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn obj_executor_preserves_submission_order() {
+        let pool = WorkerPool::new("t2", 2);
+        // A stand-in NodeShared is heavyweight; exercise ObjExecutor through
+        // its own API by submitting via a scratch pool-backed shared. The
+        // executor only uses `spawn_worker`, which needs a NodeShared — so
+        // test the state machine directly instead.
+        let exec = Arc::new(ObjExecutor::default());
+        let order: Arc<PlMutex<Vec<u32>>> = Arc::new(PlMutex::new(Vec::new()));
+        // Simulate the receiver thread: enqueue jobs under the state lock,
+        // drain on the pool.
+        for i in 0..16u32 {
+            let order = Arc::clone(&order);
+            let job: Job = Box::new(move || {
+                order.lock().push(i);
+                // Stagger to give later submissions a chance to race.
+                std::thread::sleep(Duration::from_micros(200));
+            });
+            let start = {
+                let mut st = exec.state.lock();
+                st.queue.push_back(job);
+                if st.running {
+                    false
+                } else {
+                    st.running = true;
+                    true
+                }
+            };
+            if start {
+                let e = Arc::clone(&exec);
+                pool.submit("drain", Box::new(move || e.drain()));
+            }
+        }
+        for _ in 0..400 {
+            if order.lock().len() == 16 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(*order.lock(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runtime_config_defaults_are_consistent() {
+        let c = RuntimeConfig::default();
+        assert!(c.call_timeout >= Duration::from_secs(1));
+        assert!(c.retry_backoff > 0.0);
+        assert!(c.max_retries > 0);
+    }
+}

@@ -1,0 +1,645 @@
+//! The JS-Shell and deployments.
+//!
+//! Paper §5: "The nodes on which JRS is installed are configured by using
+//! the JS-Shell. The set of nodes can be changed by adding or removing nodes
+//! dynamically ... The performance measurement and collection periods can be
+//! controlled under the JS-Shell ... it is possible to enable/disable
+//! automatic migration under the JS-Shell."
+//!
+//! [`JsShell`] is the configuration builder; [`JsShell::boot`] brings up a
+//! [`Deployment`]: one node runtime (receiver thread + NA thread) per
+//! machine, a simulated network wired from each machine's link class, the
+//! virtual-architecture registry, the class registry and the object store.
+
+use crate::appoa::AppShared;
+use crate::class::ClassRegistry;
+use crate::cost::CostModel;
+use crate::error::JsError;
+use crate::ids::{AppId, IdGen};
+use crate::na::{self, NaConfig, NaState};
+use crate::persist::ObjectStore;
+use crate::registration::JsRegistration;
+use crate::runtime::{self, NodeShared, RuntimeConfig, StatCounters};
+use crate::Result;
+use crate::{automigrate, recovery};
+use jsym_net::{LinkClass, Network, NodeId, SimClock, TimeScale, Topology};
+use jsym_sysmon::{LoadModel, LoadProfile, MachineSpec, SimMachine, SysSnapshot};
+use jsym_vda::{ResourcePool, VdaRegistry};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One machine to bring up: spec, background-load model and network
+/// attachment.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Static machine description.
+    pub spec: MachineSpec,
+    /// Background (other-user) load model.
+    pub load: LoadModel,
+    /// Network attachment class.
+    pub link: LinkClass,
+}
+
+impl MachineConfig {
+    /// An idle machine on fast Ethernet — the common test fixture.
+    pub fn idle(name: &str, peak_mflops: f64) -> Self {
+        MachineConfig {
+            spec: MachineSpec::generic(name, peak_mflops, 256.0),
+            load: LoadModel::new(LoadProfile::Idle, 0),
+            link: LinkClass::Lan100,
+        }
+    }
+}
+
+/// The JS-Shell: deployment configuration builder.
+#[derive(Clone, Debug)]
+pub struct JsShell {
+    machines: Vec<MachineConfig>,
+    time_scale: TimeScale,
+    monitor_period: f64,
+    failure_timeout: f64,
+    automigration: bool,
+    automigrate_period: f64,
+    checkpointing: Option<f64>,
+    cost: CostModel,
+    call_timeout: Duration,
+    store: Option<ObjectStore>,
+    shared_segments: Vec<LinkClass>,
+}
+
+impl JsShell {
+    /// A shell with no machines and default tunables (1 virtual s = 1 real
+    /// ms, 2 s monitoring period, 10 s failure timeout, auto-migration off).
+    pub fn new() -> Self {
+        JsShell {
+            machines: Vec::new(),
+            time_scale: TimeScale::default(),
+            monitor_period: NaConfig::default().monitor_period,
+            failure_timeout: NaConfig::default().failure_timeout,
+            automigration: false,
+            automigrate_period: 4.0,
+            checkpointing: None,
+            cost: CostModel::default(),
+            call_timeout: Duration::from_secs(120),
+            store: None,
+            shared_segments: Vec::new(),
+        }
+    }
+
+    /// Adds a machine to the configuration.
+    pub fn add_machine(mut self, machine: MachineConfig) -> Self {
+        self.machines.push(machine);
+        self
+    }
+
+    /// Adds several machines.
+    pub fn add_machines(mut self, machines: impl IntoIterator<Item = MachineConfig>) -> Self {
+        self.machines.extend(machines);
+        self
+    }
+
+    /// Sets the virtual-to-real time scale.
+    pub fn time_scale(mut self, real_per_virt: f64) -> Self {
+        self.time_scale = TimeScale::new(real_per_virt);
+        self
+    }
+
+    /// Sets the monitoring period (virtual seconds).
+    pub fn monitor_period(mut self, secs: f64) -> Self {
+        self.monitor_period = secs;
+        self
+    }
+
+    /// Sets the failure timeout (virtual seconds of silence).
+    pub fn failure_timeout(mut self, secs: f64) -> Self {
+        self.failure_timeout = secs;
+        self
+    }
+
+    /// Enables automatic migration with the given check period (virtual
+    /// seconds).
+    pub fn automigration(mut self, enabled: bool, period: f64) -> Self {
+        self.automigration = enabled;
+        self.automigrate_period = period;
+        self
+    }
+
+    /// Enables periodic object checkpointing and failure recovery (paper §7
+    /// future work): every `period` virtual seconds each application object
+    /// is persisted; when the NAS declares a node failed, its objects are
+    /// re-created from their latest checkpoints on surviving machines.
+    pub fn checkpointing(mut self, period: f64) -> Self {
+        self.checkpointing = Some(period);
+        self
+    }
+
+    /// Overrides the RMI/serialization cost model.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the real-time budget for one request/reply exchange.
+    pub fn call_timeout(mut self, timeout: Duration) -> Self {
+        self.call_timeout = timeout;
+        self
+    }
+
+    /// Uses a specific object store (e.g. an on-disk one).
+    pub fn object_store(mut self, store: ObjectStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Models a link class as a *shared medium* (one transmission at a time
+    /// across the whole segment) — the paper's 10 Mbit/s Ethernet was a
+    /// shared segment, not a switch.
+    pub fn shared_segment(mut self, class: LinkClass) -> Self {
+        self.shared_segments.push(class);
+        self
+    }
+
+    /// Boots the deployment: spawns every node runtime and the NAS.
+    pub fn boot(self) -> Deployment {
+        let clock = SimClock::new(self.time_scale);
+        let mut topo = Topology::new();
+        let network = {
+            // Machines get ids 0..n in order; set link classes up front.
+            for (i, m) in self.machines.iter().enumerate() {
+                topo.set_node_class(NodeId(i as u32), m.link);
+            }
+            Network::with_config(
+                clock.clone(),
+                topo,
+                jsym_net::NetworkConfig {
+                    shared_segments: self.shared_segments.clone(),
+                    ..jsym_net::NetworkConfig::default()
+                },
+            )
+        };
+        let pool = ResourcePool::new();
+        let vda = VdaRegistry::new(pool.clone());
+        let classes = ClassRegistry::new();
+        let store = self.store.clone().unwrap_or_default();
+        let events = crate::EventLog::default();
+
+        let inner = Arc::new(DeploymentInner {
+            clock: clock.clone(),
+            network: network.clone(),
+            pool: pool.clone(),
+            vda: vda.clone(),
+            classes,
+            store,
+            events,
+            cost: self.cost,
+            config: self.clone(),
+            nodes: RwLock::new(HashMap::new()),
+            apps: RwLock::new(HashMap::new()),
+            automigration: AtomicBool::new(self.automigration),
+            shutdown: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+        });
+
+        for m in &self.machines {
+            Deployment::spawn_node(&inner, m.clone());
+        }
+
+        // The auto-migration supervisor (enabled/disabled via the shell).
+        {
+            let weak = Arc::downgrade(&inner);
+            let period = self.automigrate_period;
+            let handle = std::thread::Builder::new()
+                .name("jsym-automigrate".into())
+                .spawn(move || automigrate::run(weak, period))
+                .expect("spawn automigrate thread");
+            inner.threads.lock().push(handle);
+        }
+
+        // Checkpointing + failure recovery (paper §7 future work).
+        if let Some(period) = self.checkpointing {
+            let weak = Arc::downgrade(&inner);
+            let handle = std::thread::Builder::new()
+                .name("jsym-checkpoint".into())
+                .spawn(move || recovery::run_checkpointer(weak, period))
+                .expect("spawn checkpoint thread");
+            inner.threads.lock().push(handle);
+            let weak = Arc::downgrade(&inner);
+            let handle = std::thread::Builder::new()
+                .name("jsym-recovery".into())
+                .spawn(move || recovery::run_recovery(weak))
+                .expect("spawn recovery thread");
+            inner.threads.lock().push(handle);
+        }
+
+        Deployment { inner }
+    }
+}
+
+impl Default for JsShell {
+    fn default() -> Self {
+        JsShell::new()
+    }
+}
+
+pub(crate) struct NodeRuntimeHandle {
+    pub shared: Arc<NodeShared>,
+    pub threads: Vec<JoinHandle<()>>,
+}
+
+pub(crate) struct DeploymentInner {
+    pub clock: SimClock,
+    pub network: Network,
+    pub pool: ResourcePool,
+    pub vda: VdaRegistry,
+    pub classes: ClassRegistry,
+    pub store: ObjectStore,
+    pub events: crate::EventLog,
+    pub cost: CostModel,
+    pub config: JsShell,
+    pub nodes: RwLock<HashMap<NodeId, NodeRuntimeHandle>>,
+    pub apps: RwLock<HashMap<AppId, Arc<AppShared>>>,
+    pub automigration: AtomicBool,
+    pub shutdown: AtomicBool,
+    pub threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running JavaSymphony deployment.
+///
+/// Cloning shares the deployment. Dropping the last clone shuts it down.
+#[derive(Clone)]
+pub struct Deployment {
+    inner: Arc<DeploymentInner>,
+}
+
+/// Point-in-time runtime counters of one node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Methods executed by this node's PubOA.
+    pub invocations: u64,
+    /// Objects created here.
+    pub creations: u64,
+    /// Migrations that arrived here.
+    pub migrations_in: u64,
+    /// Migrations that left here.
+    pub migrations_out: u64,
+    /// Codebase bytes ever loaded here.
+    pub artifact_bytes: u64,
+    /// Objects persisted from here.
+    pub stores: u64,
+    /// Objects currently hosted.
+    pub objects_hosted: usize,
+    /// Monitoring rounds completed by the NA.
+    pub monitor_rounds: u64,
+}
+
+impl Deployment {
+    fn spawn_node(inner: &Arc<DeploymentInner>, config: MachineConfig) -> NodeId {
+        let machine = SimMachine::new(config.spec, config.load, inner.clock.clone());
+        let phys = inner.pool.add_machine(machine.clone());
+        inner
+            .network
+            .topology()
+            .write()
+            .set_node_class(phys, config.link);
+        let rx = inner.network.register(phys);
+        let shared = Arc::new(NodeShared {
+            phys,
+            machine,
+            clock: inner.clock.clone(),
+            net: inner.network.clone(),
+            classes: inner.classes.clone(),
+            cost: inner.cost,
+            config: RuntimeConfig {
+                call_timeout: inner.config.call_timeout,
+                ..RuntimeConfig::default()
+            },
+            store: inner.store.clone(),
+            calls: crate::calltable::CallTable::new(),
+            objects: Mutex::new(HashMap::new()),
+            statics: Mutex::new(HashMap::new()),
+            loaded: Mutex::new(std::collections::HashSet::new()),
+            apps: RwLock::new(HashMap::new()),
+            location_cache: Mutex::new(HashMap::new()),
+            na: NaState::new(NaConfig {
+                monitor_period: inner.config.monitor_period,
+                failure_timeout: inner.config.failure_timeout,
+                history: 16,
+            }),
+            stats: StatCounters::default(),
+            events: inner.events.clone(),
+            workers: runtime::WorkerPool::new(&format!("{phys}"), 3),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut threads = Vec::new();
+        {
+            let sh = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("jsym-{phys}-recv"))
+                    .spawn(move || runtime::run_receiver(sh, rx))
+                    .expect("spawn receiver"),
+            );
+        }
+        {
+            let sh = Arc::clone(&shared);
+            let vda = inner.vda.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("jsym-{phys}-na"))
+                    .spawn(move || na::run_na(sh, vda))
+                    .expect("spawn NA"),
+            );
+        }
+        inner
+            .nodes
+            .write()
+            .insert(phys, NodeRuntimeHandle { shared, threads });
+        phys
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// The deployment's virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    /// The simulated network.
+    pub fn network(&self) -> &Network {
+        &self.inner.network
+    }
+
+    /// The physical machine pool.
+    pub fn pool(&self) -> &ResourcePool {
+        &self.inner.pool
+    }
+
+    /// The virtual-architecture registry.
+    pub fn vda(&self) -> &VdaRegistry {
+        &self.inner.vda
+    }
+
+    /// The class registry — register application classes here.
+    pub fn classes(&self) -> &ClassRegistry {
+        &self.inner.classes
+    }
+
+    /// The external object store.
+    pub fn store(&self) -> &ObjectStore {
+        &self.inner.store
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> CostModel {
+        self.inner.cost
+    }
+
+    /// Machines currently part of the deployment (ascending ids).
+    pub fn machines(&self) -> Vec<NodeId> {
+        self.inner.pool.ids()
+    }
+
+    // --------------------------------------------------------- applications
+
+    /// Registers an application, homing its AppOA on the lowest-id machine.
+    pub fn register_app(&self) -> Result<JsRegistration> {
+        let home = self
+            .machines()
+            .into_iter()
+            .next()
+            .ok_or_else(|| JsError::PlacementFailed("deployment has no machines".into()))?;
+        self.register_app_on(home)
+    }
+
+    /// Registers an application homed on a specific machine.
+    pub fn register_app_on(&self, home: NodeId) -> Result<JsRegistration> {
+        if self.inner.shutdown.load(Ordering::Relaxed) {
+            return Err(JsError::ShuttingDown);
+        }
+        let nodes = self.inner.nodes.read();
+        let node = nodes.get(&home).ok_or(JsError::NodeUnreachable(home))?;
+        let app = Arc::new(AppShared {
+            id: IdGen::app(),
+            home,
+            node: Arc::downgrade(&node.shared),
+            pool: self.inner.pool.clone(),
+            vda: self.inner.vda.clone(),
+            objects: Mutex::new(HashMap::new()),
+            unregistered: AtomicBool::new(false),
+        });
+        node.shared.apps.write().insert(app.id, Arc::clone(&app));
+        self.inner.apps.write().insert(app.id, Arc::clone(&app));
+        Ok(JsRegistration::new(app))
+    }
+
+    // -------------------------------------------------------- shell actions
+
+    /// Adds a machine at runtime (JS-Shell grow).
+    pub fn add_machine(&self, config: MachineConfig) -> NodeId {
+        Deployment::spawn_node(&self.inner, config)
+    }
+
+    /// Gracefully removes a machine (JS-Shell shrink, paper §5: "The set of
+    /// nodes can be changed by adding or removing nodes dynamically").
+    ///
+    /// Refuses while the machine still hosts objects or backs a live
+    /// virtual node — drain it first (migrate/free, release architectures).
+    pub fn remove_machine(&self, phys: NodeId) -> Result<()> {
+        {
+            let nodes = self.inner.nodes.read();
+            let handle = nodes.get(&phys).ok_or(JsError::NodeUnreachable(phys))?;
+            let hosted = handle.shared.objects.lock().len();
+            if hosted > 0 {
+                return Err(JsError::PlacementFailed(format!(
+                    "{phys} still hosts {hosted} object(s); migrate or free them first"
+                )));
+            }
+        }
+        // Any live virtual node backed by this machine blocks removal.
+        let backing = self.inner.vda.allocation_count(phys);
+        if backing > 0 {
+            return Err(JsError::PlacementFailed(format!(
+                "{phys} backs {backing} live virtual node(s); free the architecture first"
+            )));
+        }
+        let handle = {
+            let mut nodes = self.inner.nodes.write();
+            nodes.remove(&phys)
+        };
+        if let Some(handle) = handle {
+            handle.shared.shutdown.store(true, Ordering::Relaxed);
+            handle.shared.calls.fail_all(JsError::ShuttingDown);
+            self.inner.network.unregister(phys);
+            for t in handle.threads {
+                let _ = t.join();
+            }
+        }
+        self.inner.pool.remove_machine(phys);
+        Ok(())
+    }
+
+    /// Kills a machine: its endpoint drops off the network and its runtime
+    /// threads stop. Failure *detection* is left to the NAS heartbeats.
+    pub fn kill_node(&self, phys: NodeId) {
+        self.inner.network.kill_node(phys);
+        if let Some(handle) = self.inner.nodes.read().get(&phys) {
+            handle.shared.shutdown.store(true, Ordering::Relaxed);
+            handle.shared.calls.fail_all(JsError::NodeUnreachable(phys));
+        }
+    }
+
+    /// Changes the NAS monitoring period at runtime (JS-Shell, §5.1: "The
+    /// performance measurement and collection periods can be controlled
+    /// under the JS-Shell").
+    pub fn set_monitor_period(&self, secs: f64) {
+        for handle in self.inner.nodes.read().values() {
+            handle.shared.na.knobs.set_monitor_period(secs);
+        }
+    }
+
+    /// Changes the NAS failure timeout at runtime (JS-Shell, §5.1: the
+    /// no-response period is "changeable under JS-Shell").
+    pub fn set_failure_timeout(&self, secs: f64) {
+        for handle in self.inner.nodes.read().values() {
+            handle.shared.na.knobs.set_failure_timeout(secs);
+        }
+    }
+
+    /// Enables/disables automatic object migration (JS-Shell toggle, §5.2).
+    pub fn set_automigration(&self, enabled: bool) {
+        self.inner.automigration.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether automatic migration is currently enabled.
+    pub fn automigration_enabled(&self) -> bool {
+        self.inner.automigration.load(Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------------ telemetry
+
+    /// Runtime counters of one node.
+    pub fn node_stats(&self, phys: NodeId) -> Option<NodeStats> {
+        let nodes = self.inner.nodes.read();
+        let h = nodes.get(&phys)?;
+        let s = &h.shared.stats;
+        let objects_hosted = h.shared.objects.lock().len();
+        Some(NodeStats {
+            invocations: s.invocations.load(Ordering::Relaxed),
+            creations: s.creations.load(Ordering::Relaxed),
+            migrations_in: s.migrations_in.load(Ordering::Relaxed),
+            migrations_out: s.migrations_out.load(Ordering::Relaxed),
+            artifact_bytes: s.artifact_bytes.load(Ordering::Relaxed),
+            stores: s.stores.load(Ordering::Relaxed),
+            objects_hosted,
+            monitor_rounds: h.shared.na.rounds.load(Ordering::Relaxed),
+        })
+    }
+
+    /// The latest NA snapshot of a node (None before the first round).
+    pub fn latest_snapshot(&self, phys: NodeId) -> Option<SysSnapshot> {
+        self.inner
+            .nodes
+            .read()
+            .get(&phys)?
+            .shared
+            .na
+            .latest
+            .lock()
+            .clone()
+    }
+
+    /// A manager-side aggregate computed by the NAS, by component label
+    /// (e.g. `"vc0"` for the first cluster).
+    pub fn aggregated_snapshot(&self, manager: NodeId, label: &str) -> Option<SysSnapshot> {
+        self.inner
+            .nodes
+            .read()
+            .get(&manager)?
+            .shared
+            .na
+            .aggregated
+            .lock()
+            .get(label)
+            .cloned()
+    }
+
+    /// Artifacts currently loaded on a node.
+    pub fn loaded_artifacts(&self, phys: NodeId) -> Vec<String> {
+        self.inner
+            .nodes
+            .read()
+            .get(&phys)
+            .map(|h| {
+                let mut v: Vec<String> = h.shared.loaded.lock().iter().cloned().collect();
+                v.sort();
+                v
+            })
+            .unwrap_or_default()
+    }
+
+    /// Network traffic counters.
+    pub fn net_stats(&self) -> jsym_net::NetStatsSnapshot {
+        self.inner.network.stats()
+    }
+
+    /// The deployment's structural event log (creations, migrations,
+    /// classloading, persistence, failures, recovery).
+    pub fn events(&self) -> &crate::EventLog {
+        &self.inner.events
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn inner(&self) -> &Arc<DeploymentInner> {
+        &self.inner
+    }
+
+    /// Stops every runtime thread and the network. Idempotent; also runs on
+    /// drop of the last clone.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for handle in self.inner.nodes.read().values() {
+            handle.shared.shutdown.store(true, Ordering::Relaxed);
+            handle.shared.calls.fail_all(JsError::ShuttingDown);
+        }
+        // Join node threads.
+        let mut nodes = std::mem::take(&mut *self.inner.nodes.write());
+        for (_, handle) in nodes.drain() {
+            for t in handle.threads {
+                let _ = t.join();
+            }
+        }
+        let mut threads = std::mem::take(&mut *self.inner.threads.lock());
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+        self.inner.network.shutdown();
+    }
+}
+
+impl Drop for DeploymentInner {
+    fn drop(&mut self) {
+        // Last clone gone without an explicit shutdown: stop threads without
+        // joining (joining from drop of the map they reference is fine here
+        // because we own everything now).
+        self.shutdown.store(true, Ordering::SeqCst);
+        for handle in self.nodes.read().values() {
+            handle.shared.shutdown.store(true, Ordering::Relaxed);
+        }
+        self.network.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("machines", &self.inner.pool.len())
+            .field("apps", &self.inner.apps.read().len())
+            .finish()
+    }
+}

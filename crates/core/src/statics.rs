@@ -1,0 +1,110 @@
+//! Static methods and variables (paper §7 future work, implemented).
+//!
+//! "Moreover, we are extending JavaSymphony to handle static methods and
+//! variables." In Java, static members live once per JVM — i.e. once per
+//! *node*. The Rust counterpart: a class may register a **static context**
+//! (see [`crate::ClassRegistry::set_static`]), a per-node singleton that the
+//! PubOA creates lazily on first use and that answers the class's static
+//! methods. A [`JsStaticRef`] addresses the static context of one class on
+//! one node, with the same three invocation modes as instance methods.
+//!
+//! Static contexts do not migrate (a JVM's statics don't either) and obey
+//! selective classloading: invoking a static method on a node without the
+//! class's artifact fails with `ClassNotLoaded`.
+
+use crate::appoa::AppShared;
+use crate::calltable::Reissue;
+use crate::jsobj::{resolve_placement, Placement};
+use crate::msg::Msg;
+use crate::registration::JsRegistration;
+use crate::value::Value;
+use crate::{Result, ResultHandle};
+use jsym_net::NodeId;
+use jsym_sysmon::JsConstraints;
+use std::sync::Arc;
+
+/// A reference to the static context of `class` on a specific node.
+#[derive(Clone)]
+pub struct JsStaticRef {
+    app: Arc<AppShared>,
+    class: String,
+    node: NodeId,
+}
+
+impl JsStaticRef {
+    /// Resolves a static reference: `placement` picks the node whose static
+    /// context will be addressed (statics are per-node, so the choice is
+    /// visible to the application — that is the point).
+    pub fn new(
+        reg: &JsRegistration,
+        class: &str,
+        placement: Placement<'_>,
+        constraints: Option<&JsConstraints>,
+    ) -> Result<JsStaticRef> {
+        let app = reg.app();
+        let node = resolve_placement(&app, placement, constraints)?;
+        Ok(JsStaticRef {
+            app,
+            class: class.to_owned(),
+            node,
+        })
+    }
+
+    /// The class whose statics this reference addresses.
+    pub fn class_name(&self) -> &str {
+        &self.class
+    }
+
+    /// The node hosting this static context.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Synchronous static invocation.
+    pub fn sinvoke(&self, method: &str, args: &[Value]) -> Result<Value> {
+        self.ainvoke(method, args)?.get_result()
+    }
+
+    /// Asynchronous static invocation.
+    pub fn ainvoke(&self, method: &str, args: &[Value]) -> Result<ResultHandle> {
+        let slot = self
+            .app
+            .static_issue(&self.class, self.node, method, args, true)?
+            .expect("reply requested");
+        let node = self.app.node_shared()?;
+        // Statics never migrate; a re-issue simply repeats the call.
+        let app = Arc::clone(&self.app);
+        let class = self.class.clone();
+        let target = self.node;
+        let method_owned = method.to_owned();
+        let args_owned = args.to_vec();
+        let reissue: Arc<Reissue> = Arc::new(move || {
+            Ok(app
+                .static_issue(&class, target, &method_owned, &args_owned, true)?
+                .expect("reply requested"))
+        });
+        let machine = node.machine.clone();
+        let cost = node.cost;
+        Ok(ResultHandle::new(
+            slot,
+            reissue,
+            node.config.call_timeout,
+            Box::new(move |v: &Value| {
+                machine.compute(cost.result_cost(Msg::reply_wire_size(&Ok(v.clone()))));
+            }),
+        ))
+    }
+
+    /// One-sided static invocation.
+    pub fn oinvoke(&self, method: &str, args: &[Value]) -> Result<()> {
+        self.app
+            .static_issue(&self.class, self.node, method, args, false)?;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for JsStaticRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JsStaticRef({}::static @ {})", self.class, self.node)
+    }
+}

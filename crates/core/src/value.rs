@@ -1,0 +1,222 @@
+//! The value model for method arguments and results.
+//!
+//! JavaSymphony passes `Object[]` parameter arrays and returns `Object`
+//! results through Java serialization. The Rust counterpart is [`Value`]: a
+//! closed set of serializable variants with an *analytic wire size* used by
+//! the network cost model, so bulk data (e.g. matrix blocks) does not have to
+//! be byte-serialized on every in-process hop to be charged correctly.
+//!
+//! `F32Vec` holds bulk numeric payloads behind an `Arc`, mirroring how a real
+//! sender keeps its copy while the receiver gets its own: cloning the value
+//! is cheap, the *network* charges the full size.
+
+use crate::ids::ObjectHandle;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A method argument or result.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Java `null` / `void` results.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit integer.
+    I64(i64),
+    /// A 64-bit float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// Bulk `float[]` data (matrix blocks, vectors).
+    F32Vec(Arc<Vec<f32>>),
+    /// A list of values.
+    List(Vec<Value>),
+    /// A first-order remote-object handle (paper §5.2).
+    Handle(ObjectHandle),
+}
+
+impl Value {
+    /// Convenience constructor for bulk float data.
+    pub fn floats(data: Vec<f32>) -> Value {
+        Value::F32Vec(Arc::new(data))
+    }
+
+    /// Bytes this value would occupy after Java-style serialization
+    /// (tag byte + payload; containers add a length header).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 2,
+            Value::I64(_) | Value::F64(_) => 9,
+            Value::Str(s) => 5 + s.len(),
+            Value::Bytes(b) => 5 + b.len(),
+            Value::F32Vec(v) => 5 + 4 * v.len(),
+            Value::List(l) => 5 + l.iter().map(Value::wire_size).sum::<usize>(),
+            Value::Handle(_) => 1 + 24,
+        }
+    }
+
+    /// The integer, if this is `I64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The float, if this is `F64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The float vector, if this is `F32Vec`.
+    pub fn as_floats(&self) -> Option<&Arc<Vec<f32>>> {
+        match self {
+            Value::F32Vec(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The handle, if this is `Handle`.
+    pub fn as_handle(&self) -> Option<ObjectHandle> {
+        match self {
+            Value::Handle(h) => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// The list, if this is `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Vec<f32>> for Value {
+    fn from(v: Vec<f32>) -> Self {
+        Value::floats(v)
+    }
+}
+impl From<ObjectHandle> for Value {
+    fn from(h: ObjectHandle) -> Self {
+        Value::Handle(h)
+    }
+}
+
+/// A method argument list (the paper's `Object[] params`).
+pub type Args = Vec<Value>;
+
+/// Total wire size of an argument list.
+pub fn args_wire_size(args: &[Value]) -> usize {
+    4 + args.iter().map(Value::wire_size).sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{AgentAddr, ObjectId};
+    use jsym_net::NodeId;
+
+    #[test]
+    fn wire_sizes_track_payload() {
+        assert_eq!(Value::Null.wire_size(), 1);
+        assert_eq!(Value::I64(5).wire_size(), 9);
+        assert_eq!(Value::Str("abc".into()).wire_size(), 8);
+        assert_eq!(Value::floats(vec![0.0; 100]).wire_size(), 405);
+        let list = Value::List(vec![Value::I64(1), Value::Bool(true)]);
+        assert_eq!(list.wire_size(), 5 + 9 + 2);
+    }
+
+    #[test]
+    fn f32vec_clone_is_shallow() {
+        let v = Value::floats(vec![1.0; 1_000_000]);
+        let w = v.clone();
+        match (&v, &w) {
+            (Value::F32Vec(a), Value::F32Vec(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn accessors_return_matching_variants_only() {
+        assert_eq!(Value::I64(3).as_i64(), Some(3));
+        assert_eq!(Value::I64(3).as_f64(), None);
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        let h = ObjectHandle {
+            id: ObjectId(1),
+            origin: AgentAddr::pub_oa(NodeId(0)),
+        };
+        assert_eq!(Value::Handle(h).as_handle(), Some(h));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = Value::List(vec![
+            Value::Null,
+            Value::I64(-7),
+            Value::F64(1.5),
+            Value::Str("hi".into()),
+            Value::Bytes(vec![1, 2, 3]),
+            Value::floats(vec![0.5, 0.25]),
+        ]);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn args_wire_size_sums_members() {
+        let args = vec![Value::I64(1), Value::Str("ab".into())];
+        assert_eq!(args_wire_size(&args), 4 + 9 + 7);
+        assert_eq!(args_wire_size(&[]), 4);
+    }
+}

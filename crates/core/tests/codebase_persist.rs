@@ -1,0 +1,230 @@
+//! Tests of selective classloading (§4.3) and persistent objects (§4.7).
+
+use jsym_core::testkit::{register_test_classes, shell_with_idle_machines};
+use jsym_core::{Deployment, JsError, JsObj, MigrateTarget, Placement, Value};
+use jsym_net::NodeId;
+
+fn boot(n: usize) -> Deployment {
+    let d = shell_with_idle_machines(n).boot();
+    register_test_classes(&d);
+    d
+}
+
+// ------------------------------------------------------- selective loading
+
+#[test]
+fn creation_requires_loaded_artifact() {
+    let d = boot(2);
+    let reg = d.register_app().unwrap();
+    // Blob lives in "blob.jar", which has not been loaded anywhere.
+    assert!(matches!(
+        JsObj::create(
+            &reg,
+            "Blob",
+            &[Value::I64(10)],
+            Placement::OnPhys(NodeId(1)),
+            None
+        ),
+        Err(JsError::ClassNotLoaded { .. })
+    ));
+    // Load the codebase onto node 1 only.
+    let cb = reg.codebase();
+    cb.add("blob.jar", 200_000);
+    cb.load_phys(NodeId(1)).unwrap();
+    assert!(JsObj::create(
+        &reg,
+        "Blob",
+        &[Value::I64(10)],
+        Placement::OnPhys(NodeId(1)),
+        None
+    )
+    .is_ok());
+    // Node 0 still lacks it (selective!).
+    assert!(matches!(
+        JsObj::create(
+            &reg,
+            "Blob",
+            &[Value::I64(10)],
+            Placement::OnPhys(NodeId(0)),
+            None
+        ),
+        Err(JsError::ClassNotLoaded {
+            node: NodeId(0),
+            ..
+        })
+    ));
+    d.shutdown();
+}
+
+#[test]
+fn codebase_load_accounts_memory_and_free_releases_it() {
+    let d = boot(2);
+    let reg = d.register_app().unwrap();
+    let cb = reg.codebase();
+    cb.add("blob.jar", 4 << 20); // 4 MiB of "byte-code"
+    cb.load_phys(NodeId(1)).unwrap();
+
+    let m1 = d.pool().machine(NodeId(1)).unwrap();
+    assert_eq!(m1.runtime_bytes(), 4 << 20);
+    assert_eq!(d.loaded_artifacts(NodeId(1)), vec!["blob.jar".to_owned()]);
+    assert!(d.loaded_artifacts(NodeId(0)).is_empty());
+    assert_eq!(d.node_stats(NodeId(1)).unwrap().artifact_bytes, 4 << 20);
+
+    cb.free().unwrap();
+    // Unload is one-sided; give it a moment to arrive.
+    let mut tries = 0;
+    while m1.runtime_bytes() > 0 {
+        tries += 1;
+        assert!(tries < 200, "codebase memory never released");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(d.loaded_artifacts(NodeId(1)).is_empty());
+    d.shutdown();
+}
+
+#[test]
+fn codebase_load_to_cluster_reaches_all_members() {
+    let d = boot(4);
+    let reg = d.register_app().unwrap();
+    let cluster = d.vda().request_cluster(3, None).unwrap();
+    let cb = reg.codebase();
+    cb.add("blob.jar", 1000);
+    cb.add_url("http://www.par.univie.ac.at/JS/test/extra.jar", 500);
+    cb.load_cluster(&cluster).unwrap();
+    for m in cluster.machines() {
+        assert_eq!(
+            d.loaded_artifacts(m),
+            vec!["blob.jar".to_owned(), "extra.jar".to_owned()]
+        );
+    }
+    assert_eq!(cb.loaded_nodes("blob.jar").len(), 3);
+    d.shutdown();
+}
+
+#[test]
+fn duplicate_loads_are_idempotent() {
+    let d = boot(2);
+    let reg = d.register_app().unwrap();
+    let cb = reg.codebase();
+    cb.add("blob.jar", 1 << 20);
+    cb.load_phys(NodeId(1)).unwrap();
+    cb.load_phys(NodeId(1)).unwrap(); // second load: no double accounting
+    let m1 = d.pool().machine(NodeId(1)).unwrap();
+    assert_eq!(m1.runtime_bytes(), 1 << 20);
+    d.shutdown();
+}
+
+#[test]
+fn migration_to_node_without_class_fails_cleanly() {
+    let d = boot(3);
+    let reg = d.register_app().unwrap();
+    let cb = reg.codebase();
+    cb.add("blob.jar", 1000);
+    cb.load_phys(NodeId(1)).unwrap();
+    let obj = JsObj::create(
+        &reg,
+        "Blob",
+        &[Value::I64(64)],
+        Placement::OnPhys(NodeId(1)),
+        None,
+    )
+    .unwrap();
+    // Node 2 lacks blob.jar: migration must fail and the object stay put.
+    assert!(matches!(
+        obj.migrate(MigrateTarget::ToPhys(NodeId(2)), None),
+        Err(JsError::ClassNotLoaded { .. })
+    ));
+    assert_eq!(obj.get_location().unwrap(), NodeId(1));
+    assert_eq!(obj.sinvoke("size", &[]).unwrap(), Value::I64(64));
+    d.shutdown();
+}
+
+// ------------------------------------------------------- persistent objects
+
+#[test]
+fn store_and_load_round_trip() {
+    let d = boot(2);
+    let reg = d.register_app().unwrap();
+    let obj = JsObj::create(&reg, "Counter", &[Value::I64(11)], Placement::Auto, None).unwrap();
+    obj.sinvoke("add", &[Value::I64(4)]).unwrap();
+
+    // Store under an explicit key.
+    let key = obj.store(Some("my-counter")).unwrap();
+    assert_eq!(key, "my-counter");
+    assert_eq!(d.store().keys(), vec!["my-counter".to_owned()]);
+
+    // The original keeps running and diverges.
+    obj.sinvoke("add", &[Value::I64(100)]).unwrap();
+
+    // Load resurrects the stored state (15), not the live state (115).
+    let copy = reg
+        .load_stored("my-counter", Placement::OnPhys(NodeId(1)), None)
+        .unwrap();
+    assert_eq!(copy.sinvoke("get", &[]).unwrap(), Value::I64(15));
+    assert_eq!(copy.get_location().unwrap(), NodeId(1));
+    assert_eq!(obj.sinvoke("get", &[]).unwrap(), Value::I64(115));
+    d.shutdown();
+}
+
+#[test]
+fn store_generates_unique_keys_when_unnamed() {
+    let d = boot(2);
+    let reg = d.register_app().unwrap();
+    let obj = JsObj::create(&reg, "Counter", &[], Placement::Auto, None).unwrap();
+    let k1 = obj.store(None).unwrap();
+    let k2 = obj.store(None).unwrap();
+    assert_ne!(k1, k2);
+    assert_eq!(d.store().len(), 2);
+    d.shutdown();
+}
+
+#[test]
+fn load_unknown_key_fails() {
+    let d = boot(2);
+    let reg = d.register_app().unwrap();
+    assert!(matches!(
+        reg.load_stored("ghost", Placement::Auto, None),
+        Err(JsError::NoSuchStoredObject(_))
+    ));
+    d.shutdown();
+}
+
+#[test]
+fn loading_a_class_gated_object_respects_classloading() {
+    let d = boot(3);
+    let reg = d.register_app().unwrap();
+    let cb = reg.codebase();
+    cb.add("blob.jar", 1000);
+    cb.load_phys(NodeId(1)).unwrap();
+    let obj = JsObj::create(
+        &reg,
+        "Blob",
+        &[Value::I64(32)],
+        Placement::OnPhys(NodeId(1)),
+        None,
+    )
+    .unwrap();
+    let key = obj.store(None).unwrap();
+    // Restoring on a node without the class fails; on node 1 it works.
+    assert!(matches!(
+        reg.load_stored(&key, Placement::OnPhys(NodeId(2)), None),
+        Err(JsError::ClassNotLoaded { .. })
+    ));
+    let back = reg
+        .load_stored(&key, Placement::OnPhys(NodeId(1)), None)
+        .unwrap();
+    assert_eq!(back.sinvoke("size", &[]).unwrap(), Value::I64(32));
+    d.shutdown();
+}
+
+#[test]
+fn persistence_survives_the_original_objects_free() {
+    let d = boot(2);
+    let reg = d.register_app().unwrap();
+    let obj = JsObj::create(&reg, "Counter", &[Value::I64(5)], Placement::Auto, None).unwrap();
+    let key = obj.store(None).unwrap();
+    obj.free().unwrap();
+    let back = reg.load_stored(&key, Placement::Auto, None).unwrap();
+    assert_eq!(back.sinvoke("get", &[]).unwrap(), Value::I64(5));
+    d.shutdown();
+}

@@ -1,0 +1,244 @@
+//! Tests of the network agent system (paper §5.1): monitoring, hierarchical
+//! aggregation, heartbeats, failure detection and manager failover.
+
+use jsym_core::testkit::{register_test_classes, shell_with_idle_machines};
+use jsym_core::{JsShell, MachineConfig};
+use jsym_net::{LinkClass, NodeId};
+use jsym_sysmon::{LoadModel, LoadProfile, MachineSpec, SysParam};
+use std::time::Duration;
+
+fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    for _ in 0..800 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+#[test]
+fn na_produces_snapshots_and_rounds() {
+    let d = shell_with_idle_machines(2).boot();
+    register_test_classes(&d);
+    wait_until(
+        || d.latest_snapshot(NodeId(0)).is_some(),
+        "first monitoring round",
+    );
+    let snap = d.latest_snapshot(NodeId(0)).unwrap();
+    assert_eq!(snap.str(SysParam::NodeName), Some("m0"));
+    assert!(snap.num(SysParam::IdlePct).unwrap() > 80.0);
+    wait_until(
+        || d.node_stats(NodeId(0)).unwrap().monitor_rounds >= 3,
+        "three monitoring rounds",
+    );
+    d.shutdown();
+}
+
+#[test]
+fn cluster_manager_aggregates_member_reports() {
+    // Two machines with very different loads in one cluster: the manager's
+    // aggregate must sit between them (averaging, §5.1).
+    let shell = JsShell::new()
+        .time_scale(1e-4)
+        .monitor_period(0.5)
+        .failure_timeout(1e9)
+        .add_machine(MachineConfig {
+            spec: MachineSpec::generic("busy", 50.0, 256.0),
+            load: LoadModel::new(LoadProfile::Constant(0.8), 0),
+            link: LinkClass::Lan100,
+        })
+        .add_machine(MachineConfig::idle("calm", 50.0));
+    let d = shell.boot();
+    let cluster = d.vda().request_cluster(2, None).unwrap();
+    let label = format!("{}", cluster.key());
+    let manager = cluster.manager().unwrap().phys();
+
+    wait_until(
+        || d.aggregated_snapshot(manager, &label).is_some(),
+        "manager-side aggregate",
+    );
+    // Let a couple more rounds flow so both members' reports are in.
+    std::thread::sleep(Duration::from_millis(50));
+    let agg = d.aggregated_snapshot(manager, &label).unwrap();
+    let idle = agg.num(SysParam::IdlePct).unwrap();
+    // busy ≈ 13% idle, calm ≈ 98% idle → average ≈ 55%.
+    assert!(
+        (25.0..90.0).contains(&idle),
+        "aggregate idle {idle} is not an average of busy+calm"
+    );
+    d.shutdown();
+}
+
+#[test]
+fn dead_member_is_detected_and_released() {
+    // At 1e-4 scale, 50 virtual seconds = 5 ms real — comfortably above OS
+    // scheduling noise, so no spurious failure declarations.
+    let shell = shell_with_idle_machines(3)
+        .time_scale(1e-4)
+        .monitor_period(2.0)
+        .failure_timeout(50.0);
+    let d = shell.boot();
+    register_test_classes(&d);
+    let cluster = d.vda().request_cluster(3, None).unwrap();
+    let manager = cluster.manager().unwrap();
+    // Kill a non-manager member.
+    let victim = (0..3)
+        .map(|i| cluster.get_node(i).unwrap())
+        .find(|n| *n != manager && Some(n.clone()) != cluster.backup_manager())
+        .unwrap();
+    let victim_phys = victim.phys();
+
+    // Let heartbeats establish first.
+    wait_until(
+        || d.node_stats(manager.phys()).unwrap().monitor_rounds >= 2,
+        "monitoring to start",
+    );
+    d.kill_node(victim_phys);
+    wait_until(|| d.vda().is_failed(victim_phys), "failure detection");
+    wait_until(|| cluster.nr_nodes() == 2, "failed node release");
+    assert_eq!(cluster.manager().unwrap(), manager, "manager unchanged");
+    d.shutdown();
+}
+
+#[test]
+fn manager_failure_promotes_backup() {
+    let shell = shell_with_idle_machines(3)
+        .time_scale(1e-4)
+        .monitor_period(2.0)
+        .failure_timeout(50.0);
+    let d = shell.boot();
+    let cluster = d.vda().request_cluster(3, None).unwrap();
+    let manager = cluster.manager().unwrap();
+    let backup = cluster.backup_manager().unwrap();
+    let events = d.vda().subscribe();
+
+    wait_until(
+        || {
+            (0..3).all(|i| {
+                let n = cluster.get_node(i).unwrap().phys();
+                d.node_stats(n).unwrap().monitor_rounds >= 2
+            })
+        },
+        "monitoring to start everywhere",
+    );
+    d.kill_node(manager.phys());
+    wait_until(
+        || d.vda().is_failed(manager.phys()),
+        "manager failure detection",
+    );
+    wait_until(|| cluster.nr_nodes() == 2, "manager release");
+    // The backup took over (paper §5.1).
+    assert_eq!(cluster.manager().unwrap(), backup);
+    // A takeover event was emitted.
+    let saw_takeover = events
+        .try_iter()
+        .any(|e| matches!(e, jsym_vda::VdaEvent::ManagerChanged { takeover: true, .. }));
+    assert!(saw_takeover, "no takeover ManagerChanged event observed");
+    d.shutdown();
+}
+
+#[test]
+fn monitoring_generates_bounded_network_traffic() {
+    // Without any architecture there are no managers, so NAs stay silent;
+    // with a cluster, report+heartbeat traffic flows each period.
+    let d = shell_with_idle_machines(3)
+        .time_scale(1e-4)
+        .monitor_period(0.5)
+        .boot();
+    std::thread::sleep(Duration::from_millis(30));
+    let before = d.net_stats().msgs_sent;
+    // Quiet: no architectures → no monitoring targets.
+    assert_eq!(before, 0, "NAs sent traffic without any architecture");
+
+    let _cluster = d.vda().request_cluster(3, None).unwrap();
+    wait_until(|| d.net_stats().msgs_sent > 10, "monitoring traffic");
+    d.shutdown();
+}
+
+#[test]
+fn site_and_domain_managers_receive_aggregates() {
+    let d = shell_with_idle_machines(6)
+        .time_scale(1e-4)
+        .monitor_period(0.4)
+        .boot();
+    let domain = d.vda().request_domain(&[&[2, 2], &[2]], None).unwrap();
+    let dm = domain.manager().unwrap().phys();
+    let site0 = domain.get_site(0).unwrap();
+    let sm = site0.manager().unwrap().phys();
+    let site_label = format!("{}", site0.key());
+    // The site manager aggregates its site; eventually present.
+    wait_until(
+        || d.aggregated_snapshot(sm, &site_label).is_some(),
+        "site-level aggregate at the site manager",
+    );
+    // The domain manager aggregates the whole domain.
+    let dom_label = format!("{}", domain.key());
+    wait_until(
+        || d.aggregated_snapshot(dm, &dom_label).is_some(),
+        "domain-level aggregate at the domain manager",
+    );
+    d.shutdown();
+}
+
+#[test]
+fn monitoring_knobs_are_runtime_adjustable() {
+    // Boot with an enormous period (monitoring effectively off), then dial
+    // it down through the JS-Shell API and watch rounds start flowing —
+    // paper §5.1: periods are "changeable under JS-Shell".
+    let d = shell_with_idle_machines(2)
+        .time_scale(1e-4)
+        .monitor_period(1e9)
+        .failure_timeout(1e12)
+        .boot();
+    let _cluster = d.vda().request_cluster(2, None).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    let before = d.node_stats(NodeId(0)).unwrap().monitor_rounds;
+    assert_eq!(before, 0, "monitoring should be dormant at a huge period");
+
+    d.set_monitor_period(1.0);
+    wait_until(
+        || d.node_stats(NodeId(0)).unwrap().monitor_rounds >= 3,
+        "rounds after tightening the period",
+    );
+
+    // Tighten the failure timeout too, then kill a node: detection follows
+    // the new setting.
+    d.set_failure_timeout(40.0);
+    wait_until(
+        || d.node_stats(NodeId(1)).unwrap().monitor_rounds >= 2,
+        "peer monitoring",
+    );
+    d.kill_node(NodeId(1));
+    wait_until(|| d.vda().is_failed(NodeId(1)), "failure detection");
+    d.shutdown();
+}
+
+#[test]
+fn event_log_records_failures_with_recovery_enabled() {
+    use jsym_core::RuntimeEvent;
+    let d = shell_with_idle_machines(3)
+        .time_scale(1e-4)
+        .monitor_period(2.0)
+        .failure_timeout(50.0)
+        .checkpointing(5.0)
+        .boot();
+    register_test_classes(&d);
+    let _cluster = d.vda().request_cluster(3, None).unwrap();
+    wait_until(
+        || d.node_stats(NodeId(0)).unwrap().monitor_rounds >= 2,
+        "monitoring to start",
+    );
+    d.kill_node(NodeId(2));
+    wait_until(|| d.vda().is_failed(NodeId(2)), "failure detection");
+    wait_until(
+        || {
+            d.events()
+                .all()
+                .iter()
+                .any(|(_, e)| matches!(e, RuntimeEvent::NodeFailed { node } if *node == NodeId(2)))
+        },
+        "NodeFailed event in the log",
+    );
+    d.shutdown();
+}

@@ -1,0 +1,172 @@
+//! Tests of checkpoint-based failure recovery (paper §7 future work):
+//! objects on a failed node resurrect from their latest checkpoint on a
+//! surviving machine, under their original handles.
+
+use jsym_core::testkit::{register_test_classes, shell_with_idle_machines};
+use jsym_core::{Deployment, JsObj, Placement, Value};
+use jsym_net::NodeId;
+use std::time::Duration;
+
+fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    for _ in 0..1000 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+/// A deployment with NAS failure detection and checkpointing enabled.
+fn recovering_deployment(n: usize) -> Deployment {
+    let d = shell_with_idle_machines(n)
+        .time_scale(1e-4)
+        .monitor_period(2.0)
+        .failure_timeout(50.0)
+        .checkpointing(10.0)
+        .boot();
+    register_test_classes(&d);
+    d
+}
+
+#[test]
+fn object_resurrects_from_checkpoint_after_node_failure() {
+    let d = recovering_deployment(3);
+    // An architecture is needed so the NAS monitors (and detects failures).
+    let _cluster = d.vda().request_cluster(3, None).unwrap();
+    let reg = d.register_app().unwrap();
+    let obj = JsObj::create(
+        &reg,
+        "Counter",
+        &[Value::I64(0)],
+        Placement::OnPhys(NodeId(2)),
+        None,
+    )
+    .unwrap();
+    obj.sinvoke("add", &[Value::I64(41)]).unwrap();
+
+    // Wait until at least one checkpoint captured the value.
+    wait_until(
+        || d.store().keys().iter().any(|k| k.starts_with("__ckpt_")),
+        "first checkpoint",
+    );
+    // Give the checkpointer one more round so the captured state is 41.
+    std::thread::sleep(Duration::from_millis(30));
+
+    d.kill_node(NodeId(2));
+    // NAS detects, registry emits NodeFailed, recovery resurrects.
+    wait_until(|| d.vda().is_failed(NodeId(2)), "failure detection");
+    wait_until(
+        || obj.get_location().map(|l| l != NodeId(2)).unwrap_or(false),
+        "object recovery",
+    );
+
+    let new_home = obj.get_location().unwrap();
+    assert_ne!(new_home, NodeId(2));
+    // The same handle works and the checkpointed state survived.
+    assert_eq!(obj.sinvoke("get", &[]).unwrap(), Value::I64(41));
+    // Updates continue normally after recovery.
+    assert_eq!(
+        obj.sinvoke("add", &[Value::I64(1)]).unwrap(),
+        Value::I64(42)
+    );
+    d.shutdown();
+}
+
+#[test]
+fn uncheckpointed_objects_stay_lost() {
+    // Without checkpointing enabled, failure behaviour is the paper's
+    // §5.1 status quo: the object is simply gone.
+    let d = shell_with_idle_machines(3)
+        .time_scale(1e-4)
+        .monitor_period(2.0)
+        .failure_timeout(50.0)
+        .boot();
+    register_test_classes(&d);
+    let _cluster = d.vda().request_cluster(3, None).unwrap();
+    let reg = d.register_app().unwrap();
+    let obj = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(2)), None).unwrap();
+    d.kill_node(NodeId(2));
+    wait_until(|| d.vda().is_failed(NodeId(2)), "failure detection");
+    std::thread::sleep(Duration::from_millis(50));
+    // Still on the dead node, still failing.
+    assert_eq!(obj.get_location().unwrap(), NodeId(2));
+    assert!(obj.sinvoke("get", &[]).is_err());
+    d.shutdown();
+}
+
+#[test]
+fn recovery_respects_selective_classloading() {
+    // Blob's artifact lives only on nodes 1 and 2; when node 2 dies, the
+    // recovered Blob must land on node 1 (node 0 cannot host it).
+    let d = recovering_deployment(3);
+    let _cluster = d.vda().request_cluster(3, None).unwrap();
+    let reg = d.register_app().unwrap();
+    let cb = reg.codebase();
+    cb.add("blob.jar", 1000);
+    cb.load_phys(NodeId(1)).unwrap();
+    cb.load_phys(NodeId(2)).unwrap();
+    let obj = JsObj::create(
+        &reg,
+        "Blob",
+        &[Value::I64(256)],
+        Placement::OnPhys(NodeId(2)),
+        None,
+    )
+    .unwrap();
+    wait_until(
+        || d.store().keys().iter().any(|k| k.starts_with("__ckpt_")),
+        "first checkpoint",
+    );
+    d.kill_node(NodeId(2));
+    wait_until(|| d.vda().is_failed(NodeId(2)), "failure detection");
+    wait_until(
+        || obj.get_location().map(|l| l == NodeId(1)).unwrap_or(false),
+        "recovery onto the only class-capable survivor",
+    );
+    assert_eq!(obj.sinvoke("size", &[]).unwrap(), Value::I64(256));
+    d.shutdown();
+}
+
+#[test]
+fn multiple_objects_recover_together() {
+    let d = recovering_deployment(4);
+    let _cluster = d.vda().request_cluster(4, None).unwrap();
+    let reg = d.register_app().unwrap();
+    let objs: Vec<JsObj> = (0..5)
+        .map(|k| {
+            JsObj::create(
+                &reg,
+                "Counter",
+                &[Value::I64(k)],
+                Placement::OnPhys(NodeId(3)),
+                None,
+            )
+            .unwrap()
+        })
+        .collect();
+    wait_until(
+        || {
+            d.store()
+                .keys()
+                .iter()
+                .filter(|k| k.starts_with("__ckpt_"))
+                .count()
+                >= 5
+        },
+        "all five checkpointed",
+    );
+    d.kill_node(NodeId(3));
+    wait_until(|| d.vda().is_failed(NodeId(3)), "failure detection");
+    wait_until(
+        || {
+            objs.iter()
+                .all(|o| o.get_location().map(|l| l != NodeId(3)).unwrap_or(false))
+        },
+        "all objects recovered",
+    );
+    for (k, o) in objs.iter().enumerate() {
+        assert_eq!(o.sinvoke("get", &[]).unwrap(), Value::I64(k as i64));
+    }
+    d.shutdown();
+}

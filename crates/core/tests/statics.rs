@@ -1,0 +1,125 @@
+//! Tests of the statics extension (paper §7 future work): per-node static
+//! contexts with all three invocation modes.
+
+use jsym_core::testkit::{register_test_classes, shell_with_idle_machines};
+use jsym_core::{JsError, JsObj, JsStaticRef, Placement, Value};
+use jsym_net::NodeId;
+
+#[test]
+fn static_state_is_shared_per_node() {
+    let d = shell_with_idle_machines(2).boot();
+    register_test_classes(&d);
+    let reg = d.register_app().unwrap();
+    let s1 = JsStaticRef::new(&reg, "Counter", Placement::OnPhys(NodeId(1)), None).unwrap();
+    // Two references to the same node's static context share state.
+    let s1b = JsStaticRef::new(&reg, "Counter", Placement::OnPhys(NodeId(1)), None).unwrap();
+    s1.sinvoke("add", &[Value::I64(5)]).unwrap();
+    assert_eq!(s1b.sinvoke("get", &[]).unwrap(), Value::I64(5));
+    d.shutdown();
+}
+
+#[test]
+fn statics_are_per_node_not_global() {
+    let d = shell_with_idle_machines(3).boot();
+    register_test_classes(&d);
+    let reg = d.register_app().unwrap();
+    let on0 = JsStaticRef::new(&reg, "Counter", Placement::OnPhys(NodeId(0)), None).unwrap();
+    let on1 = JsStaticRef::new(&reg, "Counter", Placement::OnPhys(NodeId(1)), None).unwrap();
+    on0.sinvoke("add", &[Value::I64(3)]).unwrap();
+    on1.sinvoke("add", &[Value::I64(40)]).unwrap();
+    assert_eq!(on0.sinvoke("get", &[]).unwrap(), Value::I64(3));
+    assert_eq!(on1.sinvoke("get", &[]).unwrap(), Value::I64(40));
+    d.shutdown();
+}
+
+#[test]
+fn statics_shared_across_applications() {
+    // Statics live per node (per "JVM"), so two applications touching the
+    // same node's static context observe each other — exactly Java.
+    let d = shell_with_idle_machines(2).boot();
+    register_test_classes(&d);
+    let reg_a = d.register_app().unwrap();
+    let reg_b = d.register_app_on(NodeId(1)).unwrap();
+    let via_a = JsStaticRef::new(&reg_a, "Counter", Placement::OnPhys(NodeId(0)), None).unwrap();
+    let via_b = JsStaticRef::new(&reg_b, "Counter", Placement::OnPhys(NodeId(0)), None).unwrap();
+    via_a.sinvoke("add", &[Value::I64(7)]).unwrap();
+    assert_eq!(via_b.sinvoke("get", &[]).unwrap(), Value::I64(7));
+    d.shutdown();
+}
+
+#[test]
+fn static_invocation_modes_all_work() {
+    let d = shell_with_idle_machines(2).boot();
+    register_test_classes(&d);
+    let reg = d.register_app().unwrap();
+    let st = JsStaticRef::new(&reg, "Counter", Placement::OnPhys(NodeId(1)), None).unwrap();
+    st.oinvoke("add", &[Value::I64(1)]).unwrap();
+    let h = st.ainvoke("add", &[Value::I64(2)]).unwrap();
+    h.get_result().unwrap();
+    // One-sided then async then sync: FIFO per static context guarantees
+    // the sync read sees both.
+    assert_eq!(st.sinvoke("get", &[]).unwrap(), Value::I64(3));
+    d.shutdown();
+}
+
+#[test]
+fn statics_are_independent_from_instances() {
+    let d = shell_with_idle_machines(2).boot();
+    register_test_classes(&d);
+    let reg = d.register_app().unwrap();
+    let st = JsStaticRef::new(&reg, "Counter", Placement::OnPhys(NodeId(0)), None).unwrap();
+    let inst = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(0)), None).unwrap();
+    st.sinvoke("add", &[Value::I64(100)]).unwrap();
+    inst.sinvoke("add", &[Value::I64(1)]).unwrap();
+    assert_eq!(st.sinvoke("get", &[]).unwrap(), Value::I64(100));
+    assert_eq!(inst.sinvoke("get", &[]).unwrap(), Value::I64(1));
+    d.shutdown();
+}
+
+#[test]
+fn class_without_static_context_errors() {
+    let d = shell_with_idle_machines(2).boot();
+    register_test_classes(&d);
+    let reg = d.register_app().unwrap();
+    // Blob registers no static context.
+    let cb = reg.codebase();
+    cb.add("blob.jar", 1000);
+    cb.load_phys(NodeId(0)).unwrap();
+    let st = JsStaticRef::new(&reg, "Blob", Placement::OnPhys(NodeId(0)), None).unwrap();
+    assert!(matches!(
+        st.sinvoke("size", &[]),
+        Err(JsError::NoSuchMethod { .. })
+    ));
+    d.shutdown();
+}
+
+#[test]
+fn statics_respect_selective_classloading() {
+    let d = shell_with_idle_machines(2).boot();
+    register_test_classes(&d);
+    // Give Blob a static context, but never load blob.jar on node 1.
+    d.classes()
+        .set_static("Blob", || {
+            Ok(Box::new(jsym_core::testkit::Blob::from_args(&[Value::I64(4)])) as _)
+        })
+        .unwrap();
+    let reg = d.register_app().unwrap();
+    let st = JsStaticRef::new(&reg, "Blob", Placement::OnPhys(NodeId(1)), None).unwrap();
+    assert!(matches!(
+        st.sinvoke("size", &[]),
+        Err(JsError::ClassNotLoaded { .. })
+    ));
+    // After loading the artifact, it works.
+    let cb = reg.codebase();
+    cb.add("blob.jar", 1000);
+    cb.load_phys(NodeId(1)).unwrap();
+    assert_eq!(st.sinvoke("size", &[]).unwrap(), Value::I64(4));
+    d.shutdown();
+}
+
+#[test]
+fn set_static_on_unknown_class_errors() {
+    let d = shell_with_idle_machines(1).boot();
+    assert!(d.classes().set_static("Ghost", || unreachable!()).is_err());
+    d.shutdown();
+}

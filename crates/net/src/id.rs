@@ -1,0 +1,57 @@
+//! Node identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a physical computing node registered with the runtime.
+///
+/// In the paper every workstation runs one JVM hosting the node's network
+/// agent and public object agent; the `NodeId` is the address of that JVM on
+/// the (simulated) network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the raw index backing this id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        let n = NodeId(7);
+        assert_eq!(n.to_string(), "n7");
+        assert_eq!(format!("{n:?}"), "n7");
+        assert_eq!(n.index(), 7);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId::from(3), NodeId(3));
+    }
+}

@@ -1,0 +1,38 @@
+//! # jsym-net — simulated network substrate for the jsymphony runtime
+//!
+//! JavaSymphony (CLUSTER 2000) runs on a heterogeneous workstation cluster in
+//! which the Sun Ultra machines are connected by 100 Mbit/s Ethernet and the
+//! older SPARCstations by 10 Mbit/s Ethernet. This crate reproduces that
+//! communication substrate in-process:
+//!
+//! * every runtime node registers an **endpoint** (a crossbeam channel) with a
+//!   [`Network`];
+//! * a message send pays **latency + size / bandwidth** for the link between
+//!   the two nodes, derived from each node's [`LinkClass`];
+//! * virtual time is mapped onto real time by a [`SimClock`] so that a full
+//!   cluster experiment runs in milliseconds while preserving the relative
+//!   cost structure;
+//! * node kills and network partitions can be injected for the fault-tolerance
+//!   experiments.
+//!
+//! The payloads carried by the network are opaque to this crate: senders
+//! declare the number of *wire bytes* a message would occupy (computed
+//! analytically by the caller), which feeds the delay model without paying for
+//! actual serialization on every hop.
+
+#![warn(missing_docs)]
+
+mod clock;
+mod id;
+mod link;
+mod message;
+mod network;
+mod queue;
+mod stats;
+
+pub use clock::{sleep_until, SimClock, TimeScale, VirtDur, VirtTime};
+pub use id::NodeId;
+pub use link::{LinkClass, Topology};
+pub use message::{Envelope, Payload};
+pub use network::{Network, NetworkConfig, SendError};
+pub use stats::{NetStats, NetStatsSnapshot};

@@ -1,0 +1,224 @@
+//! Link classes and cluster topology.
+//!
+//! The CLUSTER 2000 testbed wires all Sun Ultra workstations with 100 Mbit/s
+//! Ethernet while the older SPARCstations sit on a shared 10 Mbit/s segment.
+//! We model each node as belonging to one [`LinkClass`]; the effective link
+//! between two nodes is the *slower* of their classes (max latency, min
+//! bandwidth), which matches how mixed-speed segments behaved through the
+//! site's switch. Wide-area links between sites use the `Wan` class.
+
+use crate::{NodeId, VirtDur};
+use std::collections::HashMap;
+
+/// Class of the network attachment of a node (or of a long-haul link).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LinkClass {
+    /// Same-node communication: AppOA and PubOA on one machine interact by
+    /// direct method invocation in the paper, so this is (nearly) free.
+    Loopback,
+    /// 100 Mbit/s switched Ethernet (the Sun Ultras).
+    Lan100,
+    /// 10 Mbit/s shared Ethernet (the older SPARCstations).
+    Lan10,
+    /// A wide-area link between geographically distributed clusters (sites).
+    Wan,
+}
+
+impl LinkClass {
+    /// One-way message latency in virtual seconds.
+    ///
+    /// Values reflect late-90s Java RMI round trips: a null RMI over fast
+    /// Ethernet cost on the order of a millisecond, several milliseconds over
+    /// the 10 Mbit segment, and tens of milliseconds over a WAN.
+    pub fn latency(self) -> VirtDur {
+        match self {
+            LinkClass::Loopback => 20e-6,
+            LinkClass::Lan100 => 0.9e-3,
+            LinkClass::Lan10 => 2.5e-3,
+            LinkClass::Wan => 35e-3,
+        }
+    }
+
+    /// Usable bandwidth in bytes per virtual second.
+    ///
+    /// Ethernet of the era delivered roughly 70-80% of nominal bandwidth to
+    /// applications once protocol and serialization overheads are counted.
+    pub fn bandwidth(self) -> f64 {
+        match self {
+            LinkClass::Loopback => 400e6,
+            LinkClass::Lan100 => 9.0e6,
+            LinkClass::Lan10 => 0.9e6,
+            LinkClass::Wan => 0.25e6,
+        }
+    }
+
+    /// Time to move `bytes` over this link, excluding propagation latency.
+    #[inline]
+    pub fn transfer_time(self, bytes: usize) -> VirtDur {
+        bytes as f64 / self.bandwidth()
+    }
+
+    /// Combines the attachment classes of two endpoints into the effective
+    /// class of the path between them: the slower side dominates.
+    pub fn combine(a: LinkClass, b: LinkClass) -> LinkClass {
+        use LinkClass::*;
+        // Severity order: Loopback < Lan100 < Lan10 < Wan.
+        fn severity(c: LinkClass) -> u8 {
+            match c {
+                Loopback => 0,
+                Lan100 => 1,
+                Lan10 => 2,
+                Wan => 3,
+            }
+        }
+        if severity(a) >= severity(b) {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+/// Per-node link classes plus optional per-pair overrides.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    node_class: HashMap<NodeId, LinkClass>,
+    /// Pair overrides, stored with the smaller id first.
+    pair_class: HashMap<(NodeId, NodeId), LinkClass>,
+    default_class: Option<LinkClass>,
+}
+
+impl Topology {
+    /// An empty topology where unknown nodes default to `Lan100`.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Sets the fallback class for nodes that were never configured.
+    pub fn set_default_class(&mut self, class: LinkClass) {
+        self.default_class = Some(class);
+    }
+
+    /// Declares the attachment class of a node.
+    pub fn set_node_class(&mut self, node: NodeId, class: LinkClass) {
+        self.node_class.insert(node, class);
+    }
+
+    /// Forces the class of the path between two specific nodes (e.g. a WAN
+    /// link between two site gateways), overriding attachment-based
+    /// combination.
+    pub fn set_pair_class(&mut self, a: NodeId, b: NodeId, class: LinkClass) {
+        self.pair_class.insert(Self::key(a, b), class);
+    }
+
+    /// The attachment class of a node.
+    pub fn node_class(&self, node: NodeId) -> LinkClass {
+        self.node_class
+            .get(&node)
+            .copied()
+            .or(self.default_class)
+            .unwrap_or(LinkClass::Lan100)
+    }
+
+    /// Effective class of the path between two nodes.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> LinkClass {
+        if a == b {
+            return LinkClass::Loopback;
+        }
+        if let Some(&c) = self.pair_class.get(&Self::key(a, b)) {
+            return c;
+        }
+        LinkClass::combine(self.node_class(a), self.node_class(b))
+    }
+
+    /// End-to-end delay of a `bytes`-sized message from `a` to `b` in virtual
+    /// seconds: propagation latency plus transmission time.
+    pub fn transfer_delay(&self, a: NodeId, b: NodeId, bytes: usize) -> VirtDur {
+        let link = self.link_between(a, b);
+        link.latency() + link.transfer_time(bytes)
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_prefers_slower_side() {
+        use LinkClass::*;
+        assert_eq!(LinkClass::combine(Lan100, Lan10), Lan10);
+        assert_eq!(LinkClass::combine(Lan10, Lan100), Lan10);
+        assert_eq!(LinkClass::combine(Lan100, Lan100), Lan100);
+        assert_eq!(LinkClass::combine(Wan, Loopback), Wan);
+        assert_eq!(LinkClass::combine(Loopback, Loopback), Loopback);
+    }
+
+    #[test]
+    fn same_node_is_loopback() {
+        let topo = Topology::new();
+        assert_eq!(topo.link_between(NodeId(3), NodeId(3)), LinkClass::Loopback);
+    }
+
+    #[test]
+    fn link_is_symmetric() {
+        let mut topo = Topology::new();
+        topo.set_node_class(NodeId(0), LinkClass::Lan100);
+        topo.set_node_class(NodeId(1), LinkClass::Lan10);
+        assert_eq!(
+            topo.link_between(NodeId(0), NodeId(1)),
+            topo.link_between(NodeId(1), NodeId(0))
+        );
+        assert_eq!(topo.link_between(NodeId(0), NodeId(1)), LinkClass::Lan10);
+    }
+
+    #[test]
+    fn pair_override_wins() {
+        let mut topo = Topology::new();
+        topo.set_node_class(NodeId(0), LinkClass::Lan100);
+        topo.set_node_class(NodeId(1), LinkClass::Lan100);
+        topo.set_pair_class(NodeId(1), NodeId(0), LinkClass::Wan);
+        assert_eq!(topo.link_between(NodeId(0), NodeId(1)), LinkClass::Wan);
+    }
+
+    #[test]
+    fn default_class_used_for_unknown_nodes() {
+        let mut topo = Topology::new();
+        assert_eq!(topo.node_class(NodeId(42)), LinkClass::Lan100);
+        topo.set_default_class(LinkClass::Lan10);
+        assert_eq!(topo.node_class(NodeId(42)), LinkClass::Lan10);
+    }
+
+    #[test]
+    fn slow_link_is_slower_for_large_transfers() {
+        let mut topo = Topology::new();
+        topo.set_node_class(NodeId(0), LinkClass::Lan100);
+        topo.set_node_class(NodeId(1), LinkClass::Lan100);
+        topo.set_node_class(NodeId(2), LinkClass::Lan10);
+        let one_mb = 1 << 20;
+        let fast = topo.transfer_delay(NodeId(0), NodeId(1), one_mb);
+        let slow = topo.transfer_delay(NodeId(0), NodeId(2), one_mb);
+        assert!(
+            slow > 5.0 * fast,
+            "10Mbit should be much slower: {slow} vs {fast}"
+        );
+    }
+
+    #[test]
+    fn latency_ordering_matches_severity() {
+        use LinkClass::*;
+        assert!(Loopback.latency() < Lan100.latency());
+        assert!(Lan100.latency() < Lan10.latency());
+        assert!(Lan10.latency() < Wan.latency());
+        assert!(Loopback.bandwidth() > Lan100.bandwidth());
+        assert!(Lan100.bandwidth() > Lan10.bandwidth());
+        assert!(Lan10.bandwidth() > Wan.bandwidth());
+    }
+}

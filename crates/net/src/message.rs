@@ -1,0 +1,115 @@
+//! Message envelopes carried by the simulated network.
+
+use crate::{NodeId, VirtTime};
+use std::any::Any;
+use std::fmt;
+
+/// An opaque payload plus the metadata the delay model needs.
+///
+/// The network charges for `wire_bytes` — the size the message *would* occupy
+/// on the wire after Java-style serialization — while the in-process transfer
+/// hands over the boxed value directly. Callers compute `wire_bytes`
+/// analytically (see `jsym_core::value::Value::wire_size`).
+pub struct Payload {
+    data: Box<dyn Any + Send>,
+    wire_bytes: usize,
+    tag: &'static str,
+}
+
+impl Payload {
+    /// Wraps `value`, declaring its serialized size and a debugging tag.
+    pub fn new<T: Any + Send>(tag: &'static str, wire_bytes: usize, value: T) -> Self {
+        Payload {
+            data: Box::new(value),
+            wire_bytes,
+            tag,
+        }
+    }
+
+    /// The declared wire size in bytes.
+    #[inline]
+    pub fn wire_bytes(&self) -> usize {
+        self.wire_bytes
+    }
+
+    /// The debugging tag given at construction.
+    #[inline]
+    pub fn tag(&self) -> &'static str {
+        self.tag
+    }
+
+    /// Recovers the payload value, or returns `self` unchanged if the type
+    /// does not match.
+    pub fn downcast<T: Any>(self) -> Result<Box<T>, Payload> {
+        let Payload {
+            data,
+            wire_bytes,
+            tag,
+        } = self;
+        data.downcast::<T>().map_err(|data| Payload {
+            data,
+            wire_bytes,
+            tag,
+        })
+    }
+
+    /// Borrow the payload value if it has type `T`.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.data.downcast_ref::<T>()
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload({}, {} B)", self.tag, self.wire_bytes)
+    }
+}
+
+/// A message in flight (or delivered) on the simulated network.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Virtual time at which the send was issued.
+    pub sent_at: VirtTime,
+    /// The payload.
+    pub payload: Payload,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downcast_right_type() {
+        let p = Payload::new("test", 16, 42u64);
+        assert_eq!(p.wire_bytes(), 16);
+        assert_eq!(p.tag(), "test");
+        let v = p.downcast::<u64>().expect("type matches");
+        assert_eq!(*v, 42);
+    }
+
+    #[test]
+    fn downcast_wrong_type_returns_payload() {
+        let p = Payload::new("test", 8, 1.5f64);
+        let p = p.downcast::<u32>().expect_err("wrong type");
+        // The original payload survives intact.
+        assert_eq!(p.wire_bytes(), 8);
+        assert_eq!(*p.downcast::<f64>().unwrap(), 1.5);
+    }
+
+    #[test]
+    fn downcast_ref_borrows() {
+        let p = Payload::new("s", 4, String::from("hi"));
+        assert_eq!(p.downcast_ref::<String>().map(|s| s.as_str()), Some("hi"));
+        assert!(p.downcast_ref::<u8>().is_none());
+    }
+
+    #[test]
+    fn debug_formats_tag_and_size() {
+        let p = Payload::new("invoke", 128, ());
+        assert_eq!(format!("{p:?}"), "Payload(invoke, 128 B)");
+    }
+}

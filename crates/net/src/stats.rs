@@ -1,0 +1,105 @@
+//! Traffic accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live traffic counters, shared between the network and its users.
+///
+/// These back the paper's network-related system parameters (packets/bytes in
+/// and out) and the EXPERIMENTS.md overhead numbers.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    msgs_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    msgs_delivered: AtomicU64,
+    msgs_dropped: AtomicU64,
+}
+
+impl NetStats {
+    /// Records a message accepted for delivery.
+    pub fn record_send(&self, bytes: usize) {
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records a successful delivery to an endpoint.
+    pub fn record_delivery(&self) {
+        self.msgs_delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a message dropped (dead node, partition, closed endpoint).
+    pub fn record_drop(&self) {
+        self.msgs_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot of the counters.
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            msgs_delivered: self.msgs_delivered.load(Ordering::Relaxed),
+            msgs_dropped: self.msgs_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of the network counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// Messages accepted by [`crate::Network::send`].
+    pub msgs_sent: u64,
+    /// Total declared wire bytes of accepted messages.
+    pub bytes_sent: u64,
+    /// Messages actually handed to a receiving endpoint.
+    pub msgs_delivered: u64,
+    /// Messages dropped in flight or at delivery.
+    pub msgs_dropped: u64,
+}
+
+impl NetStatsSnapshot {
+    /// Messages still queued (sent but neither delivered nor dropped).
+    pub fn in_flight(&self) -> u64 {
+        self.msgs_sent
+            .saturating_sub(self.msgs_delivered + self.msgs_dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = NetStats::default();
+        s.record_send(100);
+        s.record_send(50);
+        s.record_delivery();
+        s.record_drop();
+        let snap = s.snapshot();
+        assert_eq!(snap.msgs_sent, 2);
+        assert_eq!(snap.bytes_sent, 150);
+        assert_eq!(snap.msgs_delivered, 1);
+        assert_eq!(snap.msgs_dropped, 1);
+        assert_eq!(snap.in_flight(), 0);
+    }
+
+    #[test]
+    fn in_flight_counts_pending() {
+        let s = NetStats::default();
+        s.record_send(1);
+        s.record_send(1);
+        s.record_send(1);
+        s.record_delivery();
+        assert_eq!(s.snapshot().in_flight(), 2);
+    }
+
+    #[test]
+    fn in_flight_saturates_rather_than_underflowing() {
+        let snap = NetStatsSnapshot {
+            msgs_sent: 1,
+            bytes_sent: 0,
+            msgs_delivered: 2,
+            msgs_dropped: 0,
+        };
+        assert_eq!(snap.in_flight(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the network substrate.
+
+use jsym_net::{LinkClass, NodeId, Topology};
+use proptest::prelude::*;
+
+fn arb_class() -> impl Strategy<Value = LinkClass> {
+    prop_oneof![
+        Just(LinkClass::Loopback),
+        Just(LinkClass::Lan100),
+        Just(LinkClass::Lan10),
+        Just(LinkClass::Wan),
+    ]
+}
+
+proptest! {
+    /// The effective link between two nodes does not depend on direction.
+    #[test]
+    fn link_symmetric(ca in arb_class(), cb in arb_class(), a in 0u32..64, b in 0u32..64) {
+        let mut topo = Topology::new();
+        topo.set_node_class(NodeId(a), ca);
+        topo.set_node_class(NodeId(b), cb);
+        prop_assert_eq!(
+            topo.link_between(NodeId(a), NodeId(b)),
+            topo.link_between(NodeId(b), NodeId(a))
+        );
+    }
+
+    /// Transfer delay is monotonically non-decreasing in message size.
+    #[test]
+    fn delay_monotone_in_size(
+        ca in arb_class(), cb in arb_class(),
+        s1 in 0usize..4_000_000, s2 in 0usize..4_000_000,
+    ) {
+        let mut topo = Topology::new();
+        topo.set_node_class(NodeId(0), ca);
+        topo.set_node_class(NodeId(1), cb);
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        prop_assert!(
+            topo.transfer_delay(NodeId(0), NodeId(1), lo)
+                <= topo.transfer_delay(NodeId(0), NodeId(1), hi)
+        );
+    }
+
+    /// Combine is commutative, associative and idempotent (a join semilattice),
+    /// which is what lets mixed segments be modeled pairwise.
+    #[test]
+    fn combine_is_semilattice(a in arb_class(), b in arb_class(), c in arb_class()) {
+        prop_assert_eq!(LinkClass::combine(a, b), LinkClass::combine(b, a));
+        prop_assert_eq!(
+            LinkClass::combine(LinkClass::combine(a, b), c),
+            LinkClass::combine(a, LinkClass::combine(b, c))
+        );
+        prop_assert_eq!(LinkClass::combine(a, a), a);
+    }
+
+    /// A combined link is never faster than either side.
+    #[test]
+    fn combine_never_faster(a in arb_class(), b in arb_class()) {
+        let c = LinkClass::combine(a, b);
+        prop_assert!(c.latency() >= a.latency().min(b.latency()));
+        prop_assert!(c.bandwidth() <= a.bandwidth().max(b.bandwidth()));
+        prop_assert!(c == a || c == b);
+    }
+
+    /// Loopback is the identity of combine.
+    #[test]
+    fn loopback_is_identity(a in arb_class()) {
+        prop_assert_eq!(LinkClass::combine(a, LinkClass::Loopback), a);
+    }
+
+    /// Self-links are always loopback regardless of configuration.
+    #[test]
+    fn self_link_is_loopback(c in arb_class(), n in 0u32..64) {
+        let mut topo = Topology::new();
+        topo.set_node_class(NodeId(n), c);
+        prop_assert_eq!(topo.link_between(NodeId(n), NodeId(n)), LinkClass::Loopback);
+    }
+}
+
+mod delivery_props {
+    use jsym_net::{LinkClass, Network, NodeId, Payload, SimClock, TimeScale, Topology};
+    use proptest::prelude::*;
+    use std::time::Duration;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Messages of arbitrary sizes sent on one directed pair arrive in
+        /// send order (connection FIFO), whatever the interleaving of sizes.
+        #[test]
+        fn pair_fifo_regardless_of_sizes(sizes in proptest::collection::vec(0usize..200_000, 1..12)) {
+            let mut topo = Topology::new();
+            topo.set_default_class(LinkClass::Lan10);
+            let net = Network::new(SimClock::new(TimeScale::new(1e-5)), topo);
+            let _a = net.register(NodeId(0));
+            let b = net.register(NodeId(1));
+            for (i, &size) in sizes.iter().enumerate() {
+                net.send(NodeId(0), NodeId(1), Payload::new("p", size, i as u32)).unwrap();
+            }
+            for i in 0..sizes.len() {
+                let env = b.recv_timeout(Duration::from_secs(5)).unwrap();
+                prop_assert_eq!(*env.payload.downcast::<u32>().unwrap(), i as u32);
+            }
+        }
+
+        /// Every accepted message is eventually delivered exactly once when
+        /// no faults are injected.
+        #[test]
+        fn no_loss_no_duplication(n in 1usize..40) {
+            let mut topo = Topology::new();
+            topo.set_default_class(LinkClass::Lan100);
+            let net = Network::new(SimClock::new(TimeScale::new(1e-6)), topo);
+            let _a = net.register(NodeId(0));
+            let b = net.register(NodeId(1));
+            for i in 0..n {
+                net.send(NodeId(0), NodeId(1), Payload::new("p", 64, i as u32)).unwrap();
+            }
+            let mut got = Vec::new();
+            for _ in 0..n {
+                let env = b.recv_timeout(Duration::from_secs(5)).unwrap();
+                got.push(*env.payload.downcast::<u32>().unwrap());
+            }
+            prop_assert!(b.try_recv().is_err(), "duplicate delivery");
+            got.sort_unstable();
+            prop_assert_eq!(got, (0..n as u32).collect::<Vec<_>>());
+        }
+    }
+}

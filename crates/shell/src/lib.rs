@@ -1,0 +1,24 @@
+//! # jsym-shell — the JS-Shell as an interactive tool
+//!
+//! Paper §5: "The nodes on which JRS is installed are configured by using
+//! the JS-Shell. The set of nodes can be changed by adding or removing nodes
+//! dynamically during execution of JavaSymphony applications (JSAs) by using
+//! JS-Shell. ... The performance measurement and collection periods can be
+//! controlled under the JS-Shell. ... it is possible to enable/disable
+//! automatic migration under the JS-Shell."
+//!
+//! This crate turns that administration surface into a small command
+//! language (parse with [`Command::parse`], run with
+//! [`ShellSession::execute`]) plus a REPL binary (`jsym-shell`). The
+//! commands operate on a live [`jsym_core::Deployment`] and an administrative
+//! application registration, so everything the paper's shell could do —
+//! inspect system parameters, build architectures, place and migrate
+//! objects, toggle auto-migration, kill nodes — can be done by hand.
+
+#![warn(missing_docs)]
+
+mod command;
+mod session;
+
+pub use command::{Command, ParseError};
+pub use session::ShellSession;

@@ -1,0 +1,1 @@
+//! Workspace integration-test host; the test sources live in `tests/` at the repository root (see Cargo.toml `[[test]]` entries).

@@ -1,0 +1,195 @@
+//! Hierarchical aggregation of snapshots.
+//!
+//! Paper §5.1: "The nodes forward the observed system parameters to their
+//! associated cluster manager which *averages* these values across all
+//! cluster nodes and stores them locally. The cluster manager forwards these
+//! data to the site manager ... and finally sends averaged values to the
+//! domain manager." System parameters for clusters, sites and domains are
+//! therefore the mean over the contained nodes; string-valued parameters are
+//! kept only when uniform.
+
+use crate::{ParamValue, SysParam, SysSnapshot};
+use std::collections::BTreeMap;
+
+/// Averages a set of node snapshots into a component snapshot.
+///
+/// * numeric parameters: arithmetic mean over the snapshots that carry them;
+/// * string parameters: kept if every snapshot agrees, dropped otherwise;
+/// * `at`: the latest constituent timestamp.
+///
+/// Returns an empty snapshot for empty input.
+pub fn average(snapshots: &[SysSnapshot]) -> SysSnapshot {
+    if snapshots.is_empty() {
+        return SysSnapshot::empty(0.0);
+    }
+    let at = snapshots.iter().map(|s| s.at).fold(f64::MIN, f64::max);
+    let mut out = SysSnapshot::empty(at);
+
+    let mut sums: BTreeMap<SysParam, (f64, usize)> = BTreeMap::new();
+    let mut strings: BTreeMap<SysParam, Option<&str>> = BTreeMap::new();
+
+    for snap in snapshots {
+        for (&param, value) in snap.iter() {
+            match value {
+                ParamValue::Num(n) => {
+                    let e = sums.entry(param).or_insert((0.0, 0));
+                    e.0 += n;
+                    e.1 += 1;
+                }
+                ParamValue::Str(s) => {
+                    strings
+                        .entry(param)
+                        .and_modify(|cur| {
+                            if *cur != Some(s.as_str()) {
+                                *cur = None; // disagreement: drop
+                            }
+                        })
+                        .or_insert(Some(s.as_str()));
+                }
+            }
+        }
+    }
+
+    for (param, (sum, count)) in sums {
+        out.set(param, sum / count as f64);
+    }
+    for (param, s) in strings {
+        if let Some(s) = s {
+            // A string param present in only a subset is still not uniform
+            // across the component; require full coverage.
+            let coverage = snapshots
+                .iter()
+                .filter(|snap| snap.str(param) == Some(s))
+                .count();
+            if coverage == snapshots.len() {
+                out.set(param, s);
+            }
+        }
+    }
+    out
+}
+
+/// Averages pre-aggregated component snapshots weighted by node count —
+/// used when a site manager combines cluster averages of different sizes so
+/// the site average still equals the average over all its nodes.
+pub fn weighted_average(components: &[(SysSnapshot, usize)]) -> SysSnapshot {
+    if components.is_empty() {
+        return SysSnapshot::empty(0.0);
+    }
+    let at = components
+        .iter()
+        .map(|(s, _)| s.at)
+        .fold(f64::MIN, f64::max);
+    let mut out = SysSnapshot::empty(at);
+    let mut sums: BTreeMap<SysParam, (f64, f64)> = BTreeMap::new();
+    for (snap, weight) in components {
+        let w = (*weight).max(1) as f64;
+        for (&param, value) in snap.iter() {
+            if let ParamValue::Num(n) = value {
+                let e = sums.entry(param).or_insert((0.0, 0.0));
+                e.0 += n * w;
+                e.1 += w;
+            }
+        }
+    }
+    for (param, (sum, wsum)) in sums {
+        out.set(param, sum / wsum);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(at: f64, idle: f64, name: &str) -> SysSnapshot {
+        let mut s = SysSnapshot::empty(at);
+        s.set(SysParam::IdlePct, idle);
+        s.set(SysParam::NodeName, name);
+        s.set(SysParam::OsName, "SunOS");
+        s
+    }
+
+    #[test]
+    fn numeric_params_are_averaged() {
+        let avg = average(&[snap(1.0, 80.0, "a"), snap(2.0, 40.0, "b")]);
+        assert_eq!(avg.num(SysParam::IdlePct), Some(60.0));
+        assert_eq!(avg.at, 2.0);
+    }
+
+    #[test]
+    fn uniform_strings_survive_divergent_dropped() {
+        let avg = average(&[snap(0.0, 1.0, "a"), snap(0.0, 1.0, "b")]);
+        assert_eq!(avg.str(SysParam::OsName), Some("SunOS"));
+        assert_eq!(avg.str(SysParam::NodeName), None);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_snapshot() {
+        let avg = average(&[]);
+        assert!(avg.is_empty());
+    }
+
+    #[test]
+    fn single_snapshot_is_identity_on_numerics() {
+        let s = snap(3.0, 55.0, "only");
+        let avg = average(std::slice::from_ref(&s));
+        assert_eq!(avg.num(SysParam::IdlePct), Some(55.0));
+        assert_eq!(avg.str(SysParam::NodeName), Some("only"));
+    }
+
+    #[test]
+    fn param_missing_from_some_nodes_averages_over_present_ones() {
+        let mut a = SysSnapshot::empty(0.0);
+        a.set(SysParam::AvailMem, 100.0);
+        let b = SysSnapshot::empty(0.0); // lacks AvailMem
+        let avg = average(&[a, b]);
+        assert_eq!(avg.num(SysParam::AvailMem), Some(100.0));
+    }
+
+    #[test]
+    fn partially_present_string_is_dropped() {
+        let mut a = SysSnapshot::empty(0.0);
+        a.set(SysParam::OsName, "SunOS");
+        let b = SysSnapshot::empty(0.0);
+        let avg = average(&[a, b]);
+        assert_eq!(avg.str(SysParam::OsName), None);
+    }
+
+    #[test]
+    fn weighted_average_respects_node_counts() {
+        let mut big = SysSnapshot::empty(1.0);
+        big.set(SysParam::IdlePct, 90.0);
+        let mut small = SysSnapshot::empty(1.0);
+        small.set(SysParam::IdlePct, 30.0);
+        // 3 nodes at 90 idle + 1 node at 30 idle = 75 average.
+        let avg = weighted_average(&[(big, 3), (small, 1)]);
+        assert_eq!(avg.num(SysParam::IdlePct), Some(75.0));
+    }
+
+    #[test]
+    fn weighted_average_of_nothing_is_empty() {
+        assert!(weighted_average(&[]).is_empty());
+    }
+
+    #[test]
+    fn hierarchical_equivalence() {
+        // Averaging node snapshots directly equals weighted-averaging the
+        // cluster averages — the invariant the manager hierarchy relies on.
+        let nodes_c1 = vec![
+            snap(0.0, 10.0, "a"),
+            snap(0.0, 20.0, "b"),
+            snap(0.0, 30.0, "c"),
+        ];
+        let nodes_c2 = vec![snap(0.0, 70.0, "d")];
+        let all: Vec<_> = nodes_c1.iter().chain(nodes_c2.iter()).cloned().collect();
+        let direct = average(&all);
+        let hier = weighted_average(&[
+            (average(&nodes_c1), nodes_c1.len()),
+            (average(&nodes_c2), nodes_c2.len()),
+        ]);
+        let d = direct.num(SysParam::IdlePct).unwrap();
+        let h = hier.num(SysParam::IdlePct).unwrap();
+        assert!((d - h).abs() < 1e-9, "{d} vs {h}");
+    }
+}

@@ -1,0 +1,364 @@
+//! The constraint engine (`JSConstraints`, paper §4.2).
+
+use crate::{ParamValue, SysParam, SysSnapshot};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A relational operator in a constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RelOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl RelOp {
+    /// Parses the operator spellings the paper uses in `setConstraints`.
+    pub fn parse(s: &str) -> Option<RelOp> {
+        match s {
+            "<" => Some(RelOp::Lt),
+            "<=" => Some(RelOp::Le),
+            ">" => Some(RelOp::Gt),
+            ">=" => Some(RelOp::Ge),
+            "==" | "=" => Some(RelOp::Eq),
+            "!=" | "<>" => Some(RelOp::Ne),
+            _ => None,
+        }
+    }
+
+    /// Applies the operator to two numbers.
+    pub fn eval_num(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            RelOp::Lt => lhs < rhs,
+            RelOp::Le => lhs <= rhs,
+            RelOp::Gt => lhs > rhs,
+            RelOp::Ge => lhs >= rhs,
+            RelOp::Eq => lhs == rhs,
+            RelOp::Ne => lhs != rhs,
+        }
+    }
+
+    /// Applies the operator to two strings (lexicographic for orderings).
+    pub fn eval_str(self, lhs: &str, rhs: &str) -> bool {
+        match self {
+            RelOp::Lt => lhs < rhs,
+            RelOp::Le => lhs <= rhs,
+            RelOp::Gt => lhs > rhs,
+            RelOp::Ge => lhs >= rhs,
+            RelOp::Eq => lhs == rhs,
+            RelOp::Ne => lhs != rhs,
+        }
+    }
+
+    /// The logical negation of this operator.
+    pub fn negate(self) -> RelOp {
+        match self {
+            RelOp::Lt => RelOp::Ge,
+            RelOp::Le => RelOp::Gt,
+            RelOp::Gt => RelOp::Le,
+            RelOp::Ge => RelOp::Lt,
+            RelOp::Eq => RelOp::Ne,
+            RelOp::Ne => RelOp::Eq,
+        }
+    }
+}
+
+impl fmt::Display for RelOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RelOp::Lt => "<",
+            RelOp::Le => "<=",
+            RelOp::Gt => ">",
+            RelOp::Ge => ">=",
+            RelOp::Eq => "==",
+            RelOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Conversion accepted where an operator is expected — either a [`RelOp`] or
+/// one of the paper's string spellings (`"<="`, `"!="`, ...).
+pub trait IntoRelOp {
+    /// Converts to a [`RelOp`], or `None` for an unknown spelling.
+    fn into_rel_op(self) -> Option<RelOp>;
+}
+
+impl IntoRelOp for RelOp {
+    fn into_rel_op(self) -> Option<RelOp> {
+        Some(self)
+    }
+}
+impl IntoRelOp for &str {
+    fn into_rel_op(self) -> Option<RelOp> {
+        RelOp::parse(self)
+    }
+}
+
+/// Conversion accepted where a constraint value is expected; re-exported name
+/// for the `impl Into<ParamValue>` bound so callers can name it.
+pub trait IntoParamValue: Into<ParamValue> {}
+impl<T: Into<ParamValue>> IntoParamValue for T {}
+
+/// One `system_parameter relational_operator number_string` constraint.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// The parameter being constrained.
+    pub param: SysParam,
+    /// The relational operator.
+    pub op: RelOp,
+    /// The comparison value.
+    pub value: ParamValue,
+}
+
+impl Constraint {
+    /// Evaluates the constraint against a snapshot.
+    ///
+    /// A parameter missing from the snapshot, or a number/string kind
+    /// mismatch, makes the constraint fail — a node the runtime cannot
+    /// assess is never admitted.
+    pub fn holds(&self, snap: &SysSnapshot) -> bool {
+        match (snap.get(self.param), &self.value) {
+            (Some(ParamValue::Num(l)), ParamValue::Num(r)) => self.op.eval_num(*l, *r),
+            (Some(ParamValue::Str(l)), ParamValue::Str(r)) => self.op.eval_str(l, r),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.param, self.op, self.value)
+    }
+}
+
+/// A conjunction of constraints — the Rust `JSConstraints`.
+///
+/// ```
+/// use jsym_sysmon::{JsConstraints, SysParam};
+///
+/// let mut constr = JsConstraints::new();
+/// constr.set(SysParam::NodeName, "!=", "milena");
+/// constr.set(SysParam::CpuSysPct, "<=", 10);
+/// constr.set(SysParam::IdlePct, ">=", 50);
+/// constr.set(SysParam::AvailMem, ">=", 50);
+/// constr.set(SysParam::SwapSpaceRatio, "<=", 0.3);
+/// assert_eq!(constr.len(), 5);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct JsConstraints {
+    constraints: Vec<Constraint>,
+}
+
+impl JsConstraints {
+    /// An empty (always-satisfied) constraint set.
+    pub fn new() -> Self {
+        JsConstraints::default()
+    }
+
+    /// Adds a constraint, mirroring the paper's
+    /// `setConstraints(param, "<=", 10)`.
+    ///
+    /// # Panics
+    /// Panics if `op` is an unknown operator spelling; use
+    /// [`JsConstraints::try_set`] to handle that as an error.
+    pub fn set(
+        &mut self,
+        param: SysParam,
+        op: impl IntoRelOp,
+        value: impl Into<ParamValue>,
+    ) -> &mut Self {
+        self.try_set(param, op, value)
+            .expect("invalid relational operator in JsConstraints::set")
+    }
+
+    /// Fallible version of [`JsConstraints::set`].
+    pub fn try_set(
+        &mut self,
+        param: SysParam,
+        op: impl IntoRelOp,
+        value: impl Into<ParamValue>,
+    ) -> Option<&mut Self> {
+        let op = op.into_rel_op()?;
+        self.constraints.push(Constraint {
+            param,
+            op,
+            value: value.into(),
+        });
+        Some(self)
+    }
+
+    /// Whether every constraint holds for `snap`.
+    pub fn holds(&self, snap: &SysSnapshot) -> bool {
+        self.constraints.iter().all(|c| c.holds(snap))
+    }
+
+    /// The constraints that fail for `snap` (empty ⇒ admitted).
+    pub fn failing<'a>(&'a self, snap: &SysSnapshot) -> Vec<&'a Constraint> {
+        self.constraints.iter().filter(|c| !c.holds(snap)).collect()
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the set is empty (always satisfied).
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Iterates over the constraints.
+    pub fn iter(&self) -> impl Iterator<Item = &Constraint> {
+        self.constraints.iter()
+    }
+
+    /// Merges another constraint set into this one (conjunction).
+    pub fn and(&mut self, other: &JsConstraints) -> &mut Self {
+        self.constraints.extend(other.constraints.iter().cloned());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LoadModel, LoadProfile, MachineSpec};
+
+    fn snapshot(name: &str, cpu: f64, mem_mb: f64) -> SysSnapshot {
+        let spec = MachineSpec::generic(name, 20.0, mem_mb);
+        let load = LoadModel::new(LoadProfile::Constant(cpu), 0).sample(5.0, &spec);
+        SysSnapshot::for_machine(&spec, &load, 0.0, 0.0, 5.0)
+    }
+
+    #[test]
+    fn operator_parsing() {
+        assert_eq!(RelOp::parse("<="), Some(RelOp::Le));
+        assert_eq!(RelOp::parse("!="), Some(RelOp::Ne));
+        assert_eq!(RelOp::parse("=="), Some(RelOp::Eq));
+        assert_eq!(RelOp::parse("="), Some(RelOp::Eq));
+        assert_eq!(RelOp::parse("<>"), Some(RelOp::Ne));
+        assert_eq!(RelOp::parse("~="), None);
+    }
+
+    #[test]
+    fn paper_example_constraints() {
+        // The §4.2 example: exclude "milena", sys load <= 10, idle >= 50,
+        // avail mem >= 50 MB, swap ratio <= 0.3.
+        let mut constr = JsConstraints::new();
+        constr.set(SysParam::NodeName, "!=", "milena");
+        constr.set(SysParam::CpuSysPct, "<=", 10);
+        constr.set(SysParam::IdlePct, ">=", 50);
+        constr.set(SysParam::AvailMem, ">=", 50);
+        constr.set(SysParam::SwapSpaceRatio, "<=", 0.3);
+
+        let idle_box = snapshot("rachel", 0.05, 512.0);
+        assert!(constr.holds(&idle_box), "{:?}", constr.failing(&idle_box));
+
+        let named_milena = snapshot("milena", 0.05, 512.0);
+        assert!(!constr.holds(&named_milena));
+
+        let busy_box = snapshot("rachel", 0.9, 512.0);
+        assert!(!constr.holds(&busy_box));
+    }
+
+    #[test]
+    fn failing_lists_exactly_the_violations() {
+        let mut constr = JsConstraints::new();
+        constr.set(SysParam::NodeName, "==", "zeus");
+        constr.set(SysParam::IdlePct, ">=", 0);
+        let snap = snapshot("hera", 0.1, 128.0);
+        let failing = constr.failing(&snap);
+        assert_eq!(failing.len(), 1);
+        assert_eq!(failing[0].param, SysParam::NodeName);
+    }
+
+    #[test]
+    fn empty_set_always_holds() {
+        assert!(JsConstraints::new().holds(&snapshot("a", 0.99, 16.0)));
+    }
+
+    #[test]
+    fn kind_mismatch_fails_closed() {
+        let mut constr = JsConstraints::new();
+        // Comparing a string parameter against a number can never hold.
+        constr.set(SysParam::NodeName, "==", 5);
+        assert!(!constr.holds(&snapshot("5", 0.0, 128.0)));
+        // And a numeric parameter against a string.
+        let mut c2 = JsConstraints::new();
+        c2.set(SysParam::IdlePct, ">=", "fifty");
+        assert!(!c2.holds(&snapshot("a", 0.0, 128.0)));
+    }
+
+    #[test]
+    fn missing_param_fails_closed() {
+        let c = Constraint {
+            param: SysParam::IdlePct,
+            op: RelOp::Ge,
+            value: ParamValue::Num(0.0),
+        };
+        assert!(!c.holds(&SysSnapshot::empty(0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid relational operator")]
+    fn set_panics_on_bad_operator() {
+        JsConstraints::new().set(SysParam::IdlePct, "~~", 1);
+    }
+
+    #[test]
+    fn try_set_reports_bad_operator() {
+        let mut c = JsConstraints::new();
+        assert!(c.try_set(SysParam::IdlePct, "~~", 1).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn and_composes_conjunctions() {
+        let mut a = JsConstraints::new();
+        a.set(SysParam::IdlePct, ">=", 50);
+        let mut b = JsConstraints::new();
+        b.set(SysParam::AvailMem, ">=", 50);
+        a.and(&b);
+        assert_eq!(a.len(), 2);
+        let busy = snapshot("x", 0.9, 512.0);
+        assert!(!a.holds(&busy));
+    }
+
+    #[test]
+    fn string_ordering_is_lexicographic() {
+        let snap = snapshot("beta", 0.0, 128.0);
+        let mut c = JsConstraints::new();
+        c.set(SysParam::NodeName, "<", "gamma");
+        assert!(c.holds(&snap));
+        let mut c2 = JsConstraints::new();
+        c2.set(SysParam::NodeName, "<", "alpha");
+        assert!(!c2.holds(&snap));
+    }
+
+    #[test]
+    fn negate_is_involutive_and_complementary() {
+        for op in [
+            RelOp::Lt,
+            RelOp::Le,
+            RelOp::Gt,
+            RelOp::Ge,
+            RelOp::Eq,
+            RelOp::Ne,
+        ] {
+            assert_eq!(op.negate().negate(), op);
+            for (l, r) in [(1.0, 2.0), (2.0, 1.0), (1.0, 1.0)] {
+                assert_ne!(op.eval_num(l, r), op.negate().eval_num(l, r));
+            }
+        }
+    }
+}

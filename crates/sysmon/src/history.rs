@@ -1,0 +1,120 @@
+//! Bounded measurement history.
+//!
+//! Paper §5.1: "Storage size for these data is kept reasonably small as only
+//! the least recently measured data are kept. Currently we do not maintain a
+//! history of measurements, although, it would be easy to support it." We
+//! support the small ring the paper hints at; managers keep the latest value
+//! plus a short window used by tests and the monitoring experiments.
+
+use crate::{SysParam, SysSnapshot};
+use std::collections::VecDeque;
+
+/// A fixed-capacity ring of snapshots, newest last.
+#[derive(Clone, Debug)]
+pub struct ParamHistory {
+    capacity: usize,
+    ring: VecDeque<SysSnapshot>,
+}
+
+impl ParamHistory {
+    /// Creates a history holding at most `capacity` snapshots.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "history capacity must be positive");
+        ParamHistory {
+            capacity,
+            ring: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a snapshot, evicting the oldest when full.
+    pub fn push(&mut self, snap: SysSnapshot) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(snap);
+    }
+
+    /// The most recent snapshot.
+    pub fn latest(&self) -> Option<&SysSnapshot> {
+        self.ring.back()
+    }
+
+    /// Number of stored snapshots.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &SysSnapshot> {
+        self.ring.iter()
+    }
+
+    /// Mean of a numeric parameter over the stored window.
+    pub fn mean(&self, param: SysParam) -> Option<f64> {
+        let values: Vec<f64> = self.ring.iter().filter_map(|s| s.num(param)).collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(values.iter().sum::<f64>() / values.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(at: f64, idle: f64) -> SysSnapshot {
+        let mut s = SysSnapshot::empty(at);
+        s.set(SysParam::IdlePct, idle);
+        s
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut h = ParamHistory::new(3);
+        for i in 0..5 {
+            h.push(snap(i as f64, i as f64 * 10.0));
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.iter().next().unwrap().at, 2.0);
+        assert_eq!(h.latest().unwrap().at, 4.0);
+    }
+
+    #[test]
+    fn mean_over_window() {
+        let mut h = ParamHistory::new(4);
+        h.push(snap(0.0, 10.0));
+        h.push(snap(1.0, 20.0));
+        h.push(snap(2.0, 60.0));
+        assert_eq!(h.mean(SysParam::IdlePct), Some(30.0));
+        assert_eq!(h.mean(SysParam::AvailMem), None);
+    }
+
+    #[test]
+    fn empty_history() {
+        let h = ParamHistory::new(2);
+        assert!(h.is_empty());
+        assert!(h.latest().is_none());
+        assert_eq!(h.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        ParamHistory::new(0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # jsym-sysmon — system parameters, load models and the constraint engine
+//!
+//! JavaSymphony's runtime exposes "close to 40 different system parameters"
+//! (paper §5.1), obtained on Solaris by shelling out through
+//! `java.lang.Runtime.exec`. Programmers use them in two ways:
+//!
+//! * **constraints** (`JSConstraints`) restricting which physical nodes may
+//!   join a virtual architecture or host an object, e.g.
+//!   `IDLE >= 50 && AVAIL_MEM >= 50 && NODE_NAME != "milena"`;
+//! * **direct queries** (`getSysParam`) driving explicit migration decisions.
+//!
+//! This crate reproduces that machinery for the simulated testbed:
+//!
+//! * [`SysParam`] — the catalogue of static and dynamic parameters;
+//! * [`MachineSpec`] — the static description of a workstation;
+//! * [`LoadModel`]/[`LoadProfile`] — deterministic, seeded synthetic load
+//!   (including the paper's *day* and *night* regimes);
+//! * [`SimMachine`] — a live machine: spec + load + CPU contention, able to
+//!   produce [`SysSnapshot`]s and to *execute* modeled work (`compute`);
+//! * [`JsConstraints`] — the constraint engine;
+//! * [`aggregate`] — the averaging used when cluster/site/domain managers
+//!   roll node values up the manager hierarchy.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+mod constraints;
+mod history;
+mod load;
+mod machine;
+mod param;
+mod simmachine;
+mod snapshot;
+
+pub use constraints::{Constraint, IntoParamValue, IntoRelOp, JsConstraints, RelOp};
+pub use history::ParamHistory;
+pub use load::{LoadModel, LoadProfile, UserLoad};
+pub use machine::MachineSpec;
+pub use param::{ParamValue, SysParam};
+pub use simmachine::SimMachine;
+pub use snapshot::SysSnapshot;

@@ -1,0 +1,452 @@
+//! Synthetic background-load models.
+//!
+//! The CLUSTER 2000 testbed is *non-dedicated*: "these workstations are used
+//! by individual people for their regular work", and the experiment is run
+//! twice — during the day under user load, and at night with very little
+//! load. Since we cannot replay the 2000-era office traffic, we substitute a
+//! deterministic, seeded value-noise model with two calibrated regimes:
+//!
+//! * [`LoadProfile::Day`] — mean CPU utilisation ≈ 40%, slow swings (editing,
+//!   builds, mail) plus fast jitter;
+//! * [`LoadProfile::Night`] — mean ≈ 4%, small jitter (cron jobs, daemons).
+//!
+//! Additional profiles ([`Constant`](LoadProfile::Constant),
+//! [`Spike`](LoadProfile::Spike), [`Trace`](LoadProfile::Trace)) serve the
+//! constraint/auto-migration experiments. Everything is a pure function of
+//! `(profile, seed, virtual time)`, so runs are reproducible.
+
+use crate::machine::MachineSpec;
+use jsym_net::VirtTime;
+use serde::{Deserialize, Serialize};
+
+/// The shape of the background load on a node.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LoadProfile {
+    /// No background activity at all.
+    Idle,
+    /// Fixed CPU utilisation in `[0, 1)`.
+    Constant(f64),
+    /// Office-hours user load (the paper's daytime runs).
+    Day,
+    /// Overnight load (the paper's night runs).
+    Night,
+    /// Base load with a rectangular utilisation spike, for migration tests.
+    Spike {
+        /// Utilisation outside the spike.
+        base: f64,
+        /// Utilisation inside the spike.
+        level: f64,
+        /// Spike start (virtual seconds).
+        start: f64,
+        /// Spike end (virtual seconds).
+        end: f64,
+    },
+    /// Piecewise-constant replay of explicit samples.
+    Trace {
+        /// Utilisation samples in `[0, 1)`.
+        samples: Vec<f64>,
+        /// Seconds covered by each sample.
+        step: f64,
+    },
+    /// A bounded random walk around `mean`: utilisation drifts by at most
+    /// `step` per `period` seconds — a user whose activity wanders.
+    RandomWalk {
+        /// Long-run mean utilisation.
+        mean: f64,
+        /// Maximum drift per period.
+        step: f64,
+        /// Seconds between drift steps.
+        period: f64,
+    },
+    /// Poisson-arriving background jobs: in any window of `period` seconds
+    /// a job arrives with the given `probability` and loads the machine at
+    /// `level` for `duration` seconds — batch jobs landing on a shared box.
+    Bursts {
+        /// Arrival probability per period window.
+        probability: f64,
+        /// Window length in seconds.
+        period: f64,
+        /// Burst length in seconds.
+        duration: f64,
+        /// Utilisation during a burst.
+        level: f64,
+        /// Utilisation between bursts.
+        base: f64,
+    },
+}
+
+/// A load profile bound to a per-node seed.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LoadModel {
+    profile: LoadProfile,
+    seed: u64,
+}
+
+/// Instantaneous user activity on a node, derived from its [`LoadModel`].
+///
+/// Feeds the dynamic [`crate::SysParam`]s beyond plain CPU utilisation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UserLoad {
+    /// CPU utilisation by other users, in `[0, 1)`.
+    pub cpu_frac: f64,
+    /// Fraction of physical memory used by other users, in `[0, 1)`.
+    pub mem_frac: f64,
+    /// Number of user processes.
+    pub procs: u32,
+    /// Number of user threads.
+    pub threads: u32,
+    /// Logged-in users.
+    pub users: u32,
+}
+
+/// SplitMix64 — cheap, high-quality 64-bit mixing for value noise.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform noise in `[0, 1)` at integer lattice point `i` for stream `seed`.
+fn lattice(seed: u64, i: i64) -> f64 {
+    let h = mix(seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Smooth value noise in `[0, 1)`: cosine interpolation between lattice
+/// points, sampled at `t / period`.
+fn smooth_noise(seed: u64, t: f64, period: f64) -> f64 {
+    let x = t / period;
+    let i = x.floor() as i64;
+    let frac = x - x.floor();
+    let a = lattice(seed, i);
+    let b = lattice(seed, i + 1);
+    let w = (1.0 - (frac * std::f64::consts::PI).cos()) / 2.0;
+    a * (1.0 - w) + b * w
+}
+
+impl LoadModel {
+    /// Binds `profile` to a node-specific `seed`.
+    pub fn new(profile: LoadProfile, seed: u64) -> Self {
+        LoadModel { profile, seed }
+    }
+
+    /// The profile this model replays.
+    pub fn profile(&self) -> &LoadProfile {
+        &self.profile
+    }
+
+    /// Background CPU utilisation at virtual time `t`, in `[0, 0.97]`.
+    pub fn cpu_at(&self, t: VirtTime) -> f64 {
+        let raw = match &self.profile {
+            LoadProfile::Idle => 0.0,
+            LoadProfile::Constant(f) => *f,
+            LoadProfile::Day => {
+                // Slow swings (~5 min period) + fast jitter (~20 s period).
+                0.22 + 0.45 * smooth_noise(self.seed, t, 300.0)
+                    + 0.18 * smooth_noise(self.seed ^ 0xD1FF, t, 20.0)
+            }
+            LoadProfile::Night => {
+                0.015
+                    + 0.05 * smooth_noise(self.seed, t, 120.0)
+                    + 0.02 * smooth_noise(self.seed ^ 0xD1FF, t, 15.0)
+            }
+            LoadProfile::Spike {
+                base,
+                level,
+                start,
+                end,
+            } => {
+                if t >= *start && t < *end {
+                    *level
+                } else {
+                    *base
+                }
+            }
+            LoadProfile::Trace { samples, step } => {
+                if samples.is_empty() {
+                    0.0
+                } else {
+                    let idx = ((t / step).floor() as usize).min(samples.len() - 1);
+                    samples[idx]
+                }
+            }
+            LoadProfile::RandomWalk { mean, step, period } => {
+                // Sum of bounded, zero-mean lattice steps up to the current
+                // window; evaluated in O(1) per window via a short suffix so
+                // sampling stays cheap and deterministic.
+                let k = (t / period).floor() as i64;
+                let mut drift = 0.0;
+                // A 32-step memory horizon: older steps decay out, keeping
+                // the walk bounded around the mean.
+                for i in (k - 31).max(0)..=k.max(0) {
+                    drift += (lattice(self.seed, i) - 0.5) * 2.0 * step;
+                }
+                mean + drift
+            }
+            LoadProfile::Bursts {
+                probability,
+                period,
+                duration,
+                level,
+                base,
+            } => {
+                // Check every window whose burst could still cover `t`.
+                let horizon = (duration / period).ceil() as i64 + 1;
+                let k = (t / period).floor() as i64;
+                let mut load = *base;
+                for i in (k - horizon).max(0)..=k.max(0) {
+                    if lattice(self.seed ^ 0x9E37, i) < *probability {
+                        let start = i as f64 * period;
+                        if t >= start && t < start + duration {
+                            load = load.max(*level);
+                        }
+                    }
+                }
+                load
+            }
+        };
+        raw.clamp(0.0, 0.97)
+    }
+
+    /// Full user-activity sample at virtual time `t` for machine `spec`.
+    pub fn sample(&self, t: VirtTime, spec: &MachineSpec) -> UserLoad {
+        let cpu = self.cpu_at(t);
+        // Memory pressure and process counts loosely track CPU activity; the
+        // jitter streams are decorrelated from the CPU stream.
+        let mem_noise = smooth_noise(self.seed ^ 0xBEEF, t, 240.0);
+        let mem_frac = (0.18 + 0.5 * cpu + 0.1 * mem_noise).clamp(0.05, 0.95);
+        let base_procs = 42.0; // daemons, window system
+        let procs = (base_procs + 60.0 * cpu + 8.0 * mem_noise) as u32;
+        let threads = procs * 3 / 2;
+        let users = if cpu < 0.05 {
+            0
+        } else {
+            1 + (3.0 * cpu) as u32
+        };
+        let _ = spec; // spec reserved for future per-machine shaping
+        UserLoad {
+            cpu_frac: cpu,
+            mem_frac,
+            procs,
+            threads,
+            users,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> MachineSpec {
+        MachineSpec::generic("t", 10.0, 128.0)
+    }
+
+    #[test]
+    fn deterministic_for_same_seed_and_time() {
+        let a = LoadModel::new(LoadProfile::Day, 7);
+        let b = LoadModel::new(LoadProfile::Day, 7);
+        for i in 0..50 {
+            let t = i as f64 * 13.7;
+            assert_eq!(a.cpu_at(t), b.cpu_at(t));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = LoadModel::new(LoadProfile::Day, 1);
+        let b = LoadModel::new(LoadProfile::Day, 2);
+        let divergent = (0..50)
+            .map(|i| i as f64 * 9.3)
+            .filter(|&t| (a.cpu_at(t) - b.cpu_at(t)).abs() > 1e-6)
+            .count();
+        assert!(divergent > 40);
+    }
+
+    #[test]
+    fn day_is_heavier_than_night() {
+        let day = LoadModel::new(LoadProfile::Day, 3);
+        let night = LoadModel::new(LoadProfile::Night, 3);
+        let mean = |m: &LoadModel| (0..200).map(|i| m.cpu_at(i as f64 * 7.0)).sum::<f64>() / 200.0;
+        let (d, n) = (mean(&day), mean(&night));
+        assert!(d > 0.25, "day mean too low: {d}");
+        assert!(n < 0.12, "night mean too high: {n}");
+        assert!(d > 3.0 * n, "day ({d}) should dominate night ({n})");
+    }
+
+    #[test]
+    fn load_stays_in_bounds() {
+        for profile in [
+            LoadProfile::Idle,
+            LoadProfile::Constant(2.0), // deliberately out of range
+            LoadProfile::Day,
+            LoadProfile::Night,
+        ] {
+            let m = LoadModel::new(profile, 11);
+            for i in 0..500 {
+                let v = m.cpu_at(i as f64 * 3.1);
+                assert!((0.0..=0.97).contains(&v), "out of bounds: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn spike_profile_switches_levels() {
+        let m = LoadModel::new(
+            LoadProfile::Spike {
+                base: 0.1,
+                level: 0.9,
+                start: 10.0,
+                end: 20.0,
+            },
+            0,
+        );
+        assert_eq!(m.cpu_at(5.0), 0.1);
+        assert_eq!(m.cpu_at(15.0), 0.9);
+        assert_eq!(m.cpu_at(25.0), 0.1);
+    }
+
+    #[test]
+    fn trace_profile_replays_and_clamps() {
+        let m = LoadModel::new(
+            LoadProfile::Trace {
+                samples: vec![0.2, 0.6, 0.4],
+                step: 10.0,
+            },
+            0,
+        );
+        assert_eq!(m.cpu_at(0.0), 0.2);
+        assert_eq!(m.cpu_at(12.0), 0.6);
+        assert_eq!(m.cpu_at(25.0), 0.4);
+        // Past the end, holds the last sample.
+        assert_eq!(m.cpu_at(1000.0), 0.4);
+        // Empty trace is idle.
+        let empty = LoadModel::new(
+            LoadProfile::Trace {
+                samples: vec![],
+                step: 1.0,
+            },
+            0,
+        );
+        assert_eq!(empty.cpu_at(3.0), 0.0);
+    }
+
+    #[test]
+    fn sample_fields_are_plausible() {
+        let m = LoadModel::new(LoadProfile::Day, 5);
+        let s = m.sample(100.0, &spec());
+        assert!(s.mem_frac > 0.0 && s.mem_frac < 1.0);
+        assert!(s.procs >= 42);
+        assert!(s.threads >= s.procs);
+        let idle = LoadModel::new(LoadProfile::Idle, 5).sample(100.0, &spec());
+        assert_eq!(idle.users, 0);
+    }
+
+    #[test]
+    fn smooth_noise_is_continuous() {
+        // Adjacent samples must not jump: |f(t+eps) - f(t)| small.
+        for i in 0..200 {
+            let t = i as f64 * 0.5;
+            let a = smooth_noise(9, t, 30.0);
+            let b = smooth_noise(9, t + 0.01, 30.0);
+            assert!((a - b).abs() < 0.01, "discontinuity at {t}: {a} vs {b}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod extended_profile_tests {
+    use super::*;
+
+    #[test]
+    fn random_walk_stays_near_mean_and_in_bounds() {
+        let m = LoadModel::new(
+            LoadProfile::RandomWalk {
+                mean: 0.4,
+                step: 0.01,
+                period: 10.0,
+            },
+            17,
+        );
+        let samples: Vec<f64> = (0..500).map(|i| m.cpu_at(i as f64 * 7.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((0.2..0.6).contains(&mean), "walk mean drifted to {mean}");
+        for v in &samples {
+            assert!((0.0..=0.97).contains(v));
+        }
+        // It actually moves.
+        let distinct = samples
+            .windows(2)
+            .filter(|w| (w[0] - w[1]).abs() > 1e-9)
+            .count();
+        assert!(distinct > 100, "walk too static: {distinct} moves");
+    }
+
+    #[test]
+    fn random_walk_is_deterministic_per_seed() {
+        let a = LoadModel::new(
+            LoadProfile::RandomWalk {
+                mean: 0.3,
+                step: 0.02,
+                period: 5.0,
+            },
+            1,
+        );
+        let b = LoadModel::new(
+            LoadProfile::RandomWalk {
+                mean: 0.3,
+                step: 0.02,
+                period: 5.0,
+            },
+            1,
+        );
+        for i in 0..100 {
+            assert_eq!(a.cpu_at(i as f64 * 3.3), b.cpu_at(i as f64 * 3.3));
+        }
+    }
+
+    #[test]
+    fn bursts_hit_level_roughly_at_the_configured_rate() {
+        let m = LoadModel::new(
+            LoadProfile::Bursts {
+                probability: 0.2,
+                period: 100.0,
+                duration: 50.0,
+                level: 0.9,
+                base: 0.05,
+            },
+            23,
+        );
+        let mut bursting = 0usize;
+        let total = 4000usize;
+        for i in 0..total {
+            if m.cpu_at(i as f64 * 5.0) > 0.5 {
+                bursting += 1;
+            }
+        }
+        // Expected duty cycle ≈ probability × duration / period = 10%.
+        let duty = bursting as f64 / total as f64;
+        assert!((0.03..0.3).contains(&duty), "burst duty cycle {duty}");
+        // Base load between bursts.
+        assert!(m.cpu_at(1e9) <= 0.97);
+    }
+
+    #[test]
+    fn burst_covers_its_full_duration() {
+        // Find one burst start and check coverage across its window.
+        let m = LoadModel::new(
+            LoadProfile::Bursts {
+                probability: 1.0, // every window bursts
+                period: 100.0,
+                duration: 100.0,
+                level: 0.8,
+                base: 0.0,
+            },
+            5,
+        );
+        for i in 0..50 {
+            assert_eq!(m.cpu_at(i as f64 * 20.0), 0.8);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Static machine descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a workstation (the paper's *static* system
+/// parameters: name, IP, OS, CPU type, peak performance, memory size, ...).
+///
+/// `peak_mflops` is the machine's *application-visible* floating-point rate
+/// for the modeled workload — for the CLUSTER 2000 reproduction this means
+/// "Java 1.2 + JIT on that box", not the hardware peak.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Host name (e.g. `"rachel"`).
+    pub name: String,
+    /// Model label (e.g. `"Sun Ultra 10/440"`).
+    pub model: String,
+    /// CPU type string (e.g. `"UltraSPARC-IIi"`).
+    pub cpu_type: String,
+    /// Clock rate in MHz.
+    pub cpu_mhz: u32,
+    /// Number of processors (all testbed machines are uniprocessors).
+    pub cpu_count: u32,
+    /// Application-visible peak floating-point rate in Mflop/s.
+    pub peak_mflops: f64,
+    /// Physical memory in MB.
+    pub total_mem_mb: f64,
+    /// Swap space in MB.
+    pub total_swap_mb: f64,
+    /// Total local disk in MB.
+    pub total_disk_mb: f64,
+    /// Operating-system name.
+    pub os_name: String,
+    /// Operating-system version.
+    pub os_version: String,
+    /// JVM version string (kept for parameter-API parity).
+    pub jvm_version: String,
+    /// Maximum JVM heap in MB.
+    pub jvm_max_heap_mb: f64,
+    /// Network attachment label (e.g. `"ethernet-100"`).
+    pub net_type: String,
+    /// Nominal one-way network latency in milliseconds.
+    pub net_latency_ms: f64,
+    /// Nominal network bandwidth in Mbit/s.
+    pub net_bandwidth_mbps: f64,
+    /// IPv4 address string.
+    pub ip: String,
+}
+
+impl MachineSpec {
+    /// A convenient baseline spec; tweak fields as needed.
+    pub fn generic(name: &str, peak_mflops: f64, total_mem_mb: f64) -> Self {
+        MachineSpec {
+            name: name.to_owned(),
+            model: "generic".to_owned(),
+            cpu_type: "generic-cpu".to_owned(),
+            cpu_mhz: 300,
+            cpu_count: 1,
+            peak_mflops,
+            total_mem_mb,
+            total_swap_mb: total_mem_mb,
+            total_disk_mb: 4096.0,
+            os_name: "SunOS".to_owned(),
+            os_version: "5.7".to_owned(),
+            jvm_version: "1.2.1".to_owned(),
+            jvm_max_heap_mb: total_mem_mb / 2.0,
+            net_type: "ethernet-100".to_owned(),
+            net_latency_ms: 0.9,
+            net_bandwidth_mbps: 100.0,
+            ip: "10.0.0.1".to_owned(),
+        }
+    }
+
+    /// Sets the model/CPU description.
+    pub fn with_model(mut self, model: &str, cpu_type: &str, cpu_mhz: u32) -> Self {
+        self.model = model.to_owned();
+        self.cpu_type = cpu_type.to_owned();
+        self.cpu_mhz = cpu_mhz;
+        self
+    }
+
+    /// Sets the network attachment description.
+    pub fn with_net(mut self, net_type: &str, latency_ms: f64, bandwidth_mbps: f64) -> Self {
+        self.net_type = net_type.to_owned();
+        self.net_latency_ms = latency_ms;
+        self.net_bandwidth_mbps = bandwidth_mbps;
+        self
+    }
+
+    /// Sets the IP address.
+    pub fn with_ip(mut self, ip: &str) -> Self {
+        self.ip = ip.to_owned();
+        self
+    }
+
+    /// Peak rate in flop/s (rather than Mflop/s).
+    pub fn peak_flops(&self) -> f64 {
+        self.peak_mflops * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generic_spec_is_consistent() {
+        let m = MachineSpec::generic("rachel", 25.0, 256.0);
+        assert_eq!(m.name, "rachel");
+        assert_eq!(m.peak_flops(), 25e6);
+        assert!(m.jvm_max_heap_mb <= m.total_mem_mb);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let m = MachineSpec::generic("x", 10.0, 128.0)
+            .with_model("Sun Ultra 1/170", "UltraSPARC-I", 167)
+            .with_net("ethernet-10", 2.5, 10.0)
+            .with_ip("192.168.1.7");
+        assert_eq!(m.model, "Sun Ultra 1/170");
+        assert_eq!(m.cpu_mhz, 167);
+        assert_eq!(m.net_bandwidth_mbps, 10.0);
+        assert_eq!(m.ip, "192.168.1.7");
+    }
+
+    #[test]
+    fn specs_compare_by_value() {
+        let a = MachineSpec::generic("a", 5.0, 64.0);
+        let b = a.clone();
+        assert_eq!(a, b);
+        let c = b.with_ip("1.2.3.4");
+        assert_ne!(a, c);
+    }
+}

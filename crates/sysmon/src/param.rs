@@ -1,0 +1,286 @@
+//! The system-parameter catalogue.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A hardware/software system parameter (paper §4.2 / §5.1).
+///
+/// *Static* parameters do not change while an application executes (machine
+/// name, OS, CPU type, peak performance, total memory, ...); *dynamic*
+/// parameters do (CPU load, idle time, available memory, context switches,
+/// network latency/bandwidth, ...). The paper reports "close to 40" — this
+/// catalogue has 44.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant names mirror the paper's JSConstants and are self-describing
+pub enum SysParam {
+    // -------- static --------
+    NodeName,
+    IpAddress,
+    OsName,
+    OsVersion,
+    CpuType,
+    CpuCount,
+    CpuMhz,
+    PeakMflops,
+    TotalMem,
+    TotalSwap,
+    TotalDisk,
+    JvmVersion,
+    JvmMaxHeap,
+    NetType,
+    // -------- dynamic: CPU --------
+    CpuLoad1,
+    CpuLoad5,
+    CpuLoad15,
+    CpuUserPct,
+    CpuSysPct,
+    IdlePct,
+    RunQueueLen,
+    // -------- dynamic: memory --------
+    AvailMem,
+    AvailSwap,
+    SwapSpaceRatio,
+    JvmHeapUsed,
+    // -------- dynamic: processes --------
+    NumProcesses,
+    NumThreads,
+    LoggedInUsers,
+    // -------- dynamic: kernel activity --------
+    ContextSwitches,
+    SysCalls,
+    Interrupts,
+    PageFaults,
+    PageIns,
+    PageOuts,
+    // -------- dynamic: network --------
+    NetLatency,
+    NetBandwidth,
+    NetPacketsIn,
+    NetPacketsOut,
+    NetBytesIn,
+    NetBytesOut,
+    // -------- dynamic: disk / misc --------
+    DiskFree,
+    DiskReads,
+    DiskWrites,
+    UptimeSecs,
+}
+
+impl SysParam {
+    /// All parameters, in catalogue order.
+    pub const ALL: [SysParam; 44] = [
+        SysParam::NodeName,
+        SysParam::IpAddress,
+        SysParam::OsName,
+        SysParam::OsVersion,
+        SysParam::CpuType,
+        SysParam::CpuCount,
+        SysParam::CpuMhz,
+        SysParam::PeakMflops,
+        SysParam::TotalMem,
+        SysParam::TotalSwap,
+        SysParam::TotalDisk,
+        SysParam::JvmVersion,
+        SysParam::JvmMaxHeap,
+        SysParam::NetType,
+        SysParam::CpuLoad1,
+        SysParam::CpuLoad5,
+        SysParam::CpuLoad15,
+        SysParam::CpuUserPct,
+        SysParam::CpuSysPct,
+        SysParam::IdlePct,
+        SysParam::RunQueueLen,
+        SysParam::AvailMem,
+        SysParam::AvailSwap,
+        SysParam::SwapSpaceRatio,
+        SysParam::JvmHeapUsed,
+        SysParam::NumProcesses,
+        SysParam::NumThreads,
+        SysParam::LoggedInUsers,
+        SysParam::ContextSwitches,
+        SysParam::SysCalls,
+        SysParam::Interrupts,
+        SysParam::PageFaults,
+        SysParam::PageIns,
+        SysParam::PageOuts,
+        SysParam::NetLatency,
+        SysParam::NetBandwidth,
+        SysParam::NetPacketsIn,
+        SysParam::NetPacketsOut,
+        SysParam::NetBytesIn,
+        SysParam::NetBytesOut,
+        SysParam::DiskFree,
+        SysParam::DiskReads,
+        SysParam::DiskWrites,
+        SysParam::UptimeSecs,
+    ];
+
+    /// Whether this parameter can change while an application executes.
+    pub fn is_dynamic(self) -> bool {
+        !matches!(
+            self,
+            SysParam::NodeName
+                | SysParam::IpAddress
+                | SysParam::OsName
+                | SysParam::OsVersion
+                | SysParam::CpuType
+                | SysParam::CpuCount
+                | SysParam::CpuMhz
+                | SysParam::PeakMflops
+                | SysParam::TotalMem
+                | SysParam::TotalSwap
+                | SysParam::TotalDisk
+                | SysParam::JvmVersion
+                | SysParam::JvmMaxHeap
+                | SysParam::NetType
+        )
+    }
+
+    /// Whether this parameter carries a string value (vs. a number).
+    pub fn is_string(self) -> bool {
+        matches!(
+            self,
+            SysParam::NodeName
+                | SysParam::IpAddress
+                | SysParam::OsName
+                | SysParam::OsVersion
+                | SysParam::CpuType
+                | SysParam::JvmVersion
+                | SysParam::NetType
+        )
+    }
+}
+
+impl fmt::Display for SysParam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// The value of a system parameter: a number or a string.
+///
+/// The paper's `setConstraints(system_parameter, relational_operator,
+/// number_string)` accepts floating-point/integer numbers or strings; this is
+/// the Rust counterpart of `number_string`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ParamValue {
+    /// A numeric value (all integer parameters are widened to `f64`).
+    Num(f64),
+    /// A string value (machine names, OS names, CPU types, ...).
+    Str(String),
+}
+
+impl ParamValue {
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            ParamValue::Num(n) => Some(*n),
+            ParamValue::Str(_) => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ParamValue::Num(_) => None,
+            ParamValue::Str(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Num(n) => write!(f, "{n}"),
+            ParamValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<f64> for ParamValue {
+    fn from(v: f64) -> Self {
+        ParamValue::Num(v)
+    }
+}
+impl From<f32> for ParamValue {
+    fn from(v: f32) -> Self {
+        ParamValue::Num(v as f64)
+    }
+}
+impl From<i32> for ParamValue {
+    fn from(v: i32) -> Self {
+        ParamValue::Num(v as f64)
+    }
+}
+impl From<u32> for ParamValue {
+    fn from(v: u32) -> Self {
+        ParamValue::Num(v as f64)
+    }
+}
+impl From<u64> for ParamValue {
+    fn from(v: u64) -> Self {
+        ParamValue::Num(v as f64)
+    }
+}
+impl From<usize> for ParamValue {
+    fn from(v: usize) -> Self {
+        ParamValue::Num(v as f64)
+    }
+}
+impl From<&str> for ParamValue {
+    fn from(v: &str) -> Self {
+        ParamValue::Str(v.to_owned())
+    }
+}
+impl From<String> for ParamValue {
+    fn from(v: String) -> Self {
+        ParamValue::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalogue_has_no_duplicates_and_is_about_forty() {
+        let set: HashSet<_> = SysParam::ALL.iter().collect();
+        assert_eq!(set.len(), SysParam::ALL.len());
+        assert!(SysParam::ALL.len() >= 40, "paper promises ~40 parameters");
+    }
+
+    #[test]
+    fn static_dynamic_split() {
+        assert!(!SysParam::NodeName.is_dynamic());
+        assert!(!SysParam::PeakMflops.is_dynamic());
+        assert!(SysParam::IdlePct.is_dynamic());
+        assert!(SysParam::AvailMem.is_dynamic());
+        assert!(SysParam::ContextSwitches.is_dynamic());
+        let n_static = SysParam::ALL.iter().filter(|p| !p.is_dynamic()).count();
+        assert_eq!(n_static, 14);
+    }
+
+    #[test]
+    fn string_params_are_static() {
+        for p in SysParam::ALL {
+            if p.is_string() {
+                assert!(!p.is_dynamic(), "{p} is a string param and must be static");
+            }
+        }
+    }
+
+    #[test]
+    fn param_value_accessors() {
+        assert_eq!(ParamValue::from(5i32).as_num(), Some(5.0));
+        assert_eq!(ParamValue::from("sol").as_str(), Some("sol"));
+        assert_eq!(ParamValue::from(2.5f64).as_str(), None);
+        assert_eq!(ParamValue::from("x").as_num(), None);
+    }
+
+    #[test]
+    fn param_value_display() {
+        assert_eq!(ParamValue::from(10u32).to_string(), "10");
+        assert_eq!(ParamValue::from("rachel").to_string(), "rachel");
+    }
+}

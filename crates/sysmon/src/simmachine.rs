@@ -1,0 +1,319 @@
+//! A live simulated workstation.
+
+use crate::{LoadModel, MachineSpec, SysSnapshot};
+use jsym_net::{SimClock, VirtTime};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct MachineInner {
+    spec: MachineSpec,
+    load: LoadModel,
+    clock: SimClock,
+    /// JRS tasks currently computing on this machine (CPU contention).
+    active_tasks: AtomicU32,
+    /// Runtime-held memory in bytes (loaded codebases + object state).
+    runtime_bytes: AtomicU64,
+    /// Total modeled flops executed (for accounting/tests).
+    flops_done: AtomicU64,
+}
+
+/// A simulated workstation: static spec + background-load model + a virtual
+/// CPU on which JavaSymphony work executes.
+///
+/// This substitutes the physical Sun boxes of the CLUSTER 2000 testbed. Work
+/// is expressed in flops; [`SimMachine::compute`] converts it to virtual time
+/// at the machine's *effective* rate — peak speed, minus the background user
+/// load at that moment, shared among concurrently executing JRS tasks — and
+/// realizes it as a scaled sleep, so real thread-level parallelism between
+/// machines is preserved.
+#[derive(Clone)]
+pub struct SimMachine {
+    inner: Arc<MachineInner>,
+}
+
+impl SimMachine {
+    /// Creates a machine with the given spec, load model and clock.
+    pub fn new(spec: MachineSpec, load: LoadModel, clock: SimClock) -> Self {
+        SimMachine {
+            inner: Arc::new(MachineInner {
+                spec,
+                load,
+                clock,
+                active_tasks: AtomicU32::new(0),
+                runtime_bytes: AtomicU64::new(0),
+                flops_done: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The static machine description.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.inner.spec
+    }
+
+    /// The clock this machine runs on.
+    pub fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    /// The machine's load model.
+    pub fn load_model(&self) -> &LoadModel {
+        &self.inner.load
+    }
+
+    /// Background (other-user) CPU utilisation at time `t`.
+    pub fn user_cpu(&self, t: VirtTime) -> f64 {
+        self.inner.load.cpu_at(t)
+    }
+
+    /// Number of JRS tasks currently computing here.
+    pub fn active_tasks(&self) -> u32 {
+        self.inner.active_tasks.load(Ordering::Relaxed)
+    }
+
+    /// Effective rate available to ONE task right now, in flop/s.
+    ///
+    /// Background load steals its share of the CPU and concurrently running
+    /// JRS tasks time-share the rest. A 3% floor prevents a fully loaded
+    /// machine from stalling the simulation.
+    pub fn effective_flops(&self, t: VirtTime) -> f64 {
+        let avail = (1.0 - self.user_cpu(t)).max(0.03);
+        let sharers = self.active_tasks().max(1) as f64;
+        self.inner.spec.peak_flops() * avail / sharers
+    }
+
+    /// Executes `flops` of modeled work, blocking the calling thread for the
+    /// corresponding scaled time. Re-samples load and contention every slice
+    /// so long computations feel load changes mid-flight.
+    pub fn compute(&self, flops: f64) {
+        if flops <= 0.0 {
+            return;
+        }
+        let _guard = ActiveGuard::enter(self);
+        // Slice length: long enough for cheap sleeps, short enough to track
+        // day-profile swings (~20 s fast component) — and always at least a
+        // few slices per task, so contention from tasks that start mid-way
+        // is felt (a single-slice task would sample `active_tasks` once, at
+        // its start, and never notice a competitor).
+        const MAX_SLICE_VIRT: f64 = 2.0;
+        const MIN_SLICE_VIRT: f64 = 0.01;
+        let mut remaining = flops;
+        while remaining > 0.0 {
+            let t = self.inner.clock.now();
+            let rate = self.effective_flops(t);
+            let dt_needed = remaining / rate;
+            let dt = dt_needed
+                .min(MAX_SLICE_VIRT)
+                .min((dt_needed / 4.0).max(MIN_SLICE_VIRT));
+            self.inner.clock.sleep(dt);
+            remaining -= rate * dt;
+            if dt >= dt_needed {
+                break;
+            }
+        }
+        self.inner
+            .flops_done
+            .fetch_add(flops as u64, Ordering::Relaxed);
+    }
+
+    /// Total modeled flops executed on this machine so far.
+    pub fn flops_done(&self) -> u64 {
+        self.inner.flops_done.load(Ordering::Relaxed)
+    }
+
+    /// Accounts `bytes` of runtime memory (codebase artifacts, object state).
+    pub fn add_runtime_bytes(&self, bytes: u64) {
+        self.inner.runtime_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Releases previously accounted runtime memory.
+    pub fn sub_runtime_bytes(&self, bytes: u64) {
+        // Saturating: double-free accounting must not wrap.
+        let mut cur = self.inner.runtime_bytes.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.inner.runtime_bytes.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Runtime-held memory in bytes.
+    pub fn runtime_bytes(&self) -> u64 {
+        self.inner.runtime_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Takes a full system-parameter snapshot at the current virtual time.
+    pub fn snapshot(&self) -> SysSnapshot {
+        let t = self.inner.clock.now();
+        let load = self.inner.load.sample(t, &self.inner.spec);
+        // Our own activity shows up in the CPU figures: each active task
+        // would consume the free share.
+        let jrs_cpu = if self.active_tasks() > 0 {
+            (1.0 - load.cpu_frac).max(0.0)
+        } else {
+            0.0
+        };
+        let extra_mem_mb = self.runtime_bytes() as f64 / (1024.0 * 1024.0);
+        SysSnapshot::for_machine(&self.inner.spec, &load, jrs_cpu, extra_mem_mb, t)
+    }
+}
+
+impl std::fmt::Debug for SimMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimMachine")
+            .field("name", &self.inner.spec.name)
+            .field("peak_mflops", &self.inner.spec.peak_mflops)
+            .field("active_tasks", &self.active_tasks())
+            .finish()
+    }
+}
+
+struct ActiveGuard<'a> {
+    machine: &'a SimMachine,
+}
+
+impl<'a> ActiveGuard<'a> {
+    fn enter(machine: &'a SimMachine) -> Self {
+        machine.inner.active_tasks.fetch_add(1, Ordering::Relaxed);
+        ActiveGuard { machine }
+    }
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.machine
+            .inner
+            .active_tasks
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LoadProfile, SysParam};
+    use jsym_net::TimeScale;
+    use std::time::{Duration, Instant};
+
+    fn machine(peak_mflops: f64, profile: LoadProfile, scale: f64) -> SimMachine {
+        SimMachine::new(
+            MachineSpec::generic("m", peak_mflops, 256.0),
+            LoadModel::new(profile, 7),
+            SimClock::new(TimeScale::new(scale)),
+        )
+    }
+
+    #[test]
+    fn compute_takes_modeled_time() {
+        // 10 Mflop on a 10 Mflop/s idle machine = 1 virtual s = 1 ms real at
+        // 1e-3 scale. Min-of-3: scheduler noise only ever inflates sleeps.
+        let m = machine(10.0, LoadProfile::Idle, 1e-3);
+        let real = (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                m.compute(10e6);
+                t0.elapsed()
+            })
+            .min()
+            .unwrap();
+        assert!(real >= Duration::from_micros(900), "too fast: {real:?}");
+        assert!(real < Duration::from_millis(5), "too slow: {real:?}");
+        assert_eq!(m.flops_done(), 30_000_000);
+    }
+
+    #[test]
+    fn busy_machine_computes_slower() {
+        // 1e-3 scale keeps OS sleep noise (~0.1 ms) far below the measured
+        // durations (5 ms / 25 ms) even on a single-core host.
+        let idle = machine(10.0, LoadProfile::Idle, 1e-3);
+        let busy = machine(10.0, LoadProfile::Constant(0.8), 1e-3);
+        let time = |m: &SimMachine| {
+            let t0 = Instant::now();
+            m.compute(50e6);
+            t0.elapsed()
+        };
+        let ti = time(&idle);
+        let tb = time(&busy);
+        assert!(
+            tb > ti * 3,
+            "80% background load should ~5x the time: idle={ti:?} busy={tb:?}"
+        );
+    }
+
+    #[test]
+    fn contention_shares_the_cpu() {
+        let m = machine(10.0, LoadProfile::Idle, 1e-3);
+        // Run two equal tasks concurrently; each should take ~2x the solo
+        // time. Work is sized so the measurement (10 ms solo) dwarfs OS
+        // scheduling noise even on a single-core host.
+        let solo = {
+            let t0 = Instant::now();
+            m.compute(100e6);
+            t0.elapsed()
+        };
+        let m2 = m.clone();
+        let t0 = Instant::now();
+        let h = std::thread::spawn(move || m2.compute(100e6));
+        m.compute(100e6);
+        h.join().unwrap();
+        let pair = t0.elapsed();
+        assert!(
+            pair > solo * 3 / 2,
+            "two tasks must contend: solo={solo:?} pair={pair:?}"
+        );
+    }
+
+    #[test]
+    fn zero_and_negative_work_return_immediately() {
+        let m = machine(1.0, LoadProfile::Idle, 1.0); // 1:1 scale would hang if not
+        let t0 = Instant::now();
+        m.compute(0.0);
+        m.compute(-5.0);
+        assert!(t0.elapsed() < Duration::from_millis(50));
+        assert_eq!(m.active_tasks(), 0);
+    }
+
+    #[test]
+    fn effective_flops_has_floor() {
+        let m = machine(10.0, LoadProfile::Constant(0.97), 1e-4);
+        assert!(m.effective_flops(0.0) >= 10e6 * 0.03 - 1.0);
+    }
+
+    #[test]
+    fn runtime_memory_accounting_saturates() {
+        let m = machine(10.0, LoadProfile::Idle, 1e-3);
+        m.add_runtime_bytes(1000);
+        m.sub_runtime_bytes(400);
+        assert_eq!(m.runtime_bytes(), 600);
+        m.sub_runtime_bytes(10_000);
+        assert_eq!(m.runtime_bytes(), 0);
+    }
+
+    #[test]
+    fn snapshot_reflects_runtime_memory_and_activity() {
+        let m = machine(10.0, LoadProfile::Idle, 1e-3);
+        let before = m.snapshot();
+        m.add_runtime_bytes(64 * 1024 * 1024);
+        let after = m.snapshot();
+        let d = before.num(SysParam::AvailMem).unwrap() - after.num(SysParam::AvailMem).unwrap();
+        assert!((d - 64.0).abs() < 1.0, "expected ~64MB delta, got {d}");
+        assert_eq!(after.str(SysParam::NodeName), Some("m"));
+    }
+
+    #[test]
+    fn active_guard_is_exception_safe_by_construction() {
+        // After compute() the counter must always return to zero.
+        let m = machine(10.0, LoadProfile::Idle, 1e-5);
+        for _ in 0..10 {
+            m.compute(1e6);
+        }
+        assert_eq!(m.active_tasks(), 0);
+    }
+}

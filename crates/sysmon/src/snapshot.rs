@@ -1,0 +1,244 @@
+//! Point-in-time system-parameter snapshots.
+
+use crate::{MachineSpec, ParamValue, SysParam, UserLoad};
+use jsym_net::VirtTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// All system parameters of one node (or the average over a component) at a
+/// moment in virtual time.
+///
+/// In the paper, the node's network agent gathers these by running system
+/// commands; here they are derived from the machine spec and its load model.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct SysSnapshot {
+    /// Virtual time the snapshot was taken.
+    pub at: VirtTime,
+    values: BTreeMap<SysParam, ParamValue>,
+}
+
+impl SysSnapshot {
+    /// An empty snapshot taken at `at`.
+    pub fn empty(at: VirtTime) -> Self {
+        SysSnapshot {
+            at,
+            values: BTreeMap::new(),
+        }
+    }
+
+    /// Sets one parameter.
+    pub fn set(&mut self, param: SysParam, value: impl Into<ParamValue>) {
+        self.values.insert(param, value.into());
+    }
+
+    /// Reads one parameter.
+    pub fn get(&self, param: SysParam) -> Option<&ParamValue> {
+        self.values.get(&param)
+    }
+
+    /// Reads a numeric parameter, `None` if absent or a string.
+    pub fn num(&self, param: SysParam) -> Option<f64> {
+        self.get(param).and_then(ParamValue::as_num)
+    }
+
+    /// Reads a string parameter, `None` if absent or numeric.
+    pub fn str(&self, param: SysParam) -> Option<&str> {
+        self.get(param).and_then(ParamValue::as_str)
+    }
+
+    /// Number of parameters present.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the snapshot has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(param, value)` pairs in catalogue order.
+    pub fn iter(&self) -> impl Iterator<Item = (&SysParam, &ParamValue)> {
+        self.values.iter()
+    }
+
+    /// Builds the full 44-parameter snapshot for a machine.
+    ///
+    /// * `spec` — static description;
+    /// * `load` — instantaneous user activity;
+    /// * `jrs_cpu_frac` — CPU share consumed by JavaSymphony work itself
+    ///   (active modeled tasks), so monitoring sees its own applications;
+    /// * `extra_mem_mb` — memory held by the runtime (loaded codebases,
+    ///   object state) on top of user memory;
+    /// * `uptime` / `t` — virtual clock.
+    pub fn for_machine(
+        spec: &MachineSpec,
+        load: &UserLoad,
+        jrs_cpu_frac: f64,
+        extra_mem_mb: f64,
+        t: VirtTime,
+    ) -> Self {
+        let mut s = SysSnapshot::empty(t);
+
+        // ---- static ----
+        s.set(SysParam::NodeName, spec.name.as_str());
+        s.set(SysParam::IpAddress, spec.ip.as_str());
+        s.set(SysParam::OsName, spec.os_name.as_str());
+        s.set(SysParam::OsVersion, spec.os_version.as_str());
+        s.set(SysParam::CpuType, spec.cpu_type.as_str());
+        s.set(SysParam::CpuCount, spec.cpu_count);
+        s.set(SysParam::CpuMhz, spec.cpu_mhz);
+        s.set(SysParam::PeakMflops, spec.peak_mflops);
+        s.set(SysParam::TotalMem, spec.total_mem_mb);
+        s.set(SysParam::TotalSwap, spec.total_swap_mb);
+        s.set(SysParam::TotalDisk, spec.total_disk_mb);
+        s.set(SysParam::JvmVersion, spec.jvm_version.as_str());
+        s.set(SysParam::JvmMaxHeap, spec.jvm_max_heap_mb);
+        s.set(SysParam::NetType, spec.net_type.as_str());
+
+        // ---- dynamic: CPU ----
+        let busy = (load.cpu_frac + jrs_cpu_frac).clamp(0.0, 1.0);
+        let sys_pct = (2.0 + 6.0 * busy).min(12.0);
+        let user_pct = (busy * 100.0).min(100.0 - sys_pct);
+        let idle_pct = (100.0 - user_pct - sys_pct).max(0.0);
+        s.set(SysParam::CpuUserPct, user_pct);
+        s.set(SysParam::CpuSysPct, sys_pct);
+        s.set(SysParam::IdlePct, idle_pct);
+        // Run-queue style load averages: utilisation mapped to queue length.
+        let runq = busy / (1.0 - busy).max(0.05);
+        s.set(SysParam::CpuLoad1, runq);
+        s.set(SysParam::CpuLoad5, runq * 0.9);
+        s.set(SysParam::CpuLoad15, runq * 0.8);
+        s.set(SysParam::RunQueueLen, runq.round().max(0.0));
+
+        // ---- dynamic: memory ----
+        let used_mb = (load.mem_frac * spec.total_mem_mb + extra_mem_mb).min(spec.total_mem_mb);
+        let avail_mb = spec.total_mem_mb - used_mb;
+        s.set(SysParam::AvailMem, avail_mb);
+        // Swap pressure grows once memory is tight.
+        let swap_used_frac = ((used_mb / spec.total_mem_mb - 0.7) / 0.3).clamp(0.0, 0.9);
+        s.set(
+            SysParam::AvailSwap,
+            spec.total_swap_mb * (1.0 - swap_used_frac),
+        );
+        s.set(SysParam::SwapSpaceRatio, swap_used_frac);
+        s.set(
+            SysParam::JvmHeapUsed,
+            extra_mem_mb.min(spec.jvm_max_heap_mb),
+        );
+
+        // ---- dynamic: processes ----
+        s.set(SysParam::NumProcesses, load.procs);
+        s.set(SysParam::NumThreads, load.threads);
+        s.set(SysParam::LoggedInUsers, load.users);
+
+        // ---- dynamic: kernel activity (rates per second) ----
+        s.set(SysParam::ContextSwitches, 120.0 + 2600.0 * busy);
+        s.set(SysParam::SysCalls, 400.0 + 9000.0 * busy);
+        s.set(SysParam::Interrupts, 100.0 + 900.0 * busy);
+        s.set(SysParam::PageFaults, 10.0 + 350.0 * load.mem_frac);
+        s.set(SysParam::PageIns, 2.0 + 60.0 * swap_used_frac);
+        s.set(SysParam::PageOuts, 1.0 + 80.0 * swap_used_frac);
+
+        // ---- dynamic: network ----
+        s.set(SysParam::NetLatency, spec.net_latency_ms);
+        s.set(SysParam::NetBandwidth, spec.net_bandwidth_mbps);
+        let pkt_rate = 20.0 + 500.0 * busy;
+        s.set(SysParam::NetPacketsIn, pkt_rate);
+        s.set(SysParam::NetPacketsOut, pkt_rate * 0.8);
+        s.set(SysParam::NetBytesIn, pkt_rate * 600.0);
+        s.set(SysParam::NetBytesOut, pkt_rate * 500.0);
+
+        // ---- dynamic: disk / misc ----
+        s.set(SysParam::DiskFree, spec.total_disk_mb * 0.4);
+        s.set(SysParam::DiskReads, 5.0 + 90.0 * busy);
+        s.set(SysParam::DiskWrites, 3.0 + 70.0 * busy);
+        s.set(SysParam::UptimeSecs, t.max(0.0));
+
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LoadModel, LoadProfile};
+
+    fn snap(cpu: f64) -> SysSnapshot {
+        let spec = MachineSpec::generic("rachel", 25.0, 256.0);
+        let model = LoadModel::new(LoadProfile::Constant(cpu), 1);
+        let load = model.sample(50.0, &spec);
+        SysSnapshot::for_machine(&spec, &load, 0.0, 0.0, 50.0)
+    }
+
+    #[test]
+    fn covers_full_catalogue() {
+        let s = snap(0.3);
+        assert_eq!(s.len(), SysParam::ALL.len());
+        for p in SysParam::ALL {
+            assert!(s.get(p).is_some(), "missing {p}");
+            // String/number kinds line up with the catalogue.
+            assert_eq!(s.get(p).unwrap().as_str().is_some(), p.is_string());
+        }
+    }
+
+    #[test]
+    fn cpu_percentages_sum_to_one_hundred() {
+        for cpu in [0.0, 0.2, 0.5, 0.9] {
+            let s = snap(cpu);
+            let total = s.num(SysParam::CpuUserPct).unwrap()
+                + s.num(SysParam::CpuSysPct).unwrap()
+                + s.num(SysParam::IdlePct).unwrap();
+            assert!((total - 100.0).abs() < 1e-9, "sum {total} at cpu {cpu}");
+        }
+    }
+
+    #[test]
+    fn higher_load_means_less_idle() {
+        let lo = snap(0.1);
+        let hi = snap(0.8);
+        assert!(lo.num(SysParam::IdlePct).unwrap() > hi.num(SysParam::IdlePct).unwrap());
+        assert!(
+            lo.num(SysParam::ContextSwitches).unwrap() < hi.num(SysParam::ContextSwitches).unwrap()
+        );
+    }
+
+    #[test]
+    fn jrs_activity_counts_toward_busy() {
+        let spec = MachineSpec::generic("x", 10.0, 128.0);
+        let load = LoadModel::new(LoadProfile::Idle, 0).sample(10.0, &spec);
+        let without = SysSnapshot::for_machine(&spec, &load, 0.0, 0.0, 10.0);
+        let with = SysSnapshot::for_machine(&spec, &load, 0.5, 0.0, 10.0);
+        assert!(
+            with.num(SysParam::IdlePct).unwrap() < without.num(SysParam::IdlePct).unwrap() - 30.0
+        );
+    }
+
+    #[test]
+    fn extra_memory_reduces_avail_mem() {
+        let spec = MachineSpec::generic("x", 10.0, 128.0);
+        let load = LoadModel::new(LoadProfile::Idle, 0).sample(10.0, &spec);
+        let a = SysSnapshot::for_machine(&spec, &load, 0.0, 0.0, 10.0);
+        let b = SysSnapshot::for_machine(&spec, &load, 0.0, 32.0, 10.0);
+        let da = a.num(SysParam::AvailMem).unwrap();
+        let db = b.num(SysParam::AvailMem).unwrap();
+        assert!((da - db - 32.0).abs() < 1e-9, "{da} vs {db}");
+    }
+
+    #[test]
+    fn avail_mem_never_negative() {
+        let spec = MachineSpec::generic("x", 10.0, 64.0);
+        let load = LoadModel::new(LoadProfile::Constant(0.9), 0).sample(10.0, &spec);
+        let s = SysSnapshot::for_machine(&spec, &load, 0.0, 10_000.0, 10.0);
+        assert!(s.num(SysParam::AvailMem).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn accessor_kinds() {
+        let s = snap(0.2);
+        assert_eq!(s.str(SysParam::NodeName), Some("rachel"));
+        assert_eq!(s.num(SysParam::NodeName), None);
+        assert!(s.num(SysParam::AvailMem).is_some());
+        assert_eq!(s.str(SysParam::AvailMem), None);
+        assert!(!s.is_empty());
+    }
+}

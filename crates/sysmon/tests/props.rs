@@ -1,0 +1,134 @@
+//! Property-based tests for the system-parameter model.
+
+use jsym_sysmon::{
+    aggregate, Constraint, JsConstraints, LoadModel, LoadProfile, MachineSpec, ParamValue, RelOp,
+    SysParam, SysSnapshot,
+};
+use proptest::prelude::*;
+
+fn arb_op() -> impl Strategy<Value = RelOp> {
+    prop_oneof![
+        Just(RelOp::Lt),
+        Just(RelOp::Le),
+        Just(RelOp::Gt),
+        Just(RelOp::Ge),
+        Just(RelOp::Eq),
+        Just(RelOp::Ne),
+    ]
+}
+
+fn full_snapshot(cpu: f64, seed: u64, t: f64) -> SysSnapshot {
+    let spec = MachineSpec::generic("prop", 15.0, 192.0);
+    let load = LoadModel::new(LoadProfile::Constant(cpu), seed).sample(t, &spec);
+    SysSnapshot::for_machine(&spec, &load, 0.0, 0.0, t)
+}
+
+proptest! {
+    /// `op` and `op.negate()` partition all numeric comparisons.
+    #[test]
+    fn negation_is_complementary(op in arb_op(), l in -1e6f64..1e6, r in -1e6f64..1e6) {
+        prop_assert_ne!(op.eval_num(l, r), op.negate().eval_num(l, r));
+    }
+
+    /// A constraint and its negation can never both hold on the same snapshot.
+    #[test]
+    fn constraint_and_negation_disjoint(
+        op in arb_op(),
+        threshold in 0.0f64..100.0,
+        cpu in 0.0f64..0.9,
+    ) {
+        let snap = full_snapshot(cpu, 1, 10.0);
+        let c = Constraint { param: SysParam::IdlePct, op, value: ParamValue::Num(threshold) };
+        let n = Constraint { param: SysParam::IdlePct, op: op.negate(), value: ParamValue::Num(threshold) };
+        prop_assert!(c.holds(&snap) != n.holds(&snap));
+    }
+
+    /// Adding constraints can only shrink the admitted set (conjunction is
+    /// monotone).
+    #[test]
+    fn conjunction_is_monotone(
+        cpu in 0.0f64..0.9,
+        t1 in 0.0f64..100.0,
+        t2 in 0.0f64..100.0,
+    ) {
+        let snap = full_snapshot(cpu, 2, 5.0);
+        let mut small = JsConstraints::new();
+        small.set(SysParam::IdlePct, ">=", t1);
+        let mut big = small.clone();
+        big.set(SysParam::AvailMem, ">=", t2);
+        if big.holds(&snap) {
+            prop_assert!(small.holds(&snap));
+        }
+    }
+
+    /// The average of numeric parameters lies within the min/max envelope of
+    /// its inputs.
+    #[test]
+    fn average_within_envelope(cpus in proptest::collection::vec(0.0f64..0.9, 1..8)) {
+        let snaps: Vec<SysSnapshot> = cpus
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| full_snapshot(c, i as u64, 1.0))
+            .collect();
+        let avg = aggregate::average(&snaps);
+        for param in [SysParam::IdlePct, SysParam::AvailMem, SysParam::NumProcesses] {
+            let vals: Vec<f64> = snaps.iter().filter_map(|s| s.num(param)).collect();
+            let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let a = avg.num(param).unwrap();
+            prop_assert!(a >= lo - 1e-9 && a <= hi + 1e-9, "{param}: {a} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Averaging is permutation-invariant.
+    #[test]
+    fn average_order_independent(cpus in proptest::collection::vec(0.0f64..0.9, 2..6)) {
+        let snaps: Vec<SysSnapshot> = cpus
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| full_snapshot(c, i as u64, 1.0))
+            .collect();
+        let mut rev = snaps.clone();
+        rev.reverse();
+        let a = aggregate::average(&snaps);
+        let b = aggregate::average(&rev);
+        for param in SysParam::ALL {
+            match (a.num(param), b.num(param)) {
+                (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9),
+                (x, y) => prop_assert_eq!(x.is_some(), y.is_some()),
+            }
+        }
+    }
+
+    /// Load models always emit utilisation within [0, 0.97] regardless of
+    /// profile parameters.
+    #[test]
+    fn load_bounded(
+        base in -1.0f64..2.0,
+        level in -1.0f64..2.0,
+        t in 0.0f64..10_000.0,
+        seed in any::<u64>(),
+    ) {
+        for profile in [
+            LoadProfile::Spike { base, level, start: 100.0, end: 200.0 },
+            LoadProfile::RandomWalk { mean: base, step: level.abs().min(1.0), period: 10.0 },
+            LoadProfile::Bursts {
+                probability: level.clamp(0.0, 1.0),
+                period: 50.0,
+                duration: 120.0,
+                level,
+                base,
+            },
+        ] {
+            let m = LoadModel::new(profile, seed);
+            let v = m.cpu_at(t);
+            prop_assert!((0.0..=0.97).contains(&v), "out of bounds: {v}");
+        }
+    }
+
+    /// Snapshots are pure functions of (spec, load, time).
+    #[test]
+    fn snapshot_is_deterministic(cpu in 0.0f64..0.9, t in 0.0f64..1000.0) {
+        prop_assert_eq!(full_snapshot(cpu, 9, t), full_snapshot(cpu, 9, t));
+    }
+}

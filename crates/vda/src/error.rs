@@ -1,0 +1,101 @@
+//! Errors for virtual-architecture operations.
+
+use jsym_net::NodeId;
+use std::fmt;
+
+/// Why a virtual-architecture operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VdaError {
+    /// No machine with that name is registered in the pool.
+    NoSuchMachine(String),
+    /// The pool has no machine with this id (removed by the JS-Shell?).
+    UnknownPhysicalNode(NodeId),
+    /// Not enough free machines to satisfy an allocation.
+    InsufficientNodes {
+        /// How many nodes the request needed.
+        requested: usize,
+        /// How many unallocated machines were available.
+        available: usize,
+    },
+    /// No unallocated machine satisfies the given constraints.
+    ConstraintsUnsatisfied,
+    /// A component index was out of range (`getNode(3)` on a 2-node cluster).
+    IndexOutOfRange {
+        /// What was being indexed ("node", "cluster", "site").
+        what: &'static str,
+        /// The requested index.
+        index: usize,
+        /// Number of live members.
+        len: usize,
+    },
+    /// The component has been freed and can no longer be used.
+    Freed(&'static str),
+    /// The member is not part of the component it was to be removed from.
+    NotAMember,
+    /// The component already has a parent and cannot be added elsewhere
+    /// (every node belongs to a unique (cluster, site, domain) triple).
+    AlreadyAttached(&'static str),
+    /// The component is empty where a member was required (e.g. electing a
+    /// manager of an empty cluster).
+    Empty(&'static str),
+}
+
+impl fmt::Display for VdaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VdaError::NoSuchMachine(name) => write!(f, "no machine named {name:?} in the pool"),
+            VdaError::UnknownPhysicalNode(id) => write!(f, "physical node {id} is not in the pool"),
+            VdaError::InsufficientNodes {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested {requested} nodes but only {available} are available"
+            ),
+            VdaError::ConstraintsUnsatisfied => {
+                write!(f, "no available machine satisfies the constraints")
+            }
+            VdaError::IndexOutOfRange { what, index, len } => {
+                write!(f, "{what} index {index} out of range (len {len})")
+            }
+            VdaError::Freed(what) => write!(f, "{what} has been freed"),
+            VdaError::NotAMember => write!(f, "component is not a member"),
+            VdaError::AlreadyAttached(what) => {
+                write!(f, "{what} is already attached to a parent component")
+            }
+            VdaError::Empty(what) => write!(f, "{what} has no live members"),
+        }
+    }
+}
+
+impl std::error::Error for VdaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert_eq!(
+            VdaError::NoSuchMachine("milena".into()).to_string(),
+            "no machine named \"milena\" in the pool"
+        );
+        assert_eq!(
+            VdaError::InsufficientNodes {
+                requested: 5,
+                available: 3
+            }
+            .to_string(),
+            "requested 5 nodes but only 3 are available"
+        );
+        assert_eq!(
+            VdaError::IndexOutOfRange {
+                what: "node",
+                index: 3,
+                len: 2
+            }
+            .to_string(),
+            "node index 3 out of range (len 2)"
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Events emitted by the virtual-architecture registry.
+
+use crate::{ClusterKey, DomainKey, NodeKey, SiteKey};
+use jsym_net::NodeId;
+
+/// Which component's manager changed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ManagerScope {
+    /// A cluster manager.
+    Cluster(ClusterKey),
+    /// A site manager.
+    Site(SiteKey),
+    /// A domain manager.
+    Domain(DomainKey),
+}
+
+/// Registry events, consumed by the runtime (auto-migration, JS-Shell log).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VdaEvent {
+    /// A virtual node was allocated on a physical machine.
+    NodeAllocated {
+        /// The new virtual node.
+        node: NodeKey,
+        /// The machine backing it.
+        phys: NodeId,
+    },
+    /// A virtual node was released (explicitly or by failure handling).
+    NodeFreed {
+        /// The released virtual node.
+        node: NodeKey,
+        /// The machine that backed it.
+        phys: NodeId,
+    },
+    /// A physical machine was declared failed.
+    NodeFailed {
+        /// The failed machine.
+        phys: NodeId,
+    },
+    /// A manager was (re)assigned; `takeover` is true when a backup was
+    /// promoted after a failure rather than a fresh election.
+    ManagerChanged {
+        /// Scope of the management change.
+        scope: ManagerScope,
+        /// Virtual node of the new manager, if one could be found.
+        new_manager: Option<NodeKey>,
+        /// Whether this was a backup promotion after failure.
+        takeover: bool,
+    },
+}

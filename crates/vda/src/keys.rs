@@ -1,0 +1,71 @@
+//! Arena keys for virtual-architecture components.
+
+use std::fmt;
+
+macro_rules! key_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Raw arena index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+    };
+}
+
+key_type!(
+    /// Key of a virtual node component.
+    NodeKey,
+    "vn"
+);
+key_type!(
+    /// Key of a cluster component.
+    ClusterKey,
+    "vc"
+);
+key_type!(
+    /// Key of a site component.
+    SiteKey,
+    "vs"
+);
+key_type!(
+    /// Key of a domain component.
+    DomainKey,
+    "vd"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_format_with_prefixes() {
+        assert_eq!(NodeKey(3).to_string(), "vn3");
+        assert_eq!(ClusterKey(1).to_string(), "vc1");
+        assert_eq!(SiteKey(0).to_string(), "vs0");
+        assert_eq!(DomainKey(9).to_string(), "vd9");
+    }
+
+    #[test]
+    fn keys_are_ordered_by_index() {
+        assert!(NodeKey(1) < NodeKey(2));
+        assert_eq!(ClusterKey(5).index(), 5);
+    }
+}

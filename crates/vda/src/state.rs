@@ -1,0 +1,702 @@
+//! Internal arena state and the operations that maintain the architecture
+//! invariants (membership, allocation, managers, failure handling).
+//!
+//! All structural reasoning lives here behind a single lock; the public
+//! handles in [`crate::handles`] are thin wrappers.
+
+use crate::event::{ManagerScope, VdaEvent};
+use crate::{ClusterKey, DomainKey, NodeKey, ResourcePool, Result, SiteKey, VdaError};
+use jsym_net::NodeId;
+use jsym_sysmon::{JsConstraints, SysParam};
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug)]
+pub(crate) struct NodeEntry {
+    pub phys: NodeId,
+    pub parent: Option<ClusterKey>,
+    pub freed: bool,
+    pub constraints: Option<JsConstraints>,
+    /// Requested by machine name — such nodes may share a machine with
+    /// other virtual nodes. Recorded for diagnostics; allocation reads the
+    /// refcount in `VdaState::allocated` instead.
+    #[allow(dead_code)]
+    pub named: bool,
+}
+
+#[derive(Debug)]
+pub(crate) struct ClusterEntry {
+    pub nodes: Vec<NodeKey>,
+    pub parent: Option<SiteKey>,
+    pub freed: bool,
+    pub constraints: Option<JsConstraints>,
+    pub manager: Option<NodeKey>,
+    pub backup: Option<NodeKey>,
+}
+
+#[derive(Debug)]
+pub(crate) struct SiteEntry {
+    pub clusters: Vec<ClusterKey>,
+    pub parent: Option<DomainKey>,
+    pub freed: bool,
+    pub constraints: Option<JsConstraints>,
+    /// Invariant: a site manager is the manager of one of its clusters.
+    pub manager: Option<NodeKey>,
+    pub backup: Option<NodeKey>,
+}
+
+#[derive(Debug)]
+pub(crate) struct DomainEntry {
+    pub sites: Vec<SiteKey>,
+    pub freed: bool,
+    pub constraints: Option<JsConstraints>,
+    /// Invariant: a domain manager is the manager of one of its sites.
+    pub manager: Option<NodeKey>,
+    pub backup: Option<NodeKey>,
+}
+
+#[derive(Default)]
+pub(crate) struct VdaState {
+    pub nodes: Vec<NodeEntry>,
+    pub clusters: Vec<ClusterEntry>,
+    pub sites: Vec<SiteEntry>,
+    pub domains: Vec<DomainEntry>,
+    /// Live virtual nodes per physical machine.
+    pub allocated: HashMap<NodeId, usize>,
+    /// Machines declared failed.
+    pub failed: HashSet<NodeId>,
+    /// Events produced by the current operation, drained by the registry.
+    pub pending_events: Vec<VdaEvent>,
+}
+
+impl VdaState {
+    // ---------------------------------------------------------------- access
+
+    pub fn node(&self, k: NodeKey) -> &NodeEntry {
+        &self.nodes[k.index()]
+    }
+    pub fn node_mut(&mut self, k: NodeKey) -> &mut NodeEntry {
+        &mut self.nodes[k.index()]
+    }
+    pub fn cluster(&self, k: ClusterKey) -> &ClusterEntry {
+        &self.clusters[k.index()]
+    }
+    pub fn cluster_mut(&mut self, k: ClusterKey) -> &mut ClusterEntry {
+        &mut self.clusters[k.index()]
+    }
+    pub fn site(&self, k: SiteKey) -> &SiteEntry {
+        &self.sites[k.index()]
+    }
+    pub fn site_mut(&mut self, k: SiteKey) -> &mut SiteEntry {
+        &mut self.sites[k.index()]
+    }
+    pub fn domain(&self, k: DomainKey) -> &DomainEntry {
+        &self.domains[k.index()]
+    }
+    pub fn domain_mut(&mut self, k: DomainKey) -> &mut DomainEntry {
+        &mut self.domains[k.index()]
+    }
+
+    fn emit(&mut self, ev: VdaEvent) {
+        self.pending_events.push(ev);
+    }
+
+    // ------------------------------------------------------------ allocation
+
+    /// Machines not backing any live virtual node and not failed.
+    fn free_machines(&self, pool: &ResourcePool) -> Vec<NodeId> {
+        pool.ids()
+            .into_iter()
+            .filter(|id| {
+                !self.failed.contains(id) && self.allocated.get(id).copied().unwrap_or(0) == 0
+            })
+            .collect()
+    }
+
+    fn insert_node(
+        &mut self,
+        phys: NodeId,
+        constraints: Option<JsConstraints>,
+        named: bool,
+    ) -> NodeKey {
+        let key = NodeKey(self.nodes.len() as u32);
+        self.nodes.push(NodeEntry {
+            phys,
+            parent: None,
+            freed: false,
+            constraints,
+            named,
+        });
+        *self.allocated.entry(phys).or_insert(0) += 1;
+        self.emit(VdaEvent::NodeAllocated { node: key, phys });
+        key
+    }
+
+    /// Allocates one machine, preferring the least loaded candidate that
+    /// satisfies `constraints` ("JRS will allocate a node with low system
+    /// load and reasonable resources available", §4.2).
+    pub fn alloc_any(
+        &mut self,
+        pool: &ResourcePool,
+        constraints: Option<&JsConstraints>,
+    ) -> Result<NodeKey> {
+        let candidates = self.free_machines(pool);
+        if candidates.is_empty() {
+            return Err(VdaError::InsufficientNodes {
+                requested: 1,
+                available: 0,
+            });
+        }
+        let mut best: Option<(f64, NodeId)> = None;
+        for id in candidates {
+            let snap = pool.snapshot_of(id)?;
+            if let Some(c) = constraints {
+                if !c.holds(&snap) {
+                    continue;
+                }
+            }
+            // Rank by 1-minute load average; lower is better.
+            let load = snap.num(SysParam::CpuLoad1).unwrap_or(f64::MAX);
+            if best.is_none_or(|(b, _)| load < b) {
+                best = Some((load, id));
+            }
+        }
+        match best {
+            Some((_, id)) => Ok(self.insert_node(id, constraints.cloned(), false)),
+            None => Err(VdaError::ConstraintsUnsatisfied),
+        }
+    }
+
+    /// Allocates the machine with a specific host name. Named requests are
+    /// always honored while the machine is alive, even if it already backs
+    /// another virtual node (explicit sharing).
+    pub fn alloc_named(&mut self, pool: &ResourcePool, name: &str) -> Result<NodeKey> {
+        let (id, _) = pool.by_name(name)?;
+        if self.failed.contains(&id) {
+            return Err(VdaError::UnknownPhysicalNode(id));
+        }
+        Ok(self.insert_node(id, None, true))
+    }
+
+    /// Allocates `n` distinct machines, all satisfying `constraints`;
+    /// all-or-nothing.
+    pub fn alloc_many(
+        &mut self,
+        pool: &ResourcePool,
+        n: usize,
+        constraints: Option<&JsConstraints>,
+    ) -> Result<Vec<NodeKey>> {
+        let mut ranked: Vec<(f64, NodeId)> = Vec::new();
+        let candidates = self.free_machines(pool);
+        for id in &candidates {
+            let snap = pool.snapshot_of(*id)?;
+            if let Some(c) = constraints {
+                if !c.holds(&snap) {
+                    continue;
+                }
+            }
+            ranked.push((snap.num(SysParam::CpuLoad1).unwrap_or(f64::MAX), *id));
+        }
+        if ranked.len() < n {
+            return if constraints.is_some() && candidates.len() >= n {
+                Err(VdaError::ConstraintsUnsatisfied)
+            } else {
+                Err(VdaError::InsufficientNodes {
+                    requested: n,
+                    available: ranked.len(),
+                })
+            };
+        }
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        Ok(ranked
+            .into_iter()
+            .take(n)
+            .map(|(_, id)| self.insert_node(id, constraints.cloned(), false))
+            .collect())
+    }
+
+    // ------------------------------------------------------------ structure
+
+    pub fn new_cluster(&mut self, constraints: Option<JsConstraints>) -> ClusterKey {
+        let key = ClusterKey(self.clusters.len() as u32);
+        self.clusters.push(ClusterEntry {
+            nodes: Vec::new(),
+            parent: None,
+            freed: false,
+            constraints,
+            manager: None,
+            backup: None,
+        });
+        key
+    }
+
+    pub fn new_site(&mut self, constraints: Option<JsConstraints>) -> SiteKey {
+        let key = SiteKey(self.sites.len() as u32);
+        self.sites.push(SiteEntry {
+            clusters: Vec::new(),
+            parent: None,
+            freed: false,
+            constraints,
+            manager: None,
+            backup: None,
+        });
+        key
+    }
+
+    pub fn new_domain(&mut self, constraints: Option<JsConstraints>) -> DomainKey {
+        let key = DomainKey(self.domains.len() as u32);
+        self.domains.push(DomainEntry {
+            sites: Vec::new(),
+            freed: false,
+            constraints,
+            manager: None,
+            backup: None,
+        });
+        key
+    }
+
+    pub fn add_node_to_cluster(&mut self, ck: ClusterKey, nk: NodeKey) -> Result<()> {
+        if self.cluster(ck).freed {
+            return Err(VdaError::Freed("cluster"));
+        }
+        let node = self.node(nk);
+        if node.freed {
+            return Err(VdaError::Freed("node"));
+        }
+        if node.parent.is_some() {
+            return Err(VdaError::AlreadyAttached("node"));
+        }
+        self.node_mut(nk).parent = Some(ck);
+        self.cluster_mut(ck).nodes.push(nk);
+        self.refresh_managers_for_cluster(ck, false);
+        Ok(())
+    }
+
+    pub fn add_cluster_to_site(&mut self, sk: SiteKey, ck: ClusterKey) -> Result<()> {
+        if self.site(sk).freed {
+            return Err(VdaError::Freed("site"));
+        }
+        let cluster = self.cluster(ck);
+        if cluster.freed {
+            return Err(VdaError::Freed("cluster"));
+        }
+        if cluster.parent.is_some() {
+            return Err(VdaError::AlreadyAttached("cluster"));
+        }
+        self.cluster_mut(ck).parent = Some(sk);
+        self.site_mut(sk).clusters.push(ck);
+        self.refresh_site_manager(sk, false);
+        if let Some(dk) = self.site(sk).parent {
+            self.refresh_domain_manager(dk, false);
+        }
+        Ok(())
+    }
+
+    pub fn add_site_to_domain(&mut self, dk: DomainKey, sk: SiteKey) -> Result<()> {
+        if self.domain(dk).freed {
+            return Err(VdaError::Freed("domain"));
+        }
+        let site = self.site(sk);
+        if site.freed {
+            return Err(VdaError::Freed("site"));
+        }
+        if site.parent.is_some() {
+            return Err(VdaError::AlreadyAttached("site"));
+        }
+        self.site_mut(sk).parent = Some(dk);
+        self.domain_mut(dk).sites.push(sk);
+        self.refresh_domain_manager(dk, false);
+        Ok(())
+    }
+
+    /// The (possibly implicit) cluster of a node: every node belongs to a
+    /// unique (cluster, site, domain) triple (§3).
+    pub fn cluster_of_node(&mut self, nk: NodeKey) -> Result<ClusterKey> {
+        if self.node(nk).freed {
+            return Err(VdaError::Freed("node"));
+        }
+        if let Some(ck) = self.node(nk).parent {
+            return Ok(ck);
+        }
+        let ck = self.new_cluster(None);
+        self.node_mut(nk).parent = Some(ck);
+        self.cluster_mut(ck).nodes.push(nk);
+        self.refresh_managers_for_cluster(ck, false);
+        Ok(ck)
+    }
+
+    pub fn site_of_cluster(&mut self, ck: ClusterKey) -> Result<SiteKey> {
+        if self.cluster(ck).freed {
+            return Err(VdaError::Freed("cluster"));
+        }
+        if let Some(sk) = self.cluster(ck).parent {
+            return Ok(sk);
+        }
+        let sk = self.new_site(None);
+        self.cluster_mut(ck).parent = Some(sk);
+        self.site_mut(sk).clusters.push(ck);
+        self.refresh_site_manager(sk, false);
+        Ok(sk)
+    }
+
+    pub fn domain_of_site(&mut self, sk: SiteKey) -> Result<DomainKey> {
+        if self.site(sk).freed {
+            return Err(VdaError::Freed("site"));
+        }
+        if let Some(dk) = self.site(sk).parent {
+            return Ok(dk);
+        }
+        let dk = self.new_domain(None);
+        self.site_mut(sk).parent = Some(dk);
+        self.domain_mut(dk).sites.push(sk);
+        self.refresh_domain_manager(dk, false);
+        Ok(dk)
+    }
+
+    // --------------------------------------------------------------- freeing
+
+    pub fn free_node(&mut self, nk: NodeKey) -> Result<()> {
+        if self.node(nk).freed {
+            return Err(VdaError::Freed("node"));
+        }
+        let phys = self.node(nk).phys;
+        let parent = self.node(nk).parent;
+        self.node_mut(nk).freed = true;
+        if let Some(count) = self.allocated.get_mut(&phys) {
+            *count = count.saturating_sub(1);
+        }
+        if let Some(ck) = parent {
+            self.cluster_mut(ck).nodes.retain(|&k| k != nk);
+            self.refresh_managers_for_cluster(ck, false);
+        }
+        self.emit(VdaEvent::NodeFreed { node: nk, phys });
+        Ok(())
+    }
+
+    pub fn free_cluster(&mut self, ck: ClusterKey) -> Result<()> {
+        if self.cluster(ck).freed {
+            return Err(VdaError::Freed("cluster"));
+        }
+        for nk in self.cluster(ck).nodes.clone() {
+            // Members lose their parent first so free_node does not mutate
+            // the cluster we are tearing down.
+            self.node_mut(nk).parent = None;
+            self.free_node(nk)?;
+        }
+        let parent = self.cluster(ck).parent;
+        let c = self.cluster_mut(ck);
+        c.freed = true;
+        c.nodes.clear();
+        c.manager = None;
+        c.backup = None;
+        if let Some(sk) = parent {
+            self.site_mut(sk).clusters.retain(|&k| k != ck);
+            self.refresh_site_manager(sk, false);
+            if let Some(dk) = self.site(sk).parent {
+                self.refresh_domain_manager(dk, false);
+            }
+        }
+        Ok(())
+    }
+
+    pub fn free_site(&mut self, sk: SiteKey) -> Result<()> {
+        if self.site(sk).freed {
+            return Err(VdaError::Freed("site"));
+        }
+        for ck in self.site(sk).clusters.clone() {
+            self.cluster_mut(ck).parent = None;
+            self.free_cluster(ck)?;
+        }
+        let parent = self.site(sk).parent;
+        let s = self.site_mut(sk);
+        s.freed = true;
+        s.clusters.clear();
+        s.manager = None;
+        s.backup = None;
+        if let Some(dk) = parent {
+            self.domain_mut(dk).sites.retain(|&k| k != sk);
+            self.refresh_domain_manager(dk, false);
+        }
+        Ok(())
+    }
+
+    pub fn free_domain(&mut self, dk: DomainKey) -> Result<()> {
+        if self.domain(dk).freed {
+            return Err(VdaError::Freed("domain"));
+        }
+        for sk in self.domain(dk).sites.clone() {
+            self.site_mut(sk).parent = None;
+            self.free_site(sk)?;
+        }
+        let d = self.domain_mut(dk);
+        d.freed = true;
+        d.sites.clear();
+        d.manager = None;
+        d.backup = None;
+        Ok(())
+    }
+
+    // -------------------------------------------------------------- managers
+
+    fn node_is_operational(&self, nk: NodeKey) -> bool {
+        let n = self.node(nk);
+        !n.freed && !self.failed.contains(&n.phys)
+    }
+
+    /// Re-establishes the manager/backup of a cluster and propagates up the
+    /// hierarchy. `takeover` marks backup promotions after a failure.
+    pub fn refresh_managers_for_cluster(&mut self, ck: ClusterKey, takeover: bool) {
+        self.refresh_cluster_manager(ck, takeover);
+        if let Some(sk) = self.cluster(ck).parent {
+            self.refresh_site_manager(sk, takeover);
+            if let Some(dk) = self.site(sk).parent {
+                self.refresh_domain_manager(dk, takeover);
+            }
+        }
+    }
+
+    fn refresh_cluster_manager(&mut self, ck: ClusterKey, takeover: bool) {
+        let members: Vec<NodeKey> = self.cluster(ck).nodes.clone();
+        let live: Vec<NodeKey> = members
+            .into_iter()
+            .filter(|&nk| self.node_is_operational(nk))
+            .collect();
+        let current = self.cluster(ck).manager;
+        let backup = self.cluster(ck).backup;
+        let current_ok = current.is_some_and(|m| live.contains(&m));
+        let new_manager;
+        let mut was_takeover = false;
+        if current_ok {
+            new_manager = current;
+        } else if backup.is_some_and(|b| live.contains(&b)) {
+            // Backup promotion (§5.1 fault tolerance).
+            new_manager = backup;
+            was_takeover = takeover;
+        } else {
+            new_manager = live.first().copied();
+        }
+        let new_backup = live.iter().copied().find(|&nk| Some(nk) != new_manager);
+        let c = self.cluster_mut(ck);
+        let changed = c.manager != new_manager;
+        c.manager = new_manager;
+        c.backup = new_backup;
+        if changed {
+            self.emit(VdaEvent::ManagerChanged {
+                scope: ManagerScope::Cluster(ck),
+                new_manager,
+                takeover: was_takeover,
+            });
+        }
+    }
+
+    fn refresh_site_manager(&mut self, sk: SiteKey, takeover: bool) {
+        // Valid site managers are exactly the managers of the site's live
+        // clusters ("Only a cluster manager can be a site manager").
+        let cluster_managers: Vec<NodeKey> = self
+            .site(sk)
+            .clusters
+            .iter()
+            .filter(|&&ck| !self.cluster(ck).freed)
+            .filter_map(|&ck| self.cluster(ck).manager)
+            .filter(|&nk| self.node_is_operational(nk))
+            .collect();
+        let current = self.site(sk).manager;
+        let backup = self.site(sk).backup;
+        let current_ok = current.is_some_and(|m| cluster_managers.contains(&m));
+        let new_manager;
+        let mut was_takeover = false;
+        if current_ok {
+            new_manager = current;
+        } else if backup.is_some_and(|b| cluster_managers.contains(&b)) {
+            new_manager = backup;
+            was_takeover = takeover;
+        } else {
+            new_manager = cluster_managers.first().copied();
+        }
+        let new_backup = cluster_managers
+            .iter()
+            .copied()
+            .find(|&nk| Some(nk) != new_manager);
+        let s = self.site_mut(sk);
+        let changed = s.manager != new_manager;
+        s.manager = new_manager;
+        s.backup = new_backup;
+        if changed {
+            self.emit(VdaEvent::ManagerChanged {
+                scope: ManagerScope::Site(sk),
+                new_manager,
+                takeover: was_takeover,
+            });
+        }
+    }
+
+    fn refresh_domain_manager(&mut self, dk: DomainKey, takeover: bool) {
+        // Valid domain managers are the managers of the domain's live sites
+        // ("only a site manager can be a domain manager").
+        let site_managers: Vec<NodeKey> = self
+            .domain(dk)
+            .sites
+            .iter()
+            .filter(|&&sk| !self.site(sk).freed)
+            .filter_map(|&sk| self.site(sk).manager)
+            .filter(|&nk| self.node_is_operational(nk))
+            .collect();
+        let current = self.domain(dk).manager;
+        let backup = self.domain(dk).backup;
+        let current_ok = current.is_some_and(|m| site_managers.contains(&m));
+        let new_manager;
+        let mut was_takeover = false;
+        if current_ok {
+            new_manager = current;
+        } else if backup.is_some_and(|b| site_managers.contains(&b)) {
+            new_manager = backup;
+            was_takeover = takeover;
+        } else {
+            new_manager = site_managers.first().copied();
+        }
+        let new_backup = site_managers
+            .iter()
+            .copied()
+            .find(|&nk| Some(nk) != new_manager);
+        let d = self.domain_mut(dk);
+        let changed = d.manager != new_manager;
+        d.manager = new_manager;
+        d.backup = new_backup;
+        if changed {
+            self.emit(VdaEvent::ManagerChanged {
+                scope: ManagerScope::Domain(dk),
+                new_manager,
+                takeover: was_takeover,
+            });
+        }
+    }
+
+    // --------------------------------------------------------------- failure
+
+    /// Declares a physical machine failed: managers fail over (backups take
+    /// over, §5.1), then every virtual node it backed is released.
+    pub fn handle_phys_failure(&mut self, phys: NodeId) {
+        if !self.failed.insert(phys) {
+            return; // already handled
+        }
+        self.emit(VdaEvent::NodeFailed { phys });
+        let affected: Vec<NodeKey> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.freed && n.phys == phys)
+            .map(|(i, _)| NodeKey(i as u32))
+            .collect();
+        // First fail over every manager role held by the dead machine...
+        let clusters: Vec<ClusterKey> = affected
+            .iter()
+            .filter_map(|&nk| self.node(nk).parent)
+            .collect();
+        for ck in clusters {
+            self.refresh_managers_for_cluster(ck, true);
+        }
+        // ...then release the dead node(s) ("the manager of this cluster
+        // simply releases this node").
+        for nk in affected {
+            let _ = self.free_node(nk);
+        }
+    }
+
+    // --------------------------------------------------------------- queries
+
+    /// Effective constraints of a node: its own plus every ancestor's.
+    pub fn effective_constraints(&self, nk: NodeKey) -> JsConstraints {
+        let mut out = JsConstraints::new();
+        let node = self.node(nk);
+        if let Some(c) = &node.constraints {
+            out.and(c);
+        }
+        if let Some(ck) = node.parent {
+            if let Some(c) = &self.cluster(ck).constraints {
+                out.and(c);
+            }
+            if let Some(sk) = self.cluster(ck).parent {
+                if let Some(c) = &self.site(sk).constraints {
+                    out.and(c);
+                }
+                if let Some(dk) = self.site(sk).parent {
+                    if let Some(c) = &self.domain(dk).constraints {
+                        out.and(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Physical machines of live peers of `nk`, ordered by locality: same
+    /// cluster first, then same site, then same domain (§5.2: "To maintain
+    /// locality JRS tries to migrate objects of one node to another node
+    /// within the same cluster of the original node", then site, and so on).
+    pub fn locality_candidates(&self, nk: NodeKey) -> Vec<NodeId> {
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut out: Vec<NodeId> = Vec::new();
+        let self_phys = self.node(nk).phys;
+        seen.insert(self_phys);
+
+        let push_node =
+            |state: &VdaState, k: NodeKey, out: &mut Vec<NodeId>, seen: &mut HashSet<NodeId>| {
+                let n = state.node(k);
+                if !n.freed && !state.failed.contains(&n.phys) && seen.insert(n.phys) {
+                    out.push(n.phys);
+                }
+            };
+
+        let Some(ck) = self.node(nk).parent else {
+            return out;
+        };
+        for &k in &self.cluster(ck).nodes {
+            push_node(self, k, &mut out, &mut seen);
+        }
+        let Some(sk) = self.cluster(ck).parent else {
+            return out;
+        };
+        for &c in &self.site(sk).clusters {
+            for &k in &self.cluster(c).nodes {
+                push_node(self, k, &mut out, &mut seen);
+            }
+        }
+        let Some(dk) = self.site(sk).parent else {
+            return out;
+        };
+        for &s in &self.domain(dk).sites {
+            for &c in &self.site(s).clusters {
+                for &k in &self.cluster(c).nodes {
+                    push_node(self, k, &mut out, &mut seen);
+                }
+            }
+        }
+        out
+    }
+
+    /// All physical machines under a cluster (live nodes only).
+    pub fn cluster_machines(&self, ck: ClusterKey) -> Vec<NodeId> {
+        self.cluster(ck)
+            .nodes
+            .iter()
+            .map(|&nk| self.node(nk).phys)
+            .collect()
+    }
+
+    /// All physical machines under a site.
+    pub fn site_machines(&self, sk: SiteKey) -> Vec<NodeId> {
+        self.site(sk)
+            .clusters
+            .iter()
+            .flat_map(|&ck| self.cluster_machines(ck))
+            .collect()
+    }
+
+    /// All physical machines under a domain.
+    pub fn domain_machines(&self, dk: DomainKey) -> Vec<NodeId> {
+        self.domain(dk)
+            .sites
+            .iter()
+            .flat_map(|&sk| self.site_machines(sk))
+            .collect()
+    }
+}

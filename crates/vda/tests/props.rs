@@ -1,0 +1,261 @@
+//! Property-based tests: random operation sequences must preserve the
+//! architecture invariants.
+
+use jsym_net::SimClock;
+use jsym_sysmon::{LoadModel, LoadProfile, MachineSpec, SimMachine};
+use jsym_vda::{Cluster, Domain, Node, ResourcePool, Site, VdaRegistry};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    RequestNode,
+    RequestNamed(u8),
+    RequestCluster(u8),
+    FreeNode(u8),
+    FreeCluster(u8),
+    AddNodeToCluster(u8, u8),
+    FailMachine(u8),
+    GetImplicitParents(u8),
+    RequestSite(u8, u8),
+    FreeSite(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::RequestNode),
+        any::<u8>().prop_map(Op::RequestNamed),
+        (1u8..4).prop_map(Op::RequestCluster),
+        any::<u8>().prop_map(Op::FreeNode),
+        any::<u8>().prop_map(Op::FreeCluster),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::AddNodeToCluster(a, b)),
+        any::<u8>().prop_map(Op::FailMachine),
+        any::<u8>().prop_map(Op::GetImplicitParents),
+        (1u8..3, 1u8..3).prop_map(|(a, b)| Op::RequestSite(a, b)),
+        any::<u8>().prop_map(Op::FreeSite),
+    ]
+}
+
+const POOL: usize = 8;
+
+fn registry() -> VdaRegistry {
+    let pool = ResourcePool::new();
+    let clock = SimClock::default();
+    for i in 0..POOL {
+        pool.add_machine(SimMachine::new(
+            MachineSpec::generic(&format!("m{i}"), 10.0, 128.0),
+            LoadModel::new(LoadProfile::Constant(0.1 + 0.05 * i as f64), i as u64),
+            clock.clone(),
+        ));
+    }
+    VdaRegistry::new(pool)
+}
+
+struct World {
+    reg: VdaRegistry,
+    nodes: Vec<Node>,
+    clusters: Vec<Cluster>,
+    sites: Vec<Site>,
+    domains: Vec<Domain>,
+}
+
+impl World {
+    fn apply(&mut self, op: &Op) {
+        match *op {
+            Op::RequestNode => {
+                if let Ok(n) = self.reg.request_node() {
+                    self.nodes.push(n);
+                }
+            }
+            Op::RequestNamed(i) => {
+                let name = format!("m{}", i as usize % POOL);
+                if let Ok(n) = self.reg.request_node_named(&name) {
+                    self.nodes.push(n);
+                }
+            }
+            Op::RequestCluster(n) => {
+                if let Ok(c) = self.reg.request_cluster(n as usize, None) {
+                    for i in 0..c.nr_nodes() {
+                        self.nodes.push(c.get_node(i).unwrap());
+                    }
+                    self.clusters.push(c);
+                }
+            }
+            Op::FreeNode(i) => {
+                if !self.nodes.is_empty() {
+                    let n = &self.nodes[i as usize % self.nodes.len()];
+                    let _ = n.free();
+                }
+            }
+            Op::FreeCluster(i) => {
+                if !self.clusters.is_empty() {
+                    let c = &self.clusters[i as usize % self.clusters.len()];
+                    let _ = c.free();
+                }
+            }
+            Op::AddNodeToCluster(a, b) => {
+                if !self.nodes.is_empty() && !self.clusters.is_empty() {
+                    let n = &self.nodes[a as usize % self.nodes.len()];
+                    let c = &self.clusters[b as usize % self.clusters.len()];
+                    let _ = c.add_node(n);
+                }
+            }
+            Op::FailMachine(i) => {
+                let ids = self.reg.pool().ids();
+                if !ids.is_empty() {
+                    self.reg.handle_phys_failure(ids[i as usize % ids.len()]);
+                }
+            }
+            Op::GetImplicitParents(i) => {
+                if !self.nodes.is_empty() {
+                    let n = &self.nodes[i as usize % self.nodes.len()];
+                    if let Ok(c) = n.get_cluster() {
+                        self.clusters.push(c);
+                    }
+                    if let Ok(s) = n.get_site() {
+                        self.sites.push(s);
+                    }
+                    if let Ok(d) = n.get_domain() {
+                        self.domains.push(d);
+                    }
+                }
+            }
+            Op::RequestSite(a, b) => {
+                if let Ok(s) = self.reg.request_site(&[a as usize, b as usize], None) {
+                    for ci in 0..s.nr_clusters() {
+                        let c = s.get_cluster(ci).unwrap();
+                        for ni in 0..c.nr_nodes() {
+                            self.nodes.push(c.get_node(ni).unwrap());
+                        }
+                        self.clusters.push(c);
+                    }
+                    self.sites.push(s);
+                }
+            }
+            Op::FreeSite(i) => {
+                if !self.sites.is_empty() {
+                    let s = &self.sites[i as usize % self.sites.len()];
+                    let _ = s.free();
+                }
+            }
+        }
+    }
+
+    fn check_invariants(&self) {
+        // 1. Every live cluster's members are live nodes, its manager is a
+        //    member and (if present) distinct from the backup.
+        for c in &self.clusters {
+            if !c.is_live() {
+                continue;
+            }
+            let members: Vec<Node> = (0..c.nr_nodes()).map(|i| c.get_node(i).unwrap()).collect();
+            for m in &members {
+                assert!(m.is_live(), "cluster member not live");
+            }
+            if let Some(mgr) = c.manager() {
+                assert!(members.contains(&mgr), "manager not a member");
+                if let Some(b) = c.backup_manager() {
+                    assert_ne!(b, mgr, "backup equals manager");
+                    assert!(members.contains(&b), "backup not a member");
+                }
+            } else {
+                assert!(members.is_empty(), "nonempty cluster without manager");
+            }
+        }
+        // 2. Site managers are cluster managers of their own clusters.
+        for s in &self.sites {
+            if !s.is_live() {
+                continue;
+            }
+            if let Some(sm) = s.manager() {
+                let mut ok = false;
+                for ci in 0..s.nr_clusters() {
+                    if s.get_cluster(ci).unwrap().manager() == Some(sm.clone()) {
+                        ok = true;
+                    }
+                }
+                assert!(ok, "site manager is not one of its cluster managers");
+            }
+        }
+        // 3. Domain managers are site managers of their own sites.
+        for d in &self.domains {
+            if !d.is_live() {
+                continue;
+            }
+            if let Some(dm) = d.manager() {
+                let mut ok = false;
+                for si in 0..d.nr_sites() {
+                    if d.get_site(si).unwrap().manager() == Some(dm.clone()) {
+                        ok = true;
+                    }
+                }
+                assert!(ok, "domain manager is not one of its site managers");
+            }
+        }
+        // 4. No live node sits on a failed machine.
+        for n in &self.nodes {
+            if n.is_live() {
+                assert!(!self.reg.is_failed(n.phys()), "live node on failed machine");
+            }
+        }
+        // 5. Locality candidates never include self, duplicates or failures.
+        for n in &self.nodes {
+            if !n.is_live() {
+                continue;
+            }
+            let cands = self.reg.locality_candidates(n);
+            let mut sorted = cands.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), cands.len(), "duplicate candidates");
+            assert!(!cands.contains(&n.phys()), "self in candidates");
+            for c in cands {
+                assert!(!self.reg.is_failed(c), "failed machine as candidate");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_ops_preserve_invariants(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let mut world = World {
+            reg: registry(),
+            nodes: Vec::new(),
+            clusters: Vec::new(),
+            sites: Vec::new(),
+            domains: Vec::new(),
+        };
+        for op in &ops {
+            world.apply(op);
+        }
+        world.check_invariants();
+    }
+
+    /// Anonymous allocations never share machines.
+    #[test]
+    fn anonymous_allocations_are_disjoint(k in 1usize..=POOL) {
+        let reg = registry();
+        let mut phys = Vec::new();
+        for _ in 0..k {
+            phys.push(reg.request_node().unwrap().phys());
+        }
+        let mut sorted = phys.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), phys.len());
+    }
+
+    /// free + re-request cycles never leak machines.
+    #[test]
+    fn free_rerequest_never_leaks(rounds in 1usize..10) {
+        let reg = registry();
+        for _ in 0..rounds {
+            let c = reg.request_cluster(POOL, None).unwrap();
+            c.free().unwrap();
+        }
+        // Still possible to take everything.
+        prop_assert!(reg.request_cluster(POOL, None).is_ok());
+    }
+}

@@ -1,0 +1,58 @@
+//! The paper's evaluation application (§6, Figure 6): master/slave matrix
+//! multiplication on the heterogeneous 13-Sun testbed, run here on a
+//! 6-node night-time cluster with full numeric verification.
+//!
+//! Run with: `cargo run --release -p jsym-cluster --example matmul_cluster`
+
+use jsym_cluster::catalog::{testbed_machines, LoadKind};
+use jsym_cluster::matmul::{
+    register_matmul_classes, run_master_slave, run_sequential, MatmulConfig,
+};
+use jsym_core::JsShell;
+
+fn main() -> jsym_core::Result<()> {
+    const N: usize = 400;
+    const NODES: usize = 6;
+
+    let deployment = JsShell::new()
+        .time_scale(2e-2) // 50x real time: per-RMI host overhead stays negligible
+        .add_machines(testbed_machines(NODES, LoadKind::Night, 42))
+        .boot();
+    register_matmul_classes(&deployment);
+
+    // Sequential baseline on the fastest workstation, no JavaSymphony —
+    // exactly how the paper produced its one-node points.
+    let fastest = deployment.pool().machine(deployment.machines()[0])?;
+    let seq = run_sequential(&fastest, N);
+    println!(
+        "sequential on {:>8}: {seq:8.2} virtual s",
+        fastest.spec().name
+    );
+
+    // The master/slave run of Figure 6 on a cluster of all six machines.
+    let cluster = deployment
+        .vda()
+        .request_cluster(NODES, None)
+        .map_err(jsym_core::JsError::from)?;
+    println!(
+        "cluster: {:?}",
+        (0..cluster.nr_nodes())
+            .map(|i| cluster.get_node(i).and_then(|n| n.name()))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(jsym_core::JsError::from)?
+    );
+
+    let report = run_master_slave(&deployment, &cluster, &MatmulConfig::new(N))?;
+    println!(
+        "distributed N={N} on {} nodes: {:8.2} virtual s (+{:.2}s setup), {} tasks, {} messages",
+        report.nodes, report.virt_seconds, report.setup_seconds, report.tasks, report.messages
+    );
+    println!("result verified: {:?}", report.correct);
+    println!(
+        "speed-up vs fastest single machine: {:.2}x",
+        seq / report.virt_seconds
+    );
+
+    deployment.shutdown();
+    Ok(())
+}

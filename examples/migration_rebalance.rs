@@ -1,0 +1,90 @@
+//! Constraint-driven automatic migration (paper §4.6, §5.2).
+//!
+//! Two idle workstations host a worker object each under an
+//! "at least 50% idle" constraint. Twenty virtual seconds in, a (simulated)
+//! user sits down at the first machine and loads it to 90%. The runtime's
+//! periodic constraint check notices, and migrates the object to the other
+//! machine of the same cluster — preserving locality, without any help
+//! from the application.
+//!
+//! Run with: `cargo run -p jsym-cluster --example migration_rebalance`
+
+use jsym_core::testkit::register_test_classes;
+use jsym_core::{JsObj, JsShell, MachineConfig, Placement, Value};
+use jsym_net::LinkClass;
+use jsym_sysmon::{JsConstraints, LoadModel, LoadProfile, MachineSpec, SysParam};
+
+fn main() -> jsym_core::Result<()> {
+    let deployment = JsShell::new()
+        .time_scale(1e-3)
+        .monitor_period(2.0)
+        .automigration(true, 2.0)
+        .add_machine(MachineConfig {
+            spec: MachineSpec::generic("overloaded-soon", 25.0, 256.0),
+            load: LoadModel::new(
+                LoadProfile::Spike {
+                    base: 0.02,
+                    level: 0.9,
+                    start: 20.0,
+                    end: 1e12,
+                },
+                1,
+            ),
+            link: LinkClass::Lan100,
+        })
+        .add_machine(MachineConfig::idle("calm", 25.0))
+        .boot();
+    register_test_classes(&deployment);
+    let reg = deployment.register_app()?;
+
+    // A cluster whose nodes must stay at least 50% idle.
+    let mut constr = JsConstraints::new();
+    constr.set(SysParam::IdlePct, ">=", 50);
+    let cluster = deployment
+        .vda()
+        .request_cluster(2, Some(&constr))
+        .map_err(jsym_core::JsError::from)?;
+    println!("cluster machines: {:?}", cluster.machines());
+
+    // Place the worker on the soon-to-be-loaded machine explicitly.
+    let worker = JsObj::create(
+        &reg,
+        "Counter",
+        &[Value::I64(7)],
+        Placement::OnPhys(deployment.machines()[0]),
+        None,
+    )?;
+    println!(
+        "t={:6.1}s worker on {:?}",
+        deployment.clock().now(),
+        worker.get_node_name()?
+    );
+
+    // Watch the runtime react to the load spike at t=20s.
+    let clock = deployment.clock().clone();
+    let mut last = worker.get_location()?;
+    while clock.now() < 120.0 {
+        clock.sleep(5.0);
+        let loc = worker.get_location()?;
+        if loc != last {
+            println!(
+                "t={:6.1}s automatic migration: worker moved to {:?}",
+                clock.now(),
+                worker.get_node_name()?
+            );
+            last = loc;
+        }
+    }
+    assert_eq!(
+        worker.get_node_name()?,
+        "calm",
+        "worker should have escaped the load"
+    );
+    // State survived the automatic move.
+    assert_eq!(worker.sinvoke("get", &[])?, Value::I64(7));
+    println!("worker state intact after automatic migration.");
+
+    reg.unregister()?;
+    deployment.shutdown();
+    Ok(())
+}

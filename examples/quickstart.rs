@@ -1,0 +1,63 @@
+//! Quickstart: boot a small JavaSymphony deployment, register an
+//! application, create a remote object and talk to it all three ways.
+//!
+//! Run with: `cargo run -p jsym-cluster --example quickstart`
+
+use jsym_core::testkit::register_test_classes;
+use jsym_core::{JsObj, JsShell, MachineConfig, Placement, Value};
+
+fn main() -> jsym_core::Result<()> {
+    // The JS-Shell configures the node set (paper §5). Three idle
+    // workstations, simulation running 1000x faster than real time.
+    let deployment = JsShell::new()
+        .time_scale(1e-3)
+        .add_machine(MachineConfig::idle("anna", 30.0))
+        .add_machine(MachineConfig::idle("bertha", 20.0))
+        .add_machine(MachineConfig::idle("clara", 10.0))
+        .boot();
+    register_test_classes(&deployment);
+
+    // Every JavaSymphony application first registers with the JRS (§4.1).
+    let reg = deployment.register_app()?;
+    println!("registered {:?} on node {}", reg.app_id(), reg.local_phys());
+
+    // Create an object; the runtime picks the least-loaded node (§4.4).
+    let counter = JsObj::create(&reg, "Counter", &[Value::I64(0)], Placement::Auto, None)?;
+    println!("Counter created on {}", counter.get_node_name()?);
+
+    // Synchronous invocation: blocks for the result (§4.5).
+    let v = counter.sinvoke("add", &[Value::I64(30)])?;
+    println!("sinvoke add(30)      -> {v:?}");
+
+    // Asynchronous invocation: returns a handle immediately.
+    let handle = counter.ainvoke("add", &[Value::I64(10)])?;
+    println!(
+        "ainvoke add(10)      -> handle ready: {}",
+        handle.is_ready()
+    );
+    println!("handle.get_result()  -> {:?}", handle.get_result()?);
+
+    // One-sided invocation: no result, no completion wait.
+    counter.oinvoke("add", &[Value::I64(2)])?;
+    println!("oinvoke add(2)       -> (fire and forget)");
+
+    // Later reads observe all of it.
+    let total = counter.sinvoke("get", &[])?;
+    println!("final value          -> {total:?}");
+    assert_eq!(total, Value::I64(42));
+
+    // Persist the object, free it, resurrect it from the store (§4.7).
+    let key = counter.store(Some("my-counter"))?;
+    counter.free()?;
+    let revived = reg.load_stored(&key, Placement::Local, None)?;
+    println!(
+        "revived from {key:?}  -> {:?}",
+        revived.sinvoke("get", &[])?
+    );
+
+    // Applications should unregister when done (§4.1).
+    reg.unregister()?;
+    deployment.shutdown();
+    println!("done.");
+    Ok(())
+}

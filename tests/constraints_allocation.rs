@@ -1,0 +1,145 @@
+//! Workspace tests: constraint-driven allocation across heterogeneous
+//! machines (the paper's §4.2 machinery against the §6 testbed).
+
+use jsym_cluster::catalog::{testbed_machines, LoadKind, TESTBED};
+use jsym_core::testkit::register_test_classes;
+use jsym_core::{JsObj, JsShell, Placement, Value};
+use jsym_sysmon::{JsConstraints, ParamValue, SysParam};
+use jsym_vda::VdaError;
+
+fn testbed_deployment(n: usize) -> jsym_core::Deployment {
+    // 1e-3: coarse enough that real RMI overhead (~0.5 ms) stays below one
+    // virtual second, which the timing assertions here need.
+    let d = JsShell::new()
+        .time_scale(1e-3)
+        .add_machines(testbed_machines(n, LoadKind::Dedicated, 5))
+        .boot();
+    register_test_classes(&d);
+    d
+}
+
+#[test]
+fn name_constraints_exclude_machines() {
+    // The paper's own example: NODE_NAME != "milena".
+    let d = testbed_deployment(4);
+    let mut constr = JsConstraints::new();
+    constr.set(SysParam::NodeName, "!=", "milena");
+    for _ in 0..3 {
+        let n = d.vda().request_node_constrained(&constr).unwrap();
+        assert_ne!(n.name().unwrap(), "milena");
+    }
+    // Only milena remains unallocated; the constraint now fails.
+    assert!(matches!(
+        d.vda().request_node_constrained(&constr),
+        Err(VdaError::ConstraintsUnsatisfied)
+    ));
+    d.shutdown();
+}
+
+#[test]
+fn performance_constraints_select_machine_classes() {
+    let d = testbed_deployment(13);
+    // Only Ultra-class machines have ≥ 10 Mflop/s peaks.
+    let mut ultras_only = JsConstraints::new();
+    ultras_only.set(SysParam::PeakMflops, ">=", 10.0);
+    let cluster = d.vda().request_cluster(8, Some(&ultras_only)).unwrap();
+    for m in cluster.machines() {
+        let spec = d.pool().machine(m).unwrap().spec().clone();
+        assert!(spec.peak_mflops >= 10.0, "{} is not an Ultra", spec.name);
+    }
+    // A ninth Ultra does not exist.
+    assert!(d.vda().request_node_constrained(&ultras_only).is_err());
+    d.shutdown();
+}
+
+#[test]
+fn memory_constraints_follow_the_catalog() {
+    let d = testbed_deployment(13);
+    let mut big_mem = JsConstraints::new();
+    big_mem.set(SysParam::TotalMem, ">=", 200);
+    // Exactly the six Ultra 10s have 256 MB.
+    let c = d.vda().request_cluster(6, Some(&big_mem)).unwrap();
+    assert_eq!(c.nr_nodes(), 6);
+    assert!(d.vda().request_node_constrained(&big_mem).is_err());
+    d.shutdown();
+}
+
+#[test]
+fn string_and_numeric_params_queryable_per_component() {
+    let d = testbed_deployment(13);
+    let domain = d.vda().request_domain(&[&[4, 4], &[5]], None).unwrap();
+    // Node-level string parameter.
+    let node = domain.get_node(0, 0, 0).unwrap();
+    let name = node.get_sys_param(SysParam::NodeName).unwrap();
+    assert!(matches!(name, ParamValue::Str(_)));
+    // Component-level averaged numeric parameter (paper §4.6).
+    let site_peak = domain
+        .get_site(1)
+        .unwrap()
+        .get_sys_param(SysParam::PeakMflops)
+        .unwrap()
+        .as_num()
+        .unwrap();
+    let members = domain.get_site(1).unwrap().machines();
+    let mean: f64 = members
+        .iter()
+        .map(|&m| d.pool().machine(m).unwrap().spec().peak_mflops)
+        .sum::<f64>()
+        / members.len() as f64;
+    assert!((site_peak - mean).abs() < 1e-9);
+    d.shutdown();
+}
+
+#[test]
+fn placement_constraints_put_objects_on_fast_machines() {
+    let d = testbed_deployment(13);
+    let reg = d.register_app().unwrap();
+    let mut fast = JsConstraints::new();
+    fast.set(SysParam::CpuMhz, ">=", 400);
+    for _ in 0..3 {
+        let obj = JsObj::create(&reg, "Counter", &[], Placement::Auto, Some(&fast)).unwrap();
+        let loc = obj.get_location().unwrap();
+        assert!(d.pool().machine(loc).unwrap().spec().cpu_mhz >= 400);
+        // Objects can pile onto the same machine — placement does not
+        // allocate VDA nodes — so no exclusivity check here.
+        assert_eq!(
+            obj.sinvoke("echo", &[Value::Bool(true)]).unwrap(),
+            Value::Bool(true)
+        );
+    }
+    d.shutdown();
+}
+
+#[test]
+fn catalog_speeds_are_observable_through_compute() {
+    // The constraint machinery and the execution model must agree: a task
+    // constrained to the slowest machine takes ~12x the fastest's time.
+    let d = testbed_deployment(13);
+    let reg = d.register_app().unwrap();
+    let clock = d.clock().clone();
+
+    let mut slowest = JsConstraints::new();
+    slowest.set(SysParam::NodeName, "==", TESTBED[12].1);
+    let slow_obj = JsObj::create(&reg, "Counter", &[], Placement::Auto, Some(&slowest)).unwrap();
+    let mut fastest = JsConstraints::new();
+    fastest.set(SysParam::NodeName, "==", TESTBED[0].1);
+    let fast_obj = JsObj::create(&reg, "Counter", &[], Placement::Auto, Some(&fastest)).unwrap();
+
+    // Min-of-3 per machine: noise only ever inflates the measurement.
+    let time_of = |obj: &JsObj| {
+        (0..3)
+            .map(|_| {
+                let t0 = clock.now();
+                obj.sinvoke("compute", &[Value::F64(60e6)]).unwrap();
+                clock.now() - t0
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let t_fast = time_of(&fast_obj);
+    let t_slow = time_of(&slow_obj);
+    assert!(
+        t_slow > 5.0 * t_fast,
+        "slow {t_slow:.2}s vs fast {t_fast:.2}s"
+    );
+    d.shutdown();
+}

@@ -1,0 +1,147 @@
+//! Workspace end-to-end test: the full paper programming model in one
+//! scenario — register, build a virtual architecture with constraints,
+//! load a codebase selectively, create and use objects with all three
+//! invocation modes, migrate, persist, unregister.
+
+use jsym_core::testkit::{register_test_classes, shell_with_idle_machines};
+use jsym_core::{JsObj, MigrateTarget, Placement, Value};
+use jsym_sysmon::{JsConstraints, SysParam};
+
+#[test]
+fn full_programming_model_walkthrough() {
+    // JS-Shell configures six idle machines (paper §5).
+    let deployment = shell_with_idle_machines(6).boot();
+    register_test_classes(&deployment);
+
+    // §4.1: register the application.
+    let reg = deployment.register_app().unwrap();
+
+    // §4.2: request a virtual architecture under constraints.
+    let mut constr = JsConstraints::new();
+    constr.set(SysParam::IdlePct, ">=", 50);
+    constr.set(SysParam::AvailMem, ">=", 50);
+    let site = deployment
+        .vda()
+        .request_site(&[2, 2], Some(&constr))
+        .unwrap();
+    assert_eq!(site.nr_nodes(), 4);
+    let cluster0 = site.get_cluster(0).unwrap();
+    let cluster1 = site.get_cluster(1).unwrap();
+
+    // §4.3: ship the codebase only to the first cluster.
+    let cb = reg.codebase();
+    cb.add("blob.jar", 64_000);
+    cb.load_cluster(&cluster0).unwrap();
+
+    // §4.4: create objects — one placed by the runtime inside cluster0,
+    // one co-located with it.
+    let a = JsObj::create(
+        &reg,
+        "Blob",
+        &[Value::I64(1024)],
+        Placement::InCluster(&cluster0),
+        None,
+    )
+    .unwrap();
+    let b = JsObj::create(&reg, "Counter", &[], Placement::WithObject(&a), None).unwrap();
+    assert_eq!(a.get_location().unwrap(), b.get_location().unwrap());
+    // Cluster1 lacks the Blob code: creation there must fail.
+    assert!(JsObj::create(
+        &reg,
+        "Blob",
+        &[Value::I64(8)],
+        Placement::InCluster(&cluster1),
+        None
+    )
+    .is_err());
+
+    // §4.5: the three invocation modes.
+    assert_eq!(a.sinvoke("size", &[]).unwrap(), Value::I64(1024));
+    let h = b.ainvoke("add", &[Value::I64(5)]).unwrap();
+    assert_eq!(h.get_result().unwrap(), Value::I64(5));
+    b.oinvoke("add", &[Value::I64(5)]).unwrap();
+
+    // §4.6: explicit migration within the cluster.
+    let other = cluster0
+        .machines()
+        .into_iter()
+        .find(|&m| m != a.get_location().unwrap())
+        .unwrap();
+    a.migrate(MigrateTarget::ToPhys(other), None).unwrap();
+    assert_eq!(a.get_location().unwrap(), other);
+    assert_eq!(a.sinvoke("size", &[]).unwrap(), Value::I64(1024));
+
+    // §4.6: the object's node supports the system-parameter API.
+    let idle = deployment
+        .vda()
+        .pool()
+        .snapshot_of(other)
+        .unwrap()
+        .num(SysParam::IdlePct)
+        .unwrap();
+    assert!(idle > 50.0);
+
+    // §4.7: persist and reload.
+    let key = b.store(Some("walkthrough-counter")).unwrap();
+    let b2 = reg.load_stored(&key, Placement::Local, None).unwrap();
+    assert_eq!(b2.sinvoke("get", &[]).unwrap(), Value::I64(10));
+
+    // §4.2: dynamic architecture changes.
+    site.free_cluster(&cluster1).unwrap();
+    assert_eq!(site.nr_clusters(), 1);
+
+    // §4.1: unregister.
+    reg.unregister().unwrap();
+    deployment.shutdown();
+}
+
+#[test]
+fn multiple_architectures_share_machines_via_names() {
+    let deployment = shell_with_idle_machines(3).boot();
+    register_test_classes(&deployment);
+    let vda = deployment.vda();
+    let c1 = vda.request_cluster(3, None).unwrap();
+    // A second architecture over the same machines, by name.
+    let c2 = vda.empty_cluster();
+    for m in c1.machines() {
+        let name = vda.pool().machine(m).unwrap().spec().name.clone();
+        let n = vda.request_node_named(&name).unwrap();
+        c2.add_node(&n).unwrap();
+    }
+    assert_eq!(c1.machines(), c2.machines());
+    deployment.shutdown();
+}
+
+#[test]
+fn deployment_survives_heavy_concurrent_use() {
+    let deployment = shell_with_idle_machines(4).boot();
+    register_test_classes(&deployment);
+    let reg = std::sync::Arc::new(deployment.register_app().unwrap());
+    let objs: Vec<JsObj> = (0..4)
+        .map(|i| {
+            JsObj::create(
+                &reg,
+                "Counter",
+                &[],
+                Placement::OnPhys(jsym_net::NodeId(i)),
+                None,
+            )
+            .unwrap()
+        })
+        .collect();
+    let mut threads = Vec::new();
+    for obj in objs.clone() {
+        threads.push(std::thread::spawn(move || {
+            for _ in 0..50 {
+                obj.sinvoke("add", &[Value::I64(1)]).unwrap();
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    for obj in &objs {
+        assert_eq!(obj.sinvoke("get", &[]).unwrap(), Value::I64(50));
+    }
+    deployment.shutdown();
+}

@@ -1,0 +1,56 @@
+//! Workspace test guarding the Figure 5 reproduction's *shape* (the
+//! acceptance criteria in DESIGN.md §4). Uses a reduced sweep so the test
+//! stays in CI budget; the full sweep lives in `jsym-bench --bin fig5`.
+
+use jsym_cluster::catalog::LoadKind;
+use jsym_cluster::fig5::run_cell;
+
+const SCALE: f64 = 2e-2;
+const SEED: u64 = 11;
+const N: usize = 600;
+
+#[test]
+fn night_parallel_beats_sequential_and_thirteen_nodes_regress() {
+    // One representative N; nodes 1, 2, 6 and 13.
+    let t1 = run_cell(N, 1, LoadKind::Night, SCALE, SEED, false);
+    let t2 = run_cell(N, 2, LoadKind::Night, SCALE, SEED, false);
+    let t6 = run_cell(N, 6, LoadKind::Night, SCALE, SEED, false);
+    let t13 = run_cell(N, 13, LoadKind::Night, SCALE, SEED, false);
+
+    // Scaling improves through 6 nodes...
+    assert!(t2 < t1, "2 nodes ({t2:.1}s) should beat 1 ({t1:.1}s)");
+    assert!(t6 < t2, "6 nodes ({t6:.1}s) should beat 2 ({t2:.1}s)");
+    // ...with meaningful speed-up at 6 (the paper: "almost linear"),
+    let speedup6 = t1 / t6;
+    assert!(
+        speedup6 > 2.5,
+        "6-node night speed-up only {speedup6:.2} (t1 {t1:.1}s, t6 {t6:.1}s)"
+    );
+    // ...and using all 13 machines is *worse* than 6 (paper: "using more
+    // than 10 nodes increases the execution time").
+    assert!(
+        t13 > t6,
+        "13 nodes ({t13:.1}s) should be slower than 6 ({t6:.1}s)"
+    );
+}
+
+#[test]
+fn day_is_slower_than_night() {
+    let night = run_cell(N, 4, LoadKind::Night, SCALE, SEED, false);
+    let day = run_cell(N, 4, LoadKind::Day, SCALE, SEED, false);
+    assert!(
+        day > night * 1.1,
+        "day ({day:.1}s) should be clearly slower than night ({night:.1}s)"
+    );
+}
+
+#[test]
+fn sequential_baseline_tracks_problem_size_cubically() {
+    let t400 = run_cell(400, 1, LoadKind::Dedicated, SCALE, SEED, false);
+    let t800 = run_cell(800, 1, LoadKind::Dedicated, SCALE, SEED, false);
+    let ratio = t800 / t400;
+    assert!(
+        (6.0..10.5).contains(&ratio),
+        "2x problem size should be ~8x the work, got {ratio:.1}x"
+    );
+}

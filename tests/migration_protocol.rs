@@ -1,0 +1,138 @@
+//! Workspace tests of the migration protocol under adversarial interleaving
+//! (paper Figures 3–4): concurrent invokers, chained migrations, and
+//! foreign-handle resolution through the origin AppOA.
+
+use jsym_core::testkit::{register_test_classes, shell_with_idle_machines};
+use jsym_core::{JsObj, MigrateTarget, Placement, Value};
+use jsym_net::NodeId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn chained_migrations_land_where_requested() {
+    let d = shell_with_idle_machines(4).boot();
+    register_test_classes(&d);
+    let reg = d.register_app().unwrap();
+    let obj = JsObj::create(
+        &reg,
+        "Counter",
+        &[Value::I64(1)],
+        Placement::OnPhys(NodeId(0)),
+        None,
+    )
+    .unwrap();
+    for hop in [1u32, 2, 3, 0, 2] {
+        obj.migrate(MigrateTarget::ToPhys(NodeId(hop)), None)
+            .unwrap();
+        assert_eq!(obj.get_location().unwrap(), NodeId(hop));
+    }
+    assert_eq!(obj.sinvoke("get", &[]).unwrap(), Value::I64(1));
+    // Total migrations across all nodes equals the hops that changed nodes.
+    let total_out: u64 = d
+        .machines()
+        .iter()
+        .map(|&m| d.node_stats(m).unwrap().migrations_out)
+        .sum();
+    assert_eq!(total_out, 5);
+    d.shutdown();
+}
+
+#[test]
+fn two_writers_and_migrations_lose_no_updates() {
+    let d = shell_with_idle_machines(3).boot();
+    register_test_classes(&d);
+    let reg = d.register_app().unwrap();
+    let obj = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(1)), None).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut writers = Vec::new();
+    for _ in 0..2 {
+        let obj = obj.clone();
+        let stop = Arc::clone(&stop);
+        writers.push(std::thread::spawn(move || {
+            let mut n = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                obj.sinvoke("add", &[Value::I64(1)]).unwrap();
+                n += 1;
+            }
+            n
+        }));
+    }
+    for round in 0..4 {
+        let dst = NodeId(1 + (round % 2));
+        let target = if dst == NodeId(1) {
+            NodeId(2)
+        } else {
+            NodeId(1)
+        };
+        obj.migrate(MigrateTarget::ToPhys(target), None).unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let total: i64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert!(total > 0);
+    assert_eq!(obj.sinvoke("get", &[]).unwrap(), Value::I64(total));
+    d.shutdown();
+}
+
+#[test]
+fn foreign_handle_follows_migrations() {
+    // Object A (on node 1) holds a handle to B (on node 2) and keeps calling
+    // it through nested invocation while B migrates. The PubOA on node 1
+    // must re-resolve B's location through the origin AppOA (Figure 4).
+    let d = shell_with_idle_machines(4).boot();
+    register_test_classes(&d);
+    let reg = d.register_app().unwrap();
+    let a = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(1)), None).unwrap();
+    let b = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(2)), None).unwrap();
+
+    // Warm the location cache on node 1.
+    a.sinvoke("add_to", &[Value::Handle(b.handle()), Value::I64(1)])
+        .unwrap();
+    // Move B twice, then call through A again.
+    b.migrate(MigrateTarget::ToPhys(NodeId(3)), None).unwrap();
+    b.migrate(MigrateTarget::ToPhys(NodeId(0)), None).unwrap();
+    a.sinvoke("add_to", &[Value::Handle(b.handle()), Value::I64(10)])
+        .unwrap();
+    assert_eq!(b.sinvoke("get", &[]).unwrap(), Value::I64(11));
+    d.shutdown();
+}
+
+#[test]
+fn migrate_is_idempotent_for_same_destination() {
+    let d = shell_with_idle_machines(2).boot();
+    register_test_classes(&d);
+    let reg = d.register_app().unwrap();
+    let obj = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(0)), None).unwrap();
+    obj.migrate(MigrateTarget::ToPhys(NodeId(1)), None).unwrap();
+    obj.migrate(MigrateTarget::ToPhys(NodeId(1)), None).unwrap();
+    assert_eq!(d.node_stats(NodeId(0)).unwrap().migrations_out, 1);
+    assert_eq!(d.node_stats(NodeId(1)).unwrap().migrations_in, 1);
+    d.shutdown();
+}
+
+#[test]
+fn persistence_waits_for_running_methods() {
+    // Paper §4.7: "An object can only be stored/loaded when none of its
+    // methods are currently executing." Start a long method and store
+    // immediately: the store must block until the method finishes, which we
+    // observe through virtual time.
+    let d = shell_with_idle_machines(2).boot();
+    register_test_classes(&d);
+    let reg = d.register_app().unwrap();
+    let obj = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(1)), None).unwrap();
+    let clock = d.clock().clone();
+    // 500 Mflop at 50 Mflop/s = 10 virtual seconds on the hosting node.
+    let h = obj.ainvoke("compute", &[Value::F64(5e8)]).unwrap();
+    // Give the invoke a head start so the store arrives mid-method.
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let t0 = clock.now();
+    let key = obj.store(None).unwrap();
+    let store_took = clock.now() - t0;
+    assert!(
+        store_took > 3.0,
+        "store returned in {store_took:.2} virtual s — it did not quiesce the object"
+    );
+    h.get_result().unwrap();
+    let copy = reg.load_stored(&key, Placement::Local, None).unwrap();
+    assert_eq!(copy.sinvoke("get", &[]).unwrap(), Value::I64(0));
+    d.shutdown();
+}
