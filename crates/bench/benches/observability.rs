@@ -1,0 +1,54 @@
+//! Criterion micro-bench: observability overhead guard.
+//!
+//! The obs subsystem is compiled into every hot path (RMI issue, message
+//! send, network delivery), so its cost must stay negligible. This bench
+//! runs the E1 sinvoke ping path on two otherwise identical deployments —
+//! one with observability enabled (the default), one with it disabled — so
+//! `cargo bench --bench observability` shows both distributions side by
+//! side. The budget is ≤5% overhead for the enabled configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jsym_core::testkit::{register_test_classes, shell_with_idle_machines};
+use jsym_core::{CostModel, Deployment, JsObj, JsRegistration, Placement};
+use jsym_net::NodeId;
+use std::time::Duration;
+
+fn ping_deployment(observability: bool) -> (Deployment, JsRegistration, JsObj) {
+    let d = shell_with_idle_machines(2)
+        .time_scale(1e-6)
+        .cost_model(CostModel::free())
+        .observability(observability)
+        .boot();
+    register_test_classes(&d);
+    let reg = d.register_app().unwrap();
+    let obj = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(1)), None).unwrap();
+    (d, reg, obj)
+}
+
+fn bench_observability(c: &mut Criterion) {
+    let (d_on, reg_on, obj_on) = ping_deployment(true);
+    let (d_off, reg_off, obj_off) = ping_deployment(false);
+    assert!(d_on.obs().is_enabled());
+    assert!(!d_off.obs().is_enabled());
+
+    let mut g = c.benchmark_group("observability");
+    g.sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    g.bench_function("sinvoke_ping_instrumented", |b| {
+        b.iter(|| obj_on.sinvoke("get", &[]).unwrap())
+    });
+    g.bench_function("sinvoke_ping_noop", |b| {
+        b.iter(|| obj_off.sinvoke("get", &[]).unwrap())
+    });
+    g.finish();
+
+    reg_on.unregister().unwrap();
+    reg_off.unregister().unwrap();
+    d_on.shutdown();
+    d_off.shutdown();
+}
+
+criterion_group!(benches, bench_observability);
+criterion_main!(benches);

@@ -9,8 +9,8 @@
 //!   cargo run --release -p jsym-bench --bin fig5            # full sweep
 //!   cargo run --release -p jsym-bench --bin fig5 -- --quick # smoke sweep
 
-use jsym_bench::write_json;
-use jsym_cluster::fig5::{run_fig5, Fig5Config, Fig5Row};
+use jsym_bench::{write_json, write_raw_json};
+use jsym_cluster::fig5::{run_fig5_instrumented, Fig5Config, Fig5Row};
 
 fn print_header() {
     println!(
@@ -60,7 +60,24 @@ fn main() {
         cfg.time_scale,
     );
     print_header();
-    let rows = run_fig5(&cfg, print_row);
+    // Each cell also exports its per-node/per-RMI metrics (counters and
+    // histograms; spans stripped) as bench_results/fig5_obs_<cell>.json.
+    let mut obs_errors = 0usize;
+    let rows = run_fig5_instrumented(&cfg, |row, obs_json| {
+        print_row(row);
+        let name = format!("fig5_obs_{}_{}_{}", row.load, row.n, row.nodes);
+        if write_raw_json(&name, obs_json).is_err() {
+            obs_errors += 1;
+        }
+    });
+    if obs_errors > 0 {
+        eprintln!("could not write {obs_errors} per-cell metrics artifact(s)");
+    } else {
+        eprintln!(
+            "wrote {} per-cell metrics artifacts (fig5_obs_*.json)",
+            rows.len()
+        );
+    }
 
     // The qualitative claims of paper §6, checked on the fly.
     summarize(&rows);

@@ -41,6 +41,18 @@ pub fn write_json<T: Serialize>(name: &str, rows: &[T]) -> std::io::Result<PathB
     Ok(path)
 }
 
+/// Writes a pre-rendered JSON string into `bench_results/<name>.json` — for
+/// exports that serialize themselves, e.g. `jsym-obs` snapshots.
+pub fn write_raw_json(name: &str, json: &str) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(json.as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(path)
+}
+
 /// Formats a virtual-seconds value for table output.
 pub fn fmt_secs(s: f64) -> String {
     format!("{s:9.2}")
@@ -90,6 +102,18 @@ mod tests {
         let path = write_json("unit-test", &[Row { x: 1 }, Row { x: 2 }]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"x\": 2"));
+        std::env::remove_var("JSYM_BENCH_DIR");
+    }
+
+    #[test]
+    fn write_raw_json_passes_content_through() {
+        std::env::set_var(
+            "JSYM_BENCH_DIR",
+            std::env::temp_dir().join("jsym-bench-test-raw"),
+        );
+        let path = write_raw_json("unit-test-raw", "{\"k\": 1}").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"k\": 1}\n");
         std::env::remove_var("JSYM_BENCH_DIR");
     }
 

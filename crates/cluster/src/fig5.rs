@@ -70,6 +70,20 @@ pub struct Fig5Row {
     pub messages: u64,
 }
 
+/// One cell's measurements plus the deployment's observability export.
+#[derive(Clone, Debug)]
+pub struct CellRun {
+    /// Measured execution time in virtual seconds.
+    pub seconds: f64,
+    /// RMI-layer messages sent (0 for the sequential baseline).
+    pub messages: u64,
+    /// Metrics-only JSON export of the cell's deployment (per-node message
+    /// counters, per-RMI-mode call counts and caller-latency histograms,
+    /// per-link byte/latency histograms). Spans are stripped to keep the
+    /// artifact small over a paper-scale sweep.
+    pub obs_json: String,
+}
+
 /// Runs one cell of the sweep: builds a fresh deployment of the first
 /// `nodes` testbed machines under `load` and measures the multiplication.
 pub fn run_cell(
@@ -92,6 +106,19 @@ pub fn run_cell_with_messages(
     seed: u64,
     verify: bool,
 ) -> (f64, u64) {
+    let run = run_cell_full(n, nodes, load, time_scale, seed, verify);
+    (run.seconds, run.messages)
+}
+
+/// As [`run_cell_with_messages`], also capturing the deployment's metrics.
+pub fn run_cell_full(
+    n: usize,
+    nodes: usize,
+    load: LoadKind,
+    time_scale: f64,
+    seed: u64,
+    verify: bool,
+) -> CellRun {
     assert!((1..=TESTBED.len()).contains(&nodes));
     let shell = JsShell::new()
         .time_scale(time_scale)
@@ -101,7 +128,7 @@ pub fn run_cell_with_messages(
     let deployment = shell.boot();
     register_matmul_classes(&deployment);
 
-    let result = if nodes == 1 {
+    let (seconds, messages) = if nodes == 1 {
         // One-node points: sequential multiplication without JavaSymphony.
         let machine = deployment
             .pool()
@@ -121,35 +148,54 @@ pub fn run_cell_with_messages(
         }
         (report.virt_seconds, report.messages)
     };
+    let obs_json = {
+        let mut snap = deployment.obs().snapshot();
+        snap.spans.clear();
+        snap.to_json()
+    };
     deployment.shutdown();
-    result
+    CellRun {
+        seconds,
+        messages,
+        obs_json,
+    }
 }
 
 /// Runs the full sweep, printing one row per cell to `out` as it completes
 /// (the harness binary passes stdout) and returning every row.
 pub fn run_fig5(cfg: &Fig5Config, mut progress: impl FnMut(&Fig5Row)) -> Vec<Fig5Row> {
+    run_fig5_instrumented(cfg, |row, _obs_json| progress(row))
+}
+
+/// As [`run_fig5`], additionally handing each cell's metrics JSON export to
+/// the callback so the harness can write per-cell observability artifacts
+/// next to the result rows.
+pub fn run_fig5_instrumented(
+    cfg: &Fig5Config,
+    mut progress: impl FnMut(&Fig5Row, &str),
+) -> Vec<Fig5Row> {
     let mut rows = Vec::new();
     for &load in &cfg.loads {
         for &n in &cfg.sizes {
             let mut baseline = None;
             for &nodes in &cfg.node_counts {
-                let (seconds, messages) =
-                    run_cell_with_messages(n, nodes, load, cfg.time_scale, cfg.seed, cfg.verify);
+                let run =
+                    run_cell_full(n, nodes, load, cfg.time_scale, cfg.seed, cfg.verify);
                 if nodes == 1 {
-                    baseline = Some(seconds);
+                    baseline = Some(run.seconds);
                 }
-                let base = baseline.unwrap_or(seconds);
+                let base = baseline.unwrap_or(run.seconds);
                 let ideal = 2.0 * (n as f64).powi(3) / (aggregate_mflops(nodes) * 1e6);
                 let row = Fig5Row {
                     n,
                     nodes,
                     load: load.label().to_owned(),
-                    seconds,
-                    speedup: base / seconds,
-                    efficiency: ideal / seconds,
-                    messages,
+                    seconds: run.seconds,
+                    speedup: base / run.seconds,
+                    efficiency: ideal / run.seconds,
+                    messages: run.messages,
                 };
-                progress(&row);
+                progress(&row, &run.obs_json);
                 rows.push(row);
             }
         }
@@ -225,5 +271,18 @@ mod sweep_tests {
         assert!(two.messages > 0);
         assert!((two.speedup - base.seconds / two.seconds).abs() < 1e-9);
         assert!(two.efficiency > 0.0 && two.efficiency <= 1.05);
+    }
+
+    /// The instrumented driver exports a metrics-only observability artifact
+    /// for every cell: per-node message counters and per-RMI-mode call data,
+    /// with spans stripped.
+    #[test]
+    fn instrumented_cells_export_metrics() {
+        let run = run_cell_full(200, 2, LoadKind::Dedicated, 1e-2, 1, false);
+        assert!(run.messages > 0);
+        assert!(run.obs_json.contains("\"schema\": \"jsym-obs/v1\""));
+        assert!(run.obs_json.contains("rmi.calls"), "no RMI counters in export");
+        assert!(run.obs_json.contains("msg.sent"), "no per-node counters");
+        assert!(run.obs_json.contains("\"spans\": []"), "spans not stripped");
     }
 }

@@ -12,7 +12,7 @@ use crate::calltable::{Reissue, Slot};
 use crate::error::JsError;
 use crate::ids::{AgentAddr, AgentKind, AppId, IdGen, ObjectHandle, ObjectId, ReqId};
 use crate::msg::Msg;
-use crate::runtime::NodeShared;
+use crate::runtime::{obs_now, NodeShared};
 use crate::value::{args_wire_size, Value};
 use crate::{Result, ResultHandle};
 use jsym_net::NodeId;
@@ -93,6 +93,13 @@ impl AppShared {
         let req = IdGen::req();
         node.machine
             .compute(node.cost.invoke_caller(args_wire_size(args)));
+        let span = node
+            .obs
+            .tracer()
+            .span("rmi.create", obs_now(&node))
+            .node(self.home.0)
+            .attr("class", class)
+            .attr("target", target);
         node.call(
             AgentAddr::pub_oa(target),
             req,
@@ -105,6 +112,7 @@ impl AppShared {
                 origin: self.addr(),
             },
         )?;
+        span.finish(obs_now(&node));
         self.objects.lock().insert(
             obj,
             AppObjEntry {
@@ -231,9 +239,34 @@ impl AppShared {
         method: &str,
         args: &[Value],
     ) -> Result<ResultHandle> {
+        self.ainvoke_traced(obj, method, args, "ainvoke", "rmi.ainvoke")
+    }
+
+    /// Shared `sinvoke`/`ainvoke` body; `mode`/`span_name` only feed the
+    /// instrumentation. The caller-side span covers issue → reply and is
+    /// finished by the result handle's first successful read (a call that
+    /// never completes records no span).
+    fn ainvoke_traced(
+        self: &Arc<Self>,
+        obj: ObjectId,
+        method: &str,
+        args: &[Value],
+        mode: &'static str,
+        span_name: &'static str,
+    ) -> Result<ResultHandle> {
+        let node = self.node_shared()?;
+        if node.obs.is_enabled() {
+            node.obs.counter("rmi.calls", Some(self.home.0), mode).inc();
+        }
+        let span = node
+            .obs
+            .tracer()
+            .span(span_name, obs_now(&node))
+            .node(self.home.0)
+            .attr("obj", obj)
+            .attr("method", method);
         let (_, slot) = self.issue(obj, method, args, true)?;
         let slot = slot.expect("reply requested");
-        let node = self.node_shared()?;
         let app = Arc::clone(self);
         let method_owned = method.to_owned();
         let args_owned = args.to_vec();
@@ -248,6 +281,14 @@ impl AppShared {
         });
         let machine = node.machine.clone();
         let cost = node.cost;
+        let clock = node.clock.clone();
+        let caller_hist = node.obs.histogram(
+            "rmi.caller_seconds",
+            Some(self.home.0),
+            mode,
+            jsym_obs::bounds::LATENCY_SECONDS,
+        );
+        let span_cell = Mutex::new(Some(span));
         Ok(ResultHandle::new(
             slot,
             reissue,
@@ -255,6 +296,16 @@ impl AppShared {
             Box::new(move |v: &Value| {
                 // Caller-side result unmarshalling.
                 machine.compute(cost.result_cost(Msg::reply_wire_size(&Ok(v.clone()))));
+                if let Some(span) = span_cell.lock().take() {
+                    match span.start_time() {
+                        Some(start) => {
+                            let now = clock.now();
+                            caller_hist.observe(now - start);
+                            span.finish(now);
+                        }
+                        None => span.finish(0.0),
+                    }
+                }
             }),
         ))
     }
@@ -266,7 +317,8 @@ impl AppShared {
         method: &str,
         args: &[Value],
     ) -> Result<Value> {
-        self.ainvoke(obj, method, args)?.get_result()
+        self.ainvoke_traced(obj, method, args, "sinvoke", "rmi.sinvoke")?
+            .get_result()
     }
 
     /// `oinvoke` — one-sided invocation: no result, no completion wait.
@@ -276,7 +328,22 @@ impl AppShared {
         method: &str,
         args: &[Value],
     ) -> Result<()> {
+        let node = self.node_shared()?;
         self.issue(obj, method, args, false)?;
+        if node.obs.is_enabled() {
+            node.obs
+                .counter("rmi.calls", Some(self.home.0), "oinvoke")
+                .inc();
+            let now = node.clock.now();
+            // Fire-and-forget: recorded as an instant span at issue time.
+            node.obs
+                .tracer()
+                .span("rmi.oinvoke", now)
+                .node(self.home.0)
+                .attr("obj", obj)
+                .attr("method", method)
+                .finish(now);
+        }
         Ok(())
     }
 
@@ -316,14 +383,32 @@ impl AppShared {
     pub(crate) fn migrate_object(self: &Arc<Self>, obj: ObjectId, dst: NodeId) -> Result<()> {
         self.ensure_registered()?;
         let node = self.node_shared()?;
+        // Root span of the migration; the remote protocol steps (request,
+        // quiesce, transfer, install, confirm) nest under it via parent
+        // links carried on the wire.
+        let root = node
+            .obs
+            .tracer()
+            .span("migrate", obs_now(&node))
+            .node(self.home.0)
+            .attr("obj", obj)
+            .attr("dst", dst);
         let mut attempts = 0;
         loop {
             let loc = self.location_of(obj).ok_or(JsError::NoSuchObject(obj))?;
             if loc == dst {
+                root.finish(obs_now(&node));
                 return Ok(());
             }
             let req = IdGen::req();
             node.machine.compute(node.cost.migrate_flops);
+            let step = node
+                .obs
+                .tracer()
+                .span("migrate.request", obs_now(&node))
+                .node(self.home.0)
+                .parent(root.id())
+                .attr("from", loc);
             let out = node.call(
                 AgentAddr::pub_oa(loc),
                 req,
@@ -332,6 +417,7 @@ impl AppShared {
                     reply_to: self.addr(),
                     obj,
                     dst,
+                    span: jsym_obs::SpanId::to_wire(step.id()),
                 },
             );
             match out {
@@ -340,17 +426,35 @@ impl AppShared {
                     if let Some(e) = self.objects.lock().get_mut(&obj) {
                         e.location = new_loc;
                     }
+                    let now = obs_now(&node);
+                    step.finish(now);
+                    // Table updated: the AppOA acknowledges the new location
+                    // (Figure 3 step 4) — an instant span.
+                    node.obs
+                        .tracer()
+                        .span("migrate.confirm", now)
+                        .node(self.home.0)
+                        .parent(root.id())
+                        .attr("loc", new_loc)
+                        .finish(now);
+                    root.finish(now);
                     return Ok(());
                 }
                 // Someone else migrated it concurrently; re-read and retry.
                 Err(JsError::ObjectMoved(_)) => {
+                    step.finish(obs_now(&node));
                     attempts += 1;
                     if attempts > node.config.max_retries {
+                        root.finish(obs_now(&node));
                         return Err(JsError::Timeout);
                     }
                     node.clock.sleep(node.config.retry_backoff);
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    step.finish(obs_now(&node));
+                    root.finish(obs_now(&node));
+                    return Err(e);
+                }
             }
         }
     }

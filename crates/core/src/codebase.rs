@@ -117,6 +117,13 @@ impl JsCodebase {
             return Ok(()); // already there
         }
         let shared = self.app.node_shared()?;
+        let span = shared
+            .obs
+            .tracer()
+            .span("codebase.load", crate::runtime::obs_now(&shared))
+            .node(node.0)
+            .attr("artifact", &artifact.name)
+            .attr("bytes", artifact.bytes);
         let req = IdGen::req();
         shared.call(
             AgentAddr::pub_oa(node),
@@ -128,6 +135,7 @@ impl JsCodebase {
                 bytes: artifact.bytes,
             },
         )?;
+        span.finish(crate::runtime::obs_now(&shared));
         self.loaded_to.lock().insert((artifact.name.clone(), node));
         Ok(())
     }

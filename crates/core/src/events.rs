@@ -88,6 +88,37 @@ pub enum RuntimeEvent {
     },
 }
 
+impl RuntimeEvent {
+    /// Stable span name for this event kind (`event.*` taxonomy).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RuntimeEvent::ObjectCreated { .. } => "event.object_created",
+            RuntimeEvent::ObjectFreed { .. } => "event.object_freed",
+            RuntimeEvent::Migrated { .. } => "event.migrated",
+            RuntimeEvent::ArtifactLoaded { .. } => "event.artifact_loaded",
+            RuntimeEvent::ObjectStored { .. } => "event.object_stored",
+            RuntimeEvent::ObjectRestored { .. } => "event.object_restored",
+            RuntimeEvent::NodeFailed { .. } => "event.node_failed",
+            RuntimeEvent::Recovered { .. } => "event.recovered",
+            RuntimeEvent::AutoMigrationRound { .. } => "event.automigration_round",
+        }
+    }
+
+    /// The node this event is attributed to, if any.
+    pub fn node(&self) -> Option<NodeId> {
+        match self {
+            RuntimeEvent::ObjectCreated { node, .. }
+            | RuntimeEvent::ObjectFreed { node, .. }
+            | RuntimeEvent::ArtifactLoaded { node, .. }
+            | RuntimeEvent::ObjectRestored { node, .. }
+            | RuntimeEvent::NodeFailed { node } => Some(*node),
+            RuntimeEvent::Migrated { from, .. } => Some(*from),
+            RuntimeEvent::Recovered { to, .. } => Some(*to),
+            RuntimeEvent::ObjectStored { .. } | RuntimeEvent::AutoMigrationRound { .. } => None,
+        }
+    }
+}
+
 impl fmt::Display for RuntimeEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -120,23 +151,45 @@ impl fmt::Display for RuntimeEvent {
 }
 
 /// Bounded, shared event log. Cloning shares the log.
+///
+/// When built with [`EventLog::with_tracer`], every recorded event is
+/// mirrored into the span tracer as an instant `event.*` span, so the
+/// structured trace subsumes this log.
 #[derive(Clone)]
 pub struct EventLog {
     inner: Arc<Mutex<VecDeque<(VirtTime, RuntimeEvent)>>>,
     capacity: usize,
+    tracer: jsym_obs::Tracer,
 }
 
 impl EventLog {
     /// A log keeping the most recent `capacity` events.
     pub fn new(capacity: usize) -> Self {
+        Self::with_tracer(capacity, jsym_obs::Tracer::disabled())
+    }
+
+    /// A log that additionally mirrors every event into `tracer` as an
+    /// instant span named by [`RuntimeEvent::kind`].
+    pub fn with_tracer(capacity: usize, tracer: jsym_obs::Tracer) -> Self {
         EventLog {
             inner: Arc::new(Mutex::new(VecDeque::with_capacity(capacity.min(1024)))),
             capacity: capacity.max(1),
+            tracer,
         }
     }
 
     /// Appends an event at virtual time `at`.
     pub fn record(&self, at: VirtTime, event: RuntimeEvent) {
+        if self.tracer.is_enabled() {
+            let mut span = self
+                .tracer
+                .span(event.kind(), at)
+                .attr("detail", &event);
+            if let Some(node) = event.node() {
+                span = span.node(node.0);
+            }
+            span.finish(at);
+        }
         let mut q = self.inner.lock();
         if q.len() == self.capacity {
             q.pop_front();

@@ -81,5 +81,9 @@ pub use shell::{Deployment, JsShell, MachineConfig, NodeStats};
 pub use statics::JsStaticRef;
 pub use value::{Args, Value};
 
+/// Observability subsystem (re-exported from `jsym-obs`): metrics registry,
+/// span tracer, snapshots, JSON export.
+pub use jsym_obs as obs;
+
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, JsError>;

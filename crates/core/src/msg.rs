@@ -81,6 +81,10 @@ pub(crate) enum Msg {
         reply_to: AgentAddr,
         obj: ObjectId,
         dst: NodeId,
+        /// Wire-encoded tracing span of the requesting operation
+        /// ([`jsym_obs::SpanId::to_wire`]; `0` = untraced). Framing only —
+        /// not charged as payload bytes.
+        span: u64,
     },
     /// Transfer of the serialized object to the destination PubOA
     /// (Figure 3, step 2). The reply is the confirmation (step 3).
@@ -91,6 +95,9 @@ pub(crate) enum Msg {
         class: String,
         state: Vec<u8>,
         origin: AgentAddr,
+        /// Wire-encoded tracing span of the sender's transfer step, parent
+        /// for the receiver's install span (`0` = untraced).
+        span: u64,
     },
     /// Store the object's state under a persistence key. Replies
     /// `Str(key)`.
@@ -214,6 +221,7 @@ mod tests {
             class: "C".into(),
             state: vec![0; 5000],
             origin: addr(),
+            span: 0,
         };
         assert!(m.wire_size() >= 5000);
     }

@@ -159,6 +159,11 @@ pub(crate) fn run_na(shared: Arc<NodeShared>, vda: jsym_vda::VdaRegistry) {
 /// drive rounds deterministically.
 pub(crate) fn monitor_round(shared: &Arc<NodeShared>, vda: &jsym_vda::VdaRegistry) {
     let now = shared.clock.now();
+    let span = shared
+        .obs
+        .tracer()
+        .span("na.round", if shared.obs.is_enabled() { now } else { 0.0 })
+        .node(shared.phys.0);
 
     // 1. Sample the local machine.
     let snap = shared.machine.snapshot();
@@ -196,7 +201,9 @@ pub(crate) fn monitor_round(shared: &Arc<NodeShared>, vda: &jsym_vda::VdaRegistr
     }
 
     // 4. Report upward: node-level snapshot and any aggregates.
+    let reports = shared.obs.counter("na.reports", Some(shared.phys.0), "");
     for &mgr in &view.report_to {
+        reports.add(1 + my_aggregates.len() as u64);
         let _ = shared.send(
             AgentAddr::pub_oa(mgr),
             Msg::SysReport {
@@ -220,6 +227,10 @@ pub(crate) fn monitor_round(shared: &Arc<NodeShared>, vda: &jsym_vda::VdaRegistr
     }
 
     // 5. Heartbeats to everyone who watches us (members ↔ managers).
+    shared
+        .obs
+        .counter("na.heartbeats", Some(shared.phys.0), "")
+        .add(view.expects_from.len() as u64);
     for &peer in &view.expects_from {
         let _ = shared.send(
             AgentAddr::pub_oa(peer),
@@ -251,9 +262,24 @@ pub(crate) fn monitor_round(shared: &Arc<NodeShared>, vda: &jsym_vda::VdaRegistr
     }
     for peer in to_fail {
         shared.na.declared_failed.lock().insert(peer);
+        if shared.obs.is_enabled() {
+            shared
+                .obs
+                .counter("na.failures_declared", Some(shared.phys.0), "")
+                .inc();
+            let t = shared.clock.now();
+            shared
+                .obs
+                .tracer()
+                .span("na.failure_declared", t)
+                .node(shared.phys.0)
+                .attr("peer", peer)
+                .finish(t);
+        }
         vda.handle_phys_failure(peer);
     }
 
+    span.finish(crate::runtime::obs_now(shared));
     shared.na.rounds.fetch_add(1, Ordering::Relaxed);
 }
 

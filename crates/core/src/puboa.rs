@@ -12,10 +12,11 @@ use crate::class::InvokeCtx;
 use crate::error::JsError;
 use crate::ids::{AgentAddr, IdGen, ObjectId};
 use crate::msg::Msg;
-use crate::runtime::{spawn_worker, NodeClient, NodeShared, ObjEntry};
+use crate::runtime::{obs_now, spawn_worker, NodeClient, NodeShared, ObjEntry};
 use crate::value::{args_wire_size, Value};
 use crate::Result;
 use jsym_net::NodeId;
+use jsym_obs::SpanId;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -97,10 +98,11 @@ pub(crate) fn handle(shared: &Arc<NodeShared>, src: NodeId, msg: Msg) {
             reply_to,
             obj,
             dst,
+            span,
         } => {
             let sh = Arc::clone(shared);
             spawn_worker(shared, "migrate", move || {
-                let result = migrate_out(&sh, obj, dst);
+                let result = migrate_out(&sh, obj, dst, SpanId::from_wire(span));
                 sh.send_reply(reply_to, req, result);
             });
         }
@@ -111,10 +113,11 @@ pub(crate) fn handle(shared: &Arc<NodeShared>, src: NodeId, msg: Msg) {
             class,
             state,
             origin,
+            span,
         } => {
             let sh = Arc::clone(shared);
             spawn_worker(shared, "migrate-in", move || {
-                let result = migrate_in(&sh, obj, &class, &state, origin);
+                let result = migrate_in(&sh, obj, &class, &state, origin, SpanId::from_wire(span));
                 sh.send_reply(reply_to, req, result);
             });
         }
@@ -345,13 +348,31 @@ fn execute(shared: &Arc<NodeShared>, obj: ObjectId, method: &str, args: &[Value]
         shared: Arc::clone(shared),
     };
     let mut ctx = InvokeCtx::new(&shared.machine, shared.phys, &client);
+    let start = obs_now(shared);
     let out = instance.invoke(method, args, &mut ctx);
+    if shared.obs.is_enabled() {
+        shared
+            .obs
+            .histogram(
+                "invoke.exec_seconds",
+                Some(shared.phys.0),
+                "",
+                jsym_obs::bounds::LATENCY_SECONDS,
+            )
+            .observe(shared.clock.now() - start);
+    }
     shared.stats.invocations.fetch_add(1, Ordering::Relaxed);
     out
 }
 
-/// Migration, source side (the paper's `pa1`, Figure 3).
-fn migrate_out(shared: &Arc<NodeShared>, obj: ObjectId, dst: NodeId) -> Result<Value> {
+/// Migration, source side (the paper's `pa1`, Figure 3). `parent` is the
+/// requesting AppOA's `migrate.request` span, carried over the wire.
+fn migrate_out(
+    shared: &Arc<NodeShared>,
+    obj: ObjectId,
+    dst: NodeId,
+    parent: Option<SpanId>,
+) -> Result<Value> {
     if dst == shared.phys {
         // Migrating to the node it already lives on is a no-op.
         if shared.objects.lock().contains_key(&obj) {
@@ -367,10 +388,18 @@ fn migrate_out(shared: &Arc<NodeShared>, obj: ObjectId, dst: NodeId) -> Result<V
         .remove(&obj)
         .ok_or(JsError::ObjectMoved(obj))?;
     // Quiesce: wait for unfinished method invocations (paper §4.6).
+    let quiesce = shared
+        .obs
+        .tracer()
+        .span("migrate.quiesce", obs_now(shared))
+        .node(shared.phys.0)
+        .parent(parent)
+        .attr("obj", obj);
     let state = {
         let instance = entry.instance.lock();
         instance.snapshot()
     };
+    quiesce.finish(obs_now(shared));
     let state = match state {
         Ok(s) => s,
         Err(e) => {
@@ -382,6 +411,13 @@ fn migrate_out(shared: &Arc<NodeShared>, obj: ObjectId, dst: NodeId) -> Result<V
     shared.machine.compute(shared.cost.state_cost(state_bytes));
     // Step 2: transfer object to pa2 and await its confirmation (step 3).
     let req = IdGen::req();
+    let transfer = shared
+        .obs
+        .tracer()
+        .span("migrate.transfer", obs_now(shared))
+        .node(shared.phys.0)
+        .parent(parent)
+        .attr("bytes", state_bytes);
     let outcome = shared.call(
         AgentAddr::pub_oa(dst),
         req,
@@ -392,8 +428,10 @@ fn migrate_out(shared: &Arc<NodeShared>, obj: ObjectId, dst: NodeId) -> Result<V
             class: entry.class.clone(),
             state,
             origin: entry.origin,
+            span: SpanId::to_wire(transfer.id()),
         },
     );
+    transfer.finish(obs_now(shared));
     match outcome {
         Ok(_) => {
             shared.stats.migrations_out.fetch_add(1, Ordering::Relaxed);
@@ -417,15 +455,24 @@ fn migrate_out(shared: &Arc<NodeShared>, obj: ObjectId, dst: NodeId) -> Result<V
     }
 }
 
-/// Migration, destination side (the paper's `pa2`).
+/// Migration, destination side (the paper's `pa2`). `parent` is the source
+/// PubOA's `migrate.transfer` span, carried over the wire.
 fn migrate_in(
     shared: &Arc<NodeShared>,
     obj: ObjectId,
     class: &str,
     state: &[u8],
     origin: AgentAddr,
+    parent: Option<SpanId>,
 ) -> Result<Value> {
     check_class_available(shared, class)?;
+    let install = shared
+        .obs
+        .tracer()
+        .span("migrate.install", obs_now(shared))
+        .node(shared.phys.0)
+        .parent(parent)
+        .attr("obj", obj);
     shared.machine.compute(shared.cost.state_cost(state.len()));
     let instance = shared.classes.restore(class, state)?;
     shared
@@ -434,6 +481,7 @@ fn migrate_in(
         .insert(obj, ObjEntry::new(class.to_owned(), origin, instance));
     shared.stats.migrations_in.fetch_add(1, Ordering::Relaxed);
     shared.location_cache.lock().remove(&obj);
+    install.finish(obs_now(shared));
     Ok(Value::Null)
 }
 

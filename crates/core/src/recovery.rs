@@ -51,6 +51,10 @@ pub(crate) fn run_checkpointer(deployment: Weak<DeploymentInner>, period: f64) {
 /// One checkpoint round. Returns how many objects were persisted; exposed
 /// crate-internally so tests can drive rounds deterministically.
 pub(crate) fn checkpoint_round(d: &Arc<DeploymentInner>) -> usize {
+    let span = d
+        .obs
+        .tracer()
+        .span("checkpoint.round", if d.obs.is_enabled() { d.clock.now() } else { 0.0 });
     let apps: Vec<_> = d.apps.read().values().cloned().collect();
     let mut saved = 0;
     for app in apps {
@@ -68,6 +72,8 @@ pub(crate) fn checkpoint_round(d: &Arc<DeploymentInner>) -> usize {
             }
         }
     }
+    span.attr("saved", saved)
+        .finish(if d.obs.is_enabled() { d.clock.now() } else { 0.0 });
     saved
 }
 
@@ -100,6 +106,24 @@ pub(crate) fn run_recovery(deployment: Weak<DeploymentInner>) {
                 );
                 recover_from(&d, phys);
             }
+            Ok(VdaEvent::ManagerChanged {
+                scope,
+                new_manager,
+                takeover: true,
+            }) => {
+                let Some(d) = deployment.upgrade() else {
+                    return;
+                };
+                if d.obs.is_enabled() {
+                    let t = d.clock.now();
+                    d.obs
+                        .tracer()
+                        .span("failover.takeover", t)
+                        .attr("scope", format!("{scope:?}"))
+                        .attr("new_manager", format!("{new_manager:?}"))
+                        .finish(t);
+                }
+            }
             Ok(_) => {}
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
@@ -110,6 +134,12 @@ pub(crate) fn run_recovery(deployment: Weak<DeploymentInner>) {
 /// Re-creates every checkpointed object that lived on `dead` on surviving
 /// machines. Returns how many objects were recovered.
 pub(crate) fn recover_from(d: &Arc<DeploymentInner>, dead: jsym_net::NodeId) -> usize {
+    let span = d
+        .obs
+        .tracer()
+        .span("recover.node", if d.obs.is_enabled() { d.clock.now() } else { 0.0 })
+        .node(dead.0)
+        .attr("dead", dead);
     let survivors: Vec<jsym_net::NodeId> = d
         .pool
         .ids()
@@ -117,6 +147,8 @@ pub(crate) fn recover_from(d: &Arc<DeploymentInner>, dead: jsym_net::NodeId) -> 
         .filter(|&m| m != dead && !d.vda.is_failed(m))
         .collect();
     if survivors.is_empty() {
+        span.attr("recovered", 0)
+            .finish(if d.obs.is_enabled() { d.clock.now() } else { 0.0 });
         return 0;
     }
     let apps: Vec<_> = d.apps.read().values().cloned().collect();
@@ -154,5 +186,7 @@ pub(crate) fn recover_from(d: &Arc<DeploymentInner>, dead: jsym_net::NodeId) -> 
             }
         }
     }
+    span.attr("recovered", recovered)
+        .finish(if d.obs.is_enabled() { d.clock.now() } else { 0.0 });
     recovered
 }

@@ -162,6 +162,8 @@ pub(crate) struct NodeShared {
     pub workers: WorkerPool,
     /// Deployment-wide structural event log.
     pub events: crate::EventLog,
+    /// Deployment-wide observability scope (metrics + span tracer).
+    pub obs: jsym_obs::ObsRegistry,
     pub shutdown: AtomicBool,
 }
 
@@ -172,6 +174,9 @@ impl NodeShared {
         let size = msg.wire_size();
         let tag = msg_tag(&msg);
         let dst = to.node;
+        if self.obs.is_enabled() {
+            self.obs.counter("msg.sent", Some(self.phys.0), tag).inc();
+        }
         self.net
             .send(
                 self.phys,
@@ -335,6 +340,16 @@ pub(crate) struct NodeClient {
 impl ObjectCaller for NodeClient {
     fn call(&self, handle: ObjectHandle, method: &str, args: &[Value]) -> Result<Value> {
         self.shared.call_object(handle, method, args)
+    }
+}
+
+/// Virtual timestamp for instrumentation: reads the clock only when the
+/// observability scope is enabled, so disabled deployments pay nothing.
+pub(crate) fn obs_now(shared: &NodeShared) -> f64 {
+    if shared.obs.is_enabled() {
+        shared.clock.now()
+    } else {
+        0.0
     }
 }
 

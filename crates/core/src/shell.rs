@@ -69,6 +69,7 @@ pub struct JsShell {
     call_timeout: Duration,
     store: Option<ObjectStore>,
     shared_segments: Vec<LinkClass>,
+    observability: bool,
 }
 
 impl JsShell {
@@ -87,6 +88,7 @@ impl JsShell {
             call_timeout: Duration::from_secs(120),
             store: None,
             shared_segments: Vec::new(),
+            observability: true,
         }
     }
 
@@ -163,29 +165,43 @@ impl JsShell {
         self
     }
 
+    /// Enables or disables the observability subsystem (metrics + span
+    /// tracing). On by default; when disabled every instrumentation point
+    /// collapses to a single branch and no clock reads or allocations occur.
+    pub fn observability(mut self, enabled: bool) -> Self {
+        self.observability = enabled;
+        self
+    }
+
     /// Boots the deployment: spawns every node runtime and the NAS.
     pub fn boot(self) -> Deployment {
         let clock = SimClock::new(self.time_scale);
+        let obs = if self.observability {
+            jsym_obs::ObsRegistry::new()
+        } else {
+            jsym_obs::ObsRegistry::disabled()
+        };
         let mut topo = Topology::new();
         let network = {
             // Machines get ids 0..n in order; set link classes up front.
             for (i, m) in self.machines.iter().enumerate() {
                 topo.set_node_class(NodeId(i as u32), m.link);
             }
-            Network::with_config(
+            Network::with_obs(
                 clock.clone(),
                 topo,
                 jsym_net::NetworkConfig {
                     shared_segments: self.shared_segments.clone(),
                     ..jsym_net::NetworkConfig::default()
                 },
+                obs.clone(),
             )
         };
         let pool = ResourcePool::new();
         let vda = VdaRegistry::new(pool.clone());
         let classes = ClassRegistry::new();
         let store = self.store.clone().unwrap_or_default();
-        let events = crate::EventLog::default();
+        let events = crate::EventLog::with_tracer(4096, obs.tracer().clone());
 
         let inner = Arc::new(DeploymentInner {
             clock: clock.clone(),
@@ -195,6 +211,7 @@ impl JsShell {
             classes,
             store,
             events,
+            obs,
             cost: self.cost,
             config: self.clone(),
             nodes: RwLock::new(HashMap::new()),
@@ -258,6 +275,7 @@ pub(crate) struct DeploymentInner {
     pub classes: ClassRegistry,
     pub store: ObjectStore,
     pub events: crate::EventLog,
+    pub obs: jsym_obs::ObsRegistry,
     pub cost: CostModel,
     pub config: JsShell,
     pub nodes: RwLock<HashMap<NodeId, NodeRuntimeHandle>>,
@@ -331,6 +349,7 @@ impl Deployment {
             }),
             stats: StatCounters::default(),
             events: inner.events.clone(),
+            obs: inner.obs.clone(),
             workers: runtime::WorkerPool::new(&format!("{phys}"), 3),
             shutdown: AtomicBool::new(false),
         });
@@ -590,6 +609,18 @@ impl Deployment {
     /// classloading, persistence, failures, recovery).
     pub fn events(&self) -> &crate::EventLog {
         &self.inner.events
+    }
+
+    /// The deployment-scoped observability registry: metrics and span
+    /// tracer for every node, the network and the protocol machinery.
+    pub fn obs(&self) -> &jsym_obs::ObsRegistry {
+        &self.inner.obs
+    }
+
+    /// Per-endpoint network traffic counters (sent/delivered/dropped/
+    /// rejected), ascending by node id.
+    pub fn endpoint_stats(&self) -> Vec<jsym_net::EndpointStatsSnapshot> {
+        self.inner.network.endpoint_stats()
     }
 
     #[allow(dead_code)]

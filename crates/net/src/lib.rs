@@ -35,4 +35,4 @@ pub use id::NodeId;
 pub use link::{LinkClass, Topology};
 pub use message::{Envelope, Payload};
 pub use network::{Network, NetworkConfig, SendError};
-pub use stats::{NetStats, NetStatsSnapshot};
+pub use stats::{EndpointStatsSnapshot, NetStats, NetStatsSnapshot};

@@ -1,7 +1,11 @@
 //! The simulated network itself.
 
 use crate::queue::DelayQueue;
-use crate::{Envelope, NetStats, NetStatsSnapshot, NodeId, Payload, SimClock, Topology};
+use crate::{
+    Envelope, EndpointStatsSnapshot, LinkClass, NetStats, NetStatsSnapshot, NodeId, Payload,
+    SimClock, Topology,
+};
+use jsym_obs::{bounds, ObsRegistry};
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
@@ -62,6 +66,7 @@ struct Routing {
     dead: RwLock<HashSet<NodeId>>,
     partitions: RwLock<HashSet<(NodeId, NodeId)>>,
     stats: NetStats,
+    obs: ObsRegistry,
 }
 
 impl Routing {
@@ -73,11 +78,19 @@ impl Routing {
         }
     }
 
+    fn drop_env(&self, env: &Envelope) {
+        self.stats
+            .record_drop(env.src, env.dst, env.payload.wire_bytes());
+        if self.obs.is_enabled() {
+            self.obs.counter("net.dropped", Some(env.dst.0), "").inc();
+        }
+    }
+
     fn deliver(&self, env: Envelope) {
         // Conditions are re-checked at delivery time: a node killed while a
         // message is in flight must not receive it.
         if self.dead.read().contains(&env.dst) || self.dead.read().contains(&env.src) {
-            self.stats.record_drop();
+            self.drop_env(&env);
             return;
         }
         if self
@@ -85,19 +98,19 @@ impl Routing {
             .read()
             .contains(&Self::pair_key(env.src, env.dst))
         {
-            self.stats.record_drop();
+            self.drop_env(&env);
             return;
         }
         let sender = self.endpoints.read().get(&env.dst).cloned();
         match sender {
             Some(tx) => {
-                if tx.send(env).is_ok() {
-                    self.stats.record_delivery();
-                } else {
-                    self.stats.record_drop();
+                let (dst, bytes) = (env.dst, env.payload.wire_bytes());
+                match tx.send(env) {
+                    Ok(()) => self.stats.record_delivery(dst, bytes),
+                    Err(e) => self.drop_env(&e.0),
                 }
             }
-            None => self.stats.record_drop(),
+            None => self.drop_env(&env),
         }
     }
 }
@@ -130,11 +143,24 @@ impl Network {
 
     /// Creates a network with explicit tunables.
     pub fn with_config(clock: SimClock, topo: Topology, config: NetworkConfig) -> Self {
+        Self::with_obs(clock, topo, config, ObsRegistry::disabled())
+    }
+
+    /// Creates a network with explicit tunables and an observability scope.
+    /// An enabled `obs` gets per-link `net.bytes`/`net.latency` histograms
+    /// and `net.dropped`/`net.rejected` counters on top of [`NetStats`].
+    pub fn with_obs(
+        clock: SimClock,
+        topo: Topology,
+        config: NetworkConfig,
+        obs: ObsRegistry,
+    ) -> Self {
         let routing = Arc::new(Routing {
             endpoints: RwLock::new(HashMap::new()),
             dead: RwLock::new(HashSet::new()),
             partitions: RwLock::new(HashSet::new()),
             stats: NetStats::default(),
+            obs,
         });
         let deliver_routing = Arc::clone(&routing);
         let queue = DelayQueue::start(Box::new(move |env| deliver_routing.deliver(env)));
@@ -164,15 +190,30 @@ impl Network {
         self.routing.endpoints.write().remove(&node);
     }
 
+    fn reject(&self, src: NodeId, bytes: usize, err: SendError) -> SendError {
+        self.routing.stats.record_rejection(src, bytes);
+        if self.routing.obs.is_enabled() {
+            self.routing
+                .obs
+                .counter("net.rejected", Some(src.0), "")
+                .inc();
+        }
+        err
+    }
+
     /// Sends `payload` from `src` to `dst`, paying the modeled delay.
+    ///
+    /// Refused sends (dead node, partition, unknown destination) are counted
+    /// as rejections against `src` in [`NetStats`].
     pub fn send(&self, src: NodeId, dst: NodeId, payload: Payload) -> Result<(), SendError> {
+        let bytes = payload.wire_bytes();
         {
             let dead = self.routing.dead.read();
             if dead.contains(&src) {
-                return Err(SendError::DeadSource(src));
+                return Err(self.reject(src, bytes, SendError::DeadSource(src)));
             }
             if dead.contains(&dst) {
-                return Err(SendError::DeadDestination(dst));
+                return Err(self.reject(src, bytes, SendError::DeadDestination(dst)));
             }
         }
         if self
@@ -181,10 +222,10 @@ impl Network {
             .read()
             .contains(&Routing::pair_key(src, dst))
         {
-            return Err(SendError::Partitioned(src, dst));
+            return Err(self.reject(src, bytes, SendError::Partitioned(src, dst)));
         }
         if !self.routing.endpoints.read().contains_key(&dst) {
-            return Err(SendError::UnknownDestination(dst));
+            return Err(self.reject(src, bytes, SendError::UnknownDestination(dst)));
         }
         let now = self.clock.now();
         let (link, latency, tx_time) = {
@@ -196,7 +237,15 @@ impl Network {
                 link.transfer_time(payload.wire_bytes()),
             )
         };
-        self.routing.stats.record_send(payload.wire_bytes());
+        self.routing.stats.record_send(src, payload.wire_bytes());
+        if self.routing.obs.is_enabled() {
+            let obs = &self.routing.obs;
+            let name = link_name(link);
+            obs.histogram("net.bytes", Some(src.0), name, bounds::SIZE_BYTES)
+                .observe(bytes as f64);
+            obs.histogram("net.latency", Some(src.0), name, bounds::LATENCY_SECONDS)
+                .observe(latency + tx_time);
+        }
         let env = Envelope {
             src,
             dst,
@@ -278,10 +327,25 @@ impl Network {
         self.routing.stats.snapshot()
     }
 
+    /// Per-endpoint traffic snapshots, sorted by node id.
+    pub fn endpoint_stats(&self) -> Vec<EndpointStatsSnapshot> {
+        self.routing.stats.per_endpoint()
+    }
+
     /// Stops the delivery thread, discarding in-flight messages. Further
     /// sends are silently queued nowhere; intended for deployment teardown.
     pub fn shutdown(&self) {
         self.queue.lock().shutdown();
+    }
+}
+
+/// Stable component label for a link class, used as the metrics key.
+fn link_name(link: LinkClass) -> &'static str {
+    match link {
+        LinkClass::Loopback => "loopback",
+        LinkClass::Lan100 => "lan100",
+        LinkClass::Lan10 => "lan10",
+        LinkClass::Wan => "wan",
     }
 }
 
@@ -367,6 +431,53 @@ mod tests {
         net.kill_node(NodeId(1));
         assert!(b.recv_timeout(Duration::from_millis(1500)).is_err());
         assert_eq!(net.stats().msgs_dropped, 1);
+    }
+
+    #[test]
+    fn refused_sends_are_counted_as_rejections() {
+        let net = fast_net();
+        let _a = net.register(NodeId(0));
+        let _b = net.register(NodeId(1));
+        net.partition(NodeId(0), NodeId(1));
+        let _ = net.send(NodeId(0), NodeId(1), Payload::new("x", 10, ()));
+        let _ = net.send(NodeId(0), NodeId(9), Payload::new("x", 5, ()));
+        let stats = net.stats();
+        assert_eq!(stats.msgs_rejected, 2);
+        assert_eq!(stats.msgs_sent, 0);
+        let eps = net.endpoint_stats();
+        let n0 = eps.iter().find(|e| e.node == NodeId(0)).unwrap();
+        assert_eq!(n0.rejected_msgs, 2);
+        assert_eq!(n0.rejected_bytes, 15);
+    }
+
+    #[test]
+    fn obs_records_link_histograms_and_drop_counters() {
+        let mut topo = Topology::new();
+        topo.set_default_class(LinkClass::Lan100);
+        let obs = jsym_obs::ObsRegistry::new();
+        let net = Network::with_obs(
+            SimClock::new(TimeScale::new(1e-5)),
+            topo,
+            NetworkConfig::default(),
+            obs.clone(),
+        );
+        let _a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        net.send(NodeId(0), NodeId(1), Payload::new("hi", 64, ()))
+            .unwrap();
+        b.recv_timeout(Duration::from_secs(2)).unwrap();
+        net.partition(NodeId(0), NodeId(1));
+        let _ = net.send(NodeId(0), NodeId(1), Payload::new("no", 8, ()));
+        let snap = obs.snapshot();
+        let h = &snap.metrics.histograms
+            [&jsym_obs::MetricKey::new("net.bytes", Some(0), "lan100")];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 64.0);
+        assert!(snap
+            .metrics
+            .histograms
+            .contains_key(&jsym_obs::MetricKey::new("net.latency", Some(0), "lan100")));
+        assert_eq!(snap.metrics.counter_total("net.rejected"), 1);
     }
 
     #[test]

@@ -1,44 +1,124 @@
 //! Traffic accounting.
 
+use crate::NodeId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Debug, Default)]
+struct EndpointCounters {
+    sent_msgs: AtomicU64,
+    sent_bytes: AtomicU64,
+    delivered_msgs: AtomicU64,
+    delivered_bytes: AtomicU64,
+    dropped_msgs: AtomicU64,
+    dropped_bytes: AtomicU64,
+    rejected_msgs: AtomicU64,
+    rejected_bytes: AtomicU64,
+}
 
 /// Live traffic counters, shared between the network and its users.
 ///
 /// These back the paper's network-related system parameters (packets/bytes in
-/// and out) and the EXPERIMENTS.md overhead numbers.
+/// and out) and the EXPERIMENTS.md overhead numbers. Besides the global
+/// totals, traffic is attributed per endpoint: sends and rejections to the
+/// source, deliveries to the destination, and drops to *both* endpoints (a
+/// dropped message is traffic the source paid for and the destination never
+/// saw — either side's operator needs to see it).
 #[derive(Debug, Default)]
 pub struct NetStats {
     msgs_sent: AtomicU64,
     bytes_sent: AtomicU64,
     msgs_delivered: AtomicU64,
     msgs_dropped: AtomicU64,
+    msgs_rejected: AtomicU64,
+    per_endpoint: RwLock<HashMap<NodeId, EndpointCounters>>,
 }
 
 impl NetStats {
+    fn with_endpoint(&self, node: NodeId, f: impl Fn(&EndpointCounters)) {
+        if let Some(c) = self.per_endpoint.read().get(&node) {
+            f(c);
+            return;
+        }
+        let mut map = self.per_endpoint.write();
+        f(map.entry(node).or_default());
+    }
+
     /// Records a message accepted for delivery.
-    pub fn record_send(&self, bytes: usize) {
+    pub fn record_send(&self, src: NodeId, bytes: usize) {
         self.msgs_sent.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.with_endpoint(src, |c| {
+            c.sent_msgs.fetch_add(1, Ordering::Relaxed);
+            c.sent_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        });
     }
 
     /// Records a successful delivery to an endpoint.
-    pub fn record_delivery(&self) {
+    pub fn record_delivery(&self, dst: NodeId, bytes: usize) {
         self.msgs_delivered.fetch_add(1, Ordering::Relaxed);
+        self.with_endpoint(dst, |c| {
+            c.delivered_msgs.fetch_add(1, Ordering::Relaxed);
+            c.delivered_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        });
     }
 
-    /// Records a message dropped (dead node, partition, closed endpoint).
-    pub fn record_drop(&self) {
+    /// Records a message dropped in flight (dead node, partition, closed
+    /// endpoint). Attributed to both endpoints.
+    pub fn record_drop(&self, src: NodeId, dst: NodeId, bytes: usize) {
         self.msgs_dropped.fetch_add(1, Ordering::Relaxed);
+        for node in [src, dst] {
+            self.with_endpoint(node, |c| {
+                c.dropped_msgs.fetch_add(1, Ordering::Relaxed);
+                c.dropped_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+            });
+            if src == dst {
+                break;
+            }
+        }
     }
 
-    /// A consistent-enough snapshot of the counters.
+    /// Records a send refused up front (dead source/destination, partition,
+    /// unknown destination). Attributed to the source.
+    pub fn record_rejection(&self, src: NodeId, bytes: usize) {
+        self.msgs_rejected.fetch_add(1, Ordering::Relaxed);
+        self.with_endpoint(src, |c| {
+            c.rejected_msgs.fetch_add(1, Ordering::Relaxed);
+            c.rejected_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        });
+    }
+
+    /// A consistent-enough snapshot of the global counters.
     pub fn snapshot(&self) -> NetStatsSnapshot {
         NetStatsSnapshot {
             msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             msgs_delivered: self.msgs_delivered.load(Ordering::Relaxed),
             msgs_dropped: self.msgs_dropped.load(Ordering::Relaxed),
+            msgs_rejected: self.msgs_rejected.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-endpoint traffic snapshots, sorted by node id.
+    pub fn per_endpoint(&self) -> Vec<EndpointStatsSnapshot> {
+        let map = self.per_endpoint.read();
+        let mut out: Vec<EndpointStatsSnapshot> = map
+            .iter()
+            .map(|(&node, c)| EndpointStatsSnapshot {
+                node,
+                sent_msgs: c.sent_msgs.load(Ordering::Relaxed),
+                sent_bytes: c.sent_bytes.load(Ordering::Relaxed),
+                delivered_msgs: c.delivered_msgs.load(Ordering::Relaxed),
+                delivered_bytes: c.delivered_bytes.load(Ordering::Relaxed),
+                dropped_msgs: c.dropped_msgs.load(Ordering::Relaxed),
+                dropped_bytes: c.dropped_bytes.load(Ordering::Relaxed),
+                rejected_msgs: c.rejected_msgs.load(Ordering::Relaxed),
+                rejected_bytes: c.rejected_bytes.load(Ordering::Relaxed),
+            })
+            .collect();
+        out.sort_by_key(|e| e.node);
+        out
     }
 }
 
@@ -53,6 +133,8 @@ pub struct NetStatsSnapshot {
     pub msgs_delivered: u64,
     /// Messages dropped in flight or at delivery.
     pub msgs_dropped: u64,
+    /// Sends refused up front (dead node, partition, unknown destination).
+    pub msgs_rejected: u64,
 }
 
 impl NetStatsSnapshot {
@@ -63,6 +145,29 @@ impl NetStatsSnapshot {
     }
 }
 
+/// Point-in-time traffic totals for one endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EndpointStatsSnapshot {
+    /// The endpoint's node id.
+    pub node: NodeId,
+    /// Messages this node sent (accepted by the network).
+    pub sent_msgs: u64,
+    /// Wire bytes this node sent.
+    pub sent_bytes: u64,
+    /// Messages delivered to this node.
+    pub delivered_msgs: u64,
+    /// Wire bytes delivered to this node.
+    pub delivered_bytes: u64,
+    /// In-flight drops involving this node (as source or destination).
+    pub dropped_msgs: u64,
+    /// Wire bytes of those drops.
+    pub dropped_bytes: u64,
+    /// Sends by this node refused up front.
+    pub rejected_msgs: u64,
+    /// Wire bytes of those refused sends.
+    pub rejected_bytes: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,10 +175,10 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let s = NetStats::default();
-        s.record_send(100);
-        s.record_send(50);
-        s.record_delivery();
-        s.record_drop();
+        s.record_send(NodeId(0), 100);
+        s.record_send(NodeId(0), 50);
+        s.record_delivery(NodeId(1), 100);
+        s.record_drop(NodeId(0), NodeId(1), 50);
         let snap = s.snapshot();
         assert_eq!(snap.msgs_sent, 2);
         assert_eq!(snap.bytes_sent, 150);
@@ -85,10 +190,10 @@ mod tests {
     #[test]
     fn in_flight_counts_pending() {
         let s = NetStats::default();
-        s.record_send(1);
-        s.record_send(1);
-        s.record_send(1);
-        s.record_delivery();
+        s.record_send(NodeId(0), 1);
+        s.record_send(NodeId(0), 1);
+        s.record_send(NodeId(0), 1);
+        s.record_delivery(NodeId(1), 1);
         assert_eq!(s.snapshot().in_flight(), 2);
     }
 
@@ -99,7 +204,41 @@ mod tests {
             bytes_sent: 0,
             msgs_delivered: 2,
             msgs_dropped: 0,
+            msgs_rejected: 0,
         };
         assert_eq!(snap.in_flight(), 0);
+    }
+
+    #[test]
+    fn endpoints_attribute_sends_deliveries_and_drops() {
+        let s = NetStats::default();
+        s.record_send(NodeId(0), 100);
+        s.record_delivery(NodeId(1), 100);
+        s.record_send(NodeId(0), 40);
+        s.record_drop(NodeId(0), NodeId(1), 40);
+        s.record_rejection(NodeId(2), 8);
+        let eps = s.per_endpoint();
+        assert_eq!(eps.len(), 3);
+        let n0 = eps[0];
+        assert_eq!(n0.node, NodeId(0));
+        assert_eq!((n0.sent_msgs, n0.sent_bytes), (2, 140));
+        assert_eq!((n0.dropped_msgs, n0.dropped_bytes), (1, 40));
+        assert_eq!(n0.delivered_msgs, 0);
+        let n1 = eps[1];
+        assert_eq!((n1.delivered_msgs, n1.delivered_bytes), (1, 100));
+        assert_eq!((n1.dropped_msgs, n1.dropped_bytes), (1, 40));
+        let n2 = eps[2];
+        assert_eq!((n2.rejected_msgs, n2.rejected_bytes), (1, 8));
+        assert_eq!(n2.sent_msgs, 0);
+    }
+
+    #[test]
+    fn self_drop_is_counted_once_per_endpoint() {
+        let s = NetStats::default();
+        s.record_drop(NodeId(3), NodeId(3), 10);
+        let eps = s.per_endpoint();
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].dropped_msgs, 1);
+        assert_eq!(s.snapshot().msgs_dropped, 1);
     }
 }

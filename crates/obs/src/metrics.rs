@@ -1,0 +1,575 @@
+//! Lock-cheap metrics: counters, gauges and fixed-bucket histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are resolved once through
+//! the registry (one `RwLock` read + hash lookup) and then record through an
+//! `Arc<AtomicU64>` — the hot path is a branch plus a relaxed atomic op.
+//! A disabled registry hands out empty handles whose record calls are a
+//! single branch.
+
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Standard bucket-bound sets used by the runtime's instrumentation.
+pub mod bounds {
+    /// Virtual-second latency buckets: 100 µs .. 10 s.
+    pub const LATENCY_SECONDS: &[f64] = &[
+        1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0,
+    ];
+    /// Message/state size buckets: 64 B .. 4 MiB.
+    pub const SIZE_BYTES: &[f64] = &[
+        64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262_144.0, 1_048_576.0, 4_194_304.0,
+    ];
+}
+
+/// A metric's identity: what is measured, where, and on which component.
+///
+/// `node` is the physical node id (`None` for deployment-global metrics);
+/// `component` further splits a name (a link class, an RMI mode, a message
+/// tag — `""` when there is nothing to split by).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name, e.g. `"net.latency"`.
+    pub name: Cow<'static, str>,
+    /// Physical node id, if the metric is per-node.
+    pub node: Option<u32>,
+    /// Sub-component label, e.g. a link class or message tag.
+    pub component: Cow<'static, str>,
+}
+
+impl MetricKey {
+    /// Builds a key from its parts.
+    pub fn new(name: impl Into<Cow<'static, str>>, node: Option<u32>, component: &str) -> Self {
+        MetricKey {
+            name: name.into(),
+            node,
+            component: Cow::Owned(component.to_owned()),
+        }
+    }
+}
+
+impl std::fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)?;
+        if let Some(n) = self.node {
+            write!(f, "{{n{n}}}")?;
+        }
+        if !self.component.is_empty() {
+            write!(f, "[{}]", self.component)?;
+        }
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------------------ handles
+
+/// A monotonically increasing counter handle. Clone-cheap; an empty handle
+/// (from a disabled registry) records nothing.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a disabled handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value-wins gauge handle storing an `f64`.
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 for a disabled handle).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+}
+
+/// Shared storage of one histogram.
+#[derive(Debug)]
+pub(crate) struct HistoCore {
+    /// Ascending bucket *upper* bounds; an implicit `+inf` bucket follows.
+    bounds: Vec<f64>,
+    /// One slot per bound, plus the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// `f64` bits, updated by CAS.
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+fn atomic_f64_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = f(f64::from_bits(cur)).to_bits();
+        if new == cur {
+            return;
+        }
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+impl HistoCore {
+    fn new(bucket_bounds: &[f64]) -> Self {
+        HistoCore {
+            bounds: bucket_bounds.to_vec(),
+            buckets: (0..=bucket_bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0f64.to_bits()),
+            min: AtomicU64::new(f64::INFINITY.to_bits()),
+            max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&self.sum, |s| s + v);
+        atomic_f64_update(&self.min, |m| m.min(v));
+        atomic_f64_update(&self.max, |m| m.max(v));
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum.load(Ordering::Relaxed)),
+            min: f64::from_bits(self.min.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A fixed-bucket histogram handle.
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<HistoCore>>);
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        if let Some(h) = &self.0 {
+            h.observe(v);
+        }
+    }
+
+    /// Point-in-time copy (empty for a disabled handle).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0
+            .as_ref()
+            .map_or_else(HistogramSnapshot::empty, |h| h.snapshot())
+    }
+}
+
+// ---------------------------------------------------------------- snapshots
+
+/// Point-in-time copy of one histogram. Mergeable: merging snapshots with
+/// identical bounds is associative and commutative (bucket counts and counts
+/// add, min/max combine; `sum` adds — floating-point addition, so equal up
+/// to rounding).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (`bounds.len() + 1` entries; last is overflow).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (`+inf` when empty).
+    pub min: f64,
+    /// Largest observation (`-inf` when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot with no buckets — the merge identity for any
+    /// bounds (merging it adopts the other side's bounds).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            bounds: Vec::new(),
+            buckets: vec![0],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Mean observation, if any.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Merges `other` into `self`. Fails (leaving `self` unchanged) when
+    /// both sides are non-empty with different bucket bounds.
+    pub fn merge(&mut self, other: &HistogramSnapshot) -> Result<(), MergeError> {
+        if other.count == 0 && other.bounds.is_empty() {
+            return Ok(());
+        }
+        if self.count == 0 && self.bounds.is_empty() {
+            *self = other.clone();
+            return Ok(());
+        }
+        if self.bounds != other.bounds {
+            return Err(MergeError::BoundsMismatch);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        Ok(())
+    }
+}
+
+/// Why a snapshot merge was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeError {
+    /// The two histograms were recorded with different bucket bounds.
+    BoundsMismatch,
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::BoundsMismatch => write!(f, "histogram bucket bounds differ"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Point-in-time copy of a whole [`MetricsRegistry`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by key.
+    pub counters: BTreeMap<MetricKey, u64>,
+    /// Gauge values by key.
+    pub gauges: BTreeMap<MetricKey, f64>,
+    /// Histogram snapshots by key.
+    pub histograms: BTreeMap<MetricKey, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Merges `other` into `self`: counters add, gauges keep the larger
+    /// value (associative/commutative), histograms merge per key
+    /// (bounds-mismatched entries are left as `self`'s).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let e = self.gauges.entry(k.clone()).or_insert(f64::NEG_INFINITY);
+            *e = e.max(*v);
+        }
+        for (k, h) in &other.histograms {
+            let _ = self
+                .histograms
+                .entry(k.clone())
+                .or_insert_with(HistogramSnapshot::empty)
+                .merge(h);
+        }
+    }
+
+    /// Sum of all counters sharing `name` (any node, any component).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Sum of `sum` over all histograms sharing `name`.
+    pub fn histogram_sum(&self, name: &str) -> f64 {
+        self.histograms
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, h)| h.sum)
+            .sum()
+    }
+}
+
+// ----------------------------------------------------------------- registry
+
+#[derive(Default)]
+struct MetricsInner {
+    counters: RwLock<HashMap<MetricKey, Arc<AtomicU64>>>,
+    gauges: RwLock<HashMap<MetricKey, Arc<AtomicU64>>>,
+    histograms: RwLock<HashMap<MetricKey, Arc<HistoCore>>>,
+}
+
+/// The metrics half of an observability scope. Cloning shares storage; a
+/// disabled registry hands out no-op handles.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<MetricsInner>>,
+}
+
+fn read_or_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_or_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+impl MetricsRegistry {
+    /// An enabled, empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            inner: Some(Arc::new(MetricsInner::default())),
+        }
+    }
+
+    /// A registry whose handles record nothing.
+    pub fn disabled() -> Self {
+        MetricsRegistry { inner: None }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Resolves (creating on first use) a counter.
+    pub fn counter(&self, name: &'static str, node: Option<u32>, component: &str) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter(None);
+        };
+        let key = MetricKey::new(name, node, component);
+        if let Some(c) = read_or_recover(&inner.counters).get(&key) {
+            return Counter(Some(Arc::clone(c)));
+        }
+        let mut map = write_or_recover(&inner.counters);
+        let c = map.entry(key).or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Some(Arc::clone(c)))
+    }
+
+    /// Resolves (creating on first use) a gauge.
+    pub fn gauge(&self, name: &'static str, node: Option<u32>, component: &str) -> Gauge {
+        let Some(inner) = &self.inner else {
+            return Gauge(None);
+        };
+        let key = MetricKey::new(name, node, component);
+        if let Some(g) = read_or_recover(&inner.gauges).get(&key) {
+            return Gauge(Some(Arc::clone(g)));
+        }
+        let mut map = write_or_recover(&inner.gauges);
+        let g = map
+            .entry(key)
+            .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits())));
+        Gauge(Some(Arc::clone(g)))
+    }
+
+    /// Resolves (creating on first use) a histogram. The bounds are fixed at
+    /// first use; later callers get the existing histogram regardless of the
+    /// bounds they pass.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        node: Option<u32>,
+        component: &str,
+        bucket_bounds: &[f64],
+    ) -> Histogram {
+        let Some(inner) = &self.inner else {
+            return Histogram(None);
+        };
+        let key = MetricKey::new(name, node, component);
+        if let Some(h) = read_or_recover(&inner.histograms).get(&key) {
+            return Histogram(Some(Arc::clone(h)));
+        }
+        let mut map = write_or_recover(&inner.histograms);
+        let h = map
+            .entry(key)
+            .or_insert_with(|| Arc::new(HistoCore::new(bucket_bounds)));
+        Histogram(Some(Arc::clone(h)))
+    }
+
+    /// A consistent-enough point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let Some(inner) = &self.inner else {
+            return MetricsSnapshot::default();
+        };
+        MetricsSnapshot {
+            counters: read_or_recover(&inner.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: read_or_recover(&inner.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: read_or_recover(&inner.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_accumulate() {
+        let m = MetricsRegistry::new();
+        let c = m.counter("c", Some(1), "x");
+        c.inc();
+        c.add(4);
+        // Re-resolving yields the same storage.
+        assert_eq!(m.counter("c", Some(1), "x").get(), 5);
+        let g = m.gauge("g", None, "");
+        g.set(2.5);
+        g.set(-1.0);
+        assert_eq!(m.gauge("g", None, "").get(), -1.0);
+    }
+
+    #[test]
+    fn histogram_buckets_count_and_stats() {
+        let m = MetricsRegistry::new();
+        let h = m.histogram("h", None, "", &[1.0, 10.0]);
+        for v in [0.5, 0.9, 5.0, 50.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![2, 1, 1]);
+        assert_eq!(s.count, 4);
+        assert!((s.sum - 56.4).abs() < 1e-9);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 50.0);
+        assert_eq!(s.mean(), Some(56.4 / 4.0));
+    }
+
+    #[test]
+    fn histogram_merge_adds_and_rejects_mismatch() {
+        let m = MetricsRegistry::new();
+        let a = m.histogram("a", None, "", &[1.0]);
+        let b = m.histogram("b", None, "", &[1.0]);
+        a.observe(0.5);
+        b.observe(2.0);
+        let mut sa = a.snapshot();
+        sa.merge(&b.snapshot()).unwrap();
+        assert_eq!(sa.count, 2);
+        assert_eq!(sa.buckets, vec![1, 1]);
+        assert_eq!(sa.min, 0.5);
+        assert_eq!(sa.max, 2.0);
+
+        let c = m.histogram("c", None, "", &[9.0]);
+        c.observe(1.0);
+        assert_eq!(sa.merge(&c.snapshot()), Err(MergeError::BoundsMismatch));
+        // Unchanged on failure.
+        assert_eq!(sa.count, 2);
+    }
+
+    #[test]
+    fn empty_snapshot_is_merge_identity() {
+        let m = MetricsRegistry::new();
+        let h = m.histogram("h", None, "", &[1.0, 2.0]);
+        h.observe(1.5);
+        let orig = h.snapshot();
+
+        let mut left = HistogramSnapshot::empty();
+        left.merge(&orig).unwrap();
+        assert_eq!(left, orig);
+
+        let mut right = orig.clone();
+        right.merge(&HistogramSnapshot::empty()).unwrap();
+        assert_eq!(right, orig);
+    }
+
+    #[test]
+    fn registry_snapshot_merge_combines_scopes() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.counter("c", Some(0), "").add(2);
+        b.counter("c", Some(0), "").add(3);
+        b.counter("c", Some(1), "").add(7);
+        a.gauge("g", None, "").set(1.0);
+        b.gauge("g", None, "").set(4.0);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.counters[&MetricKey::new("c", Some(0), "")], 5);
+        assert_eq!(s.counters[&MetricKey::new("c", Some(1), "")], 7);
+        assert_eq!(s.gauges[&MetricKey::new("g", None, "")], 4.0);
+        assert_eq!(s.counter_total("c"), 12);
+    }
+
+    #[test]
+    fn concurrent_observations_are_not_lost() {
+        let m = MetricsRegistry::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    let c = m.counter("hits", Some(0), "");
+                    let h = m.histogram("lat", Some(0), "", &[0.5]);
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe(if i % 2 == 0 { 0.1 } else { 0.9 });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = m.snapshot();
+        assert_eq!(s.counters[&MetricKey::new("hits", Some(0), "")], 8000);
+        let h = &s.histograms[&MetricKey::new("lat", Some(0), "")];
+        assert_eq!(h.count, 8000);
+        assert_eq!(h.buckets, vec![4000, 4000]);
+        assert!((h.sum - (4000.0 * 0.1 + 4000.0 * 0.9)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn key_display_is_compact() {
+        assert_eq!(MetricKey::new("x", Some(3), "wan").to_string(), "x{n3}[wan]");
+        assert_eq!(MetricKey::new("x", None, "").to_string(), "x");
+    }
+}

@@ -1,0 +1,450 @@
+//! Virtual-time span tracing.
+//!
+//! A span is one timed runtime operation — an RMI round trip, a migration
+//! protocol step, a codebase load, a monitoring round. Spans carry the
+//! deployment's *virtual* timestamps, an optional parent link (so a
+//! migration's protocol steps nest under the requesting operation even when
+//! they execute on different nodes — the parent id travels on the wire),
+//! the recording node and free-form attributes.
+//!
+//! Finished spans land in a bounded ring buffer; an unfinished span that is
+//! dropped records nothing (abandoned operation). A disabled tracer hands
+//! out inert [`ActiveSpan`]s whose every method is a branch.
+
+use std::borrow::Cow;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identity of one recorded span, unique within its tracer.
+///
+/// Ids start at 1: `0` is reserved as the on-the-wire encoding of "no
+/// parent" (see [`SpanId::to_wire`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// Encodes an optional span id for a wire message (`0` = none).
+    pub fn to_wire(id: Option<SpanId>) -> u64 {
+        id.map_or(0, |s| s.0)
+    }
+
+    /// Decodes a wire-encoded span id (`0` = none).
+    pub fn from_wire(raw: u64) -> Option<SpanId> {
+        (raw != 0).then_some(SpanId(raw))
+    }
+}
+
+/// One finished span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// This span's id.
+    pub id: SpanId,
+    /// The enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Operation name, e.g. `"migrate.transfer"`.
+    pub name: Cow<'static, str>,
+    /// Physical node that recorded the span, if known.
+    pub node: Option<u32>,
+    /// Virtual start time (seconds).
+    pub start: f64,
+    /// Virtual end time (seconds); equals `start` for instant spans.
+    pub end: f64,
+    /// Free-form key/value attributes.
+    pub attrs: Vec<(Cow<'static, str>, String)>,
+}
+
+impl SpanRecord {
+    /// Span duration in virtual seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+struct SpanBuf {
+    buf: VecDeque<SpanRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+struct TracerInner {
+    next_id: AtomicU64,
+    spans: Mutex<SpanBuf>,
+}
+
+/// The tracing half of an observability scope. Cloning shares the buffer.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// An enabled tracer retaining at most `capacity` finished spans.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                next_id: AtomicU64::new(1),
+                spans: Mutex::new(SpanBuf {
+                    buf: VecDeque::new(),
+                    capacity: capacity.max(1),
+                    dropped: 0,
+                }),
+            })),
+        }
+    }
+
+    /// A tracer that records nothing.
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// Whether this tracer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Starts a span at virtual time `start`. Chain [`ActiveSpan::node`],
+    /// [`ActiveSpan::parent`] and [`ActiveSpan::attr`], then call
+    /// [`ActiveSpan::finish`]; dropping without finishing records nothing.
+    pub fn span(&self, name: impl Into<Cow<'static, str>>, start: f64) -> ActiveSpan {
+        let Some(inner) = &self.inner else {
+            return ActiveSpan {
+                tracer: None,
+                record: None,
+            };
+        };
+        let id = SpanId(inner.next_id.fetch_add(1, Ordering::Relaxed));
+        ActiveSpan {
+            tracer: Some(Arc::clone(inner)),
+            record: Some(SpanRecord {
+                id,
+                parent: None,
+                name: name.into(),
+                node: None,
+                start,
+                end: start,
+                attrs: Vec::new(),
+            }),
+        }
+    }
+
+    /// Finished spans in completion order, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.inner.as_ref().map_or_else(Vec::new, |inner| {
+            let buf = inner.spans.lock().unwrap_or_else(|e| e.into_inner());
+            buf.buf.iter().cloned().collect()
+        })
+    }
+
+    /// Spans evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| {
+            inner.spans.lock().unwrap_or_else(|e| e.into_inner()).dropped
+        })
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |inner| {
+            inner.spans.lock().unwrap_or_else(|e| e.into_inner()).buf.len()
+        })
+    }
+
+    /// Whether no spans are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all retained spans (eviction counter is kept).
+    pub fn clear(&self) {
+        if let Some(inner) = &self.inner {
+            inner
+                .spans
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .buf
+                .clear();
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tracer({} spans)", self.len())
+    }
+}
+
+/// A span under construction. Send + 'static, so it can be finished from a
+/// different thread than the one that started it (e.g. an `ainvoke` span
+/// finished by the result handle).
+pub struct ActiveSpan {
+    tracer: Option<Arc<TracerInner>>,
+    record: Option<SpanRecord>,
+}
+
+impl ActiveSpan {
+    /// This span's id (`None` for a disabled tracer) — thread it to child
+    /// operations, across the wire via [`SpanId::to_wire`] if necessary.
+    pub fn id(&self) -> Option<SpanId> {
+        self.record.as_ref().map(|r| r.id)
+    }
+
+    /// The span's virtual start time (`None` for a disabled tracer).
+    pub fn start_time(&self) -> Option<f64> {
+        self.record.as_ref().map(|r| r.start)
+    }
+
+    /// Sets the recording node.
+    pub fn node(mut self, node: u32) -> Self {
+        if let Some(r) = &mut self.record {
+            r.node = Some(node);
+        }
+        self
+    }
+
+    /// Sets the parent span.
+    pub fn parent(mut self, parent: Option<SpanId>) -> Self {
+        if let Some(r) = &mut self.record {
+            r.parent = parent;
+        }
+        self
+    }
+
+    /// Attaches an attribute.
+    pub fn attr(mut self, key: &'static str, value: impl ToString) -> Self {
+        if let Some(r) = &mut self.record {
+            r.attrs.push((Cow::Borrowed(key), value.to_string()));
+        }
+        self
+    }
+
+    /// Finishes the span at virtual time `end`, committing it to the ring.
+    pub fn finish(mut self, end: f64) {
+        let (Some(tracer), Some(mut record)) = (self.tracer.take(), self.record.take()) else {
+            return;
+        };
+        record.end = end.max(record.start);
+        let mut buf = tracer.spans.lock().unwrap_or_else(|e| e.into_inner());
+        if buf.buf.len() == buf.capacity {
+            buf.buf.pop_front();
+            buf.dropped += 1;
+        }
+        buf.buf.push_back(record);
+    }
+}
+
+// -------------------------------------------------------------- tree output
+
+/// Checks that `spans` form well-formed trees: every `parent` id is present
+/// in the slice, intervals are ordered (`end >= start`), and each child's
+/// interval lies within its parent's (up to `1e-9` slack for float noise).
+///
+/// Returns the first violation as a human-readable message. Note that a
+/// ring buffer that evicted spans can legitimately contain orphans — only
+/// validate unevicted traces.
+pub fn validate_spans(spans: &[SpanRecord]) -> Result<(), String> {
+    const EPS: f64 = 1e-9;
+    let by_id: HashMap<SpanId, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    if by_id.len() != spans.len() {
+        return Err("duplicate span ids".into());
+    }
+    for s in spans {
+        if !(s.end >= s.start) {
+            return Err(format!("span {} [{} .. {}] is inverted", s.name, s.start, s.end));
+        }
+        if let Some(pid) = s.parent {
+            let Some(p) = by_id.get(&pid) else {
+                return Err(format!("span {} has orphan parent {:?}", s.name, pid));
+            };
+            if s.start + EPS < p.start || s.end > p.end + EPS {
+                return Err(format!(
+                    "child {} [{} .. {}] escapes parent {} [{} .. {}]",
+                    s.name, s.start, s.end, p.name, p.start, p.end
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders spans as an indented tree (children under parents, both sorted
+/// by start time), with virtual timestamps. Spans whose parent is not in
+/// the slice (evicted or foreign) render as roots.
+pub fn render_tree(spans: &[SpanRecord]) -> String {
+    let by_id: HashMap<SpanId, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    let mut children: HashMap<SpanId, Vec<&SpanRecord>> = HashMap::new();
+    let mut roots: Vec<&SpanRecord> = Vec::new();
+    for s in spans {
+        match s.parent.filter(|p| by_id.contains_key(p)) {
+            Some(p) => children.entry(p).or_default().push(s),
+            None => roots.push(s),
+        }
+    }
+    let sort_key = |s: &&SpanRecord| (s.start.to_bits() as i64, s.id);
+    roots.sort_by_key(sort_key);
+    for v in children.values_mut() {
+        v.sort_by_key(sort_key);
+    }
+    let mut out = String::new();
+    let mut stack: Vec<(&SpanRecord, usize)> = roots.into_iter().rev().map(|s| (s, 0)).collect();
+    while let Some((s, depth)) = stack.pop() {
+        render_line(&mut out, s, depth);
+        if let Some(kids) = children.get(&s.id) {
+            for k in kids.iter().rev() {
+                stack.push((k, depth + 1));
+            }
+        }
+    }
+    out
+}
+
+fn render_line(out: &mut String, s: &SpanRecord, depth: usize) {
+    use std::fmt::Write as _;
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let _ = write!(out, "[{:>10.4} .. {:>10.4}] {}", s.start, s.end, s.name);
+    if let Some(n) = s.node {
+        let _ = write!(out, " (n{n})");
+    }
+    for (k, v) in &s.attrs {
+        let _ = write!(out, " {k}={v}");
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_with_parent_links() {
+        let t = Tracer::new(16);
+        let root = t.span("migrate", 1.0).node(0).attr("obj", "obj7");
+        let root_id = root.id();
+        assert!(root_id.is_some());
+        let child = t.span("migrate.request", 1.1).node(0).parent(root_id);
+        child.finish(1.9);
+        root.finish(2.0);
+        let spans = t.snapshot();
+        assert_eq!(spans.len(), 2);
+        // Completion order: child first.
+        assert_eq!(spans[0].name, "migrate.request");
+        assert_eq!(spans[0].parent, root_id);
+        assert_eq!(spans[1].name, "migrate");
+        assert_eq!(spans[1].attrs, vec![("obj".into(), "obj7".to_owned())]);
+        validate_spans(&spans).unwrap();
+    }
+
+    #[test]
+    fn wire_encoding_round_trips() {
+        assert_eq!(SpanId::to_wire(None), 0);
+        assert_eq!(SpanId::from_wire(0), None);
+        let id = Some(SpanId(42));
+        assert_eq!(SpanId::from_wire(SpanId::to_wire(id)), id);
+    }
+
+    #[test]
+    fn abandoned_span_records_nothing() {
+        let t = Tracer::new(16);
+        drop(t.span("abandoned", 0.0));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let t = Tracer::new(2);
+        for i in 0..5 {
+            t.span("s", i as f64).finish(i as f64 + 0.5);
+        }
+        let spans = t.snapshot();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].start, 3.0);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn finish_clamps_inverted_intervals() {
+        let t = Tracer::new(4);
+        t.span("s", 5.0).finish(4.0);
+        let spans = t.snapshot();
+        assert_eq!(spans[0].end, 5.0);
+        validate_spans(&spans).unwrap();
+    }
+
+    #[test]
+    fn validator_flags_orphans_and_escapes() {
+        let mk = |id, parent, start: f64, end: f64| SpanRecord {
+            id: SpanId(id),
+            parent,
+            name: Cow::Borrowed("x"),
+            node: None,
+            start,
+            end,
+            attrs: Vec::new(),
+        };
+        let orphan = vec![mk(2, Some(SpanId(1)), 0.0, 1.0)];
+        assert!(validate_spans(&orphan).unwrap_err().contains("orphan"));
+        let escape = vec![mk(1, None, 0.0, 1.0), mk(2, Some(SpanId(1)), 0.5, 2.0)];
+        assert!(validate_spans(&escape).unwrap_err().contains("escapes"));
+        let ok = vec![mk(1, None, 0.0, 1.0), mk(2, Some(SpanId(1)), 0.2, 0.8)];
+        validate_spans(&ok).unwrap();
+    }
+
+    #[test]
+    fn tree_rendering_nests_and_timestamps() {
+        let t = Tracer::new(16);
+        let root = t.span("migrate", 1.0).node(0);
+        let rid = root.id();
+        t.span("migrate.quiesce", 1.25).node(1).parent(rid).finish(1.5);
+        t.span("migrate.transfer", 1.5).node(1).parent(rid).finish(1.75);
+        root.finish(2.0);
+        let out = render_tree(&t.snapshot());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("migrate") && lines[0].starts_with('['));
+        assert!(lines[1].starts_with("  [") && lines[1].contains("migrate.quiesce"));
+        assert!(lines[2].starts_with("  [") && lines[2].contains("migrate.transfer"));
+        assert!(lines[0].contains("1.0000") && lines[0].contains("2.0000"));
+        assert!(lines[1].contains("(n1)"));
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        let s = t.span("s", 0.0).node(1).attr("k", 1);
+        assert_eq!(s.id(), None);
+        assert_eq!(s.start_time(), None);
+        s.finish(1.0);
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_stays_well_formed() {
+        let t = Tracer::new(100_000);
+        let root = t.span("root", 0.0).node(0);
+        let rid = root.id();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for j in 0..500u32 {
+                        let start = 1.0 + (i as f64) * 0.001 + (j as f64) * 1e-6;
+                        t.span("child", start)
+                            .node(i as u32)
+                            .parent(rid)
+                            .finish(start + 1e-7);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        root.finish(10.0);
+        let spans = t.snapshot();
+        assert_eq!(spans.len(), 8 * 500 + 1);
+        validate_spans(&spans).unwrap();
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the observability substrate.
+
+use jsym_obs::{validate_spans, HistogramSnapshot, MetricsRegistry, Tracer};
+use proptest::prelude::*;
+
+/// A histogram snapshot over the shared bounds `[1, 10, 100]`, built by
+/// observing arbitrary values through a real registry histogram.
+fn arb_histo() -> impl Strategy<Value = HistogramSnapshot> {
+    proptest::collection::vec(0.0f64..1000.0, 0..32).prop_map(|values| {
+        let m = MetricsRegistry::new();
+        let h = m.histogram("h", None, "", &[1.0, 10.0, 100.0]);
+        for v in values {
+            h.observe(v);
+        }
+        h.snapshot()
+    })
+}
+
+/// Everything exact about a snapshot; `sum` is checked separately with a
+/// tolerance because float addition is only approximately associative.
+fn exact_parts(h: &HistogramSnapshot) -> (Vec<u64>, u64, u64, u64) {
+    (
+        h.buckets.clone(),
+        h.count,
+        h.min.to_bits(),
+        h.max.to_bits(),
+    )
+}
+
+proptest! {
+    /// Merge is commutative: a+b == b+a (exactly, except float sum).
+    #[test]
+    fn merge_commutative(a in arb_histo(), b in arb_histo()) {
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        prop_assert_eq!(exact_parts(&ab), exact_parts(&ba));
+        prop_assert!((ab.sum - ba.sum).abs() <= 1e-6 * (1.0 + ab.sum.abs()));
+    }
+
+    /// Merge is associative: (a+b)+c == a+(b+c).
+    #[test]
+    fn merge_associative(a in arb_histo(), b in arb_histo(), c in arb_histo()) {
+        let mut left = a.clone();
+        left.merge(&b).unwrap();
+        left.merge(&c).unwrap();
+        let mut bc = b.clone();
+        bc.merge(&c).unwrap();
+        let mut right = a.clone();
+        right.merge(&bc).unwrap();
+        prop_assert_eq!(exact_parts(&left), exact_parts(&right));
+        prop_assert!((left.sum - right.sum).abs() <= 1e-6 * (1.0 + left.sum.abs()));
+    }
+
+    /// The empty snapshot is a two-sided merge identity.
+    #[test]
+    fn merge_identity(a in arb_histo()) {
+        let mut left = HistogramSnapshot::empty();
+        left.merge(&a).unwrap();
+        prop_assert_eq!(&left, &a);
+        let mut right = a.clone();
+        right.merge(&HistogramSnapshot::empty()).unwrap();
+        prop_assert_eq!(&right, &a);
+    }
+
+    /// Merging preserves the bucket-count invariant: count equals the sum of
+    /// all buckets, and the bucket vector keeps bounds.len()+1 entries.
+    #[test]
+    fn merge_preserves_invariants(a in arb_histo(), b in arb_histo()) {
+        let mut m = a.clone();
+        m.merge(&b).unwrap();
+        prop_assert_eq!(m.buckets.len(), m.bounds.len() + 1);
+        prop_assert_eq!(m.buckets.iter().sum::<u64>(), m.count);
+        prop_assert_eq!(m.count, a.count + b.count);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Span trees recorded concurrently from many threads stay well-formed:
+    /// no orphan parents, no duplicate ids, every child interval inside its
+    /// parent's interval.
+    #[test]
+    fn concurrent_span_trees_are_well_formed(
+        threads in 1usize..6,
+        per_thread in 1usize..40,
+    ) {
+        let tracer = Tracer::new(threads * per_thread * 2 + 8);
+        let root = tracer.span("root", 0.0).node(0);
+        let rid = root.id();
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let tracer = tracer.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let start = 1.0 + t as f64 + i as f64 * 1e-3;
+                        let parent = tracer
+                            .span("op", start)
+                            .node(t as u32)
+                            .parent(rid);
+                        let pid = parent.id();
+                        tracer
+                            .span("op.step", start + 1e-4)
+                            .node(t as u32)
+                            .parent(pid)
+                            .finish(start + 2e-4);
+                        parent.finish(start + 5e-4);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        root.finish(1e9);
+        let spans = tracer.snapshot();
+        prop_assert_eq!(spans.len(), threads * per_thread * 2 + 1);
+        prop_assert_eq!(tracer.dropped(), 0);
+        if let Err(e) = validate_spans(&spans) {
+            return Err(TestCaseError::fail(e));
+        }
+    }
+}

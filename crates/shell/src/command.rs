@@ -118,6 +118,20 @@ pub enum Command {
     },
     /// `stats` — network and per-node runtime counters.
     Stats,
+    /// `metrics [json]` — observability registry: counters, gauges,
+    /// histograms and per-endpoint traffic; `json` emits the machine-
+    /// readable export instead.
+    Metrics {
+        /// Emit the JSON export instead of the summary table.
+        json: bool,
+    },
+    /// `trace [name-prefix]` — recorded spans as an indented tree with
+    /// virtual start/end times, optionally restricted to subtrees whose
+    /// root name starts with the prefix (e.g. `trace migrate`).
+    Trace {
+        /// Optional span-name prefix filter.
+        filter: Option<String>,
+    },
     /// `log [n]` — the last `n` (default 20) runtime events.
     Log {
         /// How many events to show.
@@ -355,6 +369,18 @@ impl Command {
                 _ => Err(ParseError::Usage("automigrate on|off")),
             },
             "stats" => Ok(Command::Stats),
+            "metrics" => match rest.as_slice() {
+                [] => Ok(Command::Metrics { json: false }),
+                ["json"] => Ok(Command::Metrics { json: true }),
+                _ => Err(ParseError::Usage("metrics [json]")),
+            },
+            "trace" => match rest.as_slice() {
+                [] => Ok(Command::Trace { filter: None }),
+                [prefix] => Ok(Command::Trace {
+                    filter: Some((*prefix).to_owned()),
+                }),
+                _ => Err(ParseError::Usage("trace [name-prefix]")),
+            },
             "log" => {
                 let n = rest
                     .first()
@@ -388,6 +414,8 @@ commands:
   automigrate on|off                     toggle automatic migration
   period <secs> / timeout <secs>         tune monitoring / failure detection
   stats / objects / log [n]              counters / object table / events
+  metrics [json]                         observability metrics (summary or JSON)
+  trace [name-prefix]                    recorded spans as a tree (e.g. `trace migrate`)
   quit";
 
 #[cfg(test)]
@@ -401,6 +429,36 @@ mod tests {
         assert_eq!(Command::parse("  LS  ").unwrap(), Command::Nodes);
         assert_eq!(Command::parse("quit").unwrap(), Command::Quit);
         assert_eq!(Command::parse("stats").unwrap(), Command::Stats);
+    }
+
+    #[test]
+    fn parses_observability_commands() {
+        assert_eq!(
+            Command::parse("metrics").unwrap(),
+            Command::Metrics { json: false }
+        );
+        assert_eq!(
+            Command::parse("metrics json").unwrap(),
+            Command::Metrics { json: true }
+        );
+        assert!(matches!(
+            Command::parse("metrics csv"),
+            Err(ParseError::Usage(_))
+        ));
+        assert_eq!(
+            Command::parse("trace").unwrap(),
+            Command::Trace { filter: None }
+        );
+        assert_eq!(
+            Command::parse("trace migrate").unwrap(),
+            Command::Trace {
+                filter: Some("migrate".into())
+            }
+        );
+        assert!(matches!(
+            Command::parse("trace a b"),
+            Err(ParseError::Usage(_))
+        ));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use jsym_core::{
 use jsym_net::NodeId;
 use jsym_sysmon::SysParam;
 use jsym_vda::Cluster;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
 /// An interactive administration session over one deployment.
@@ -308,6 +308,63 @@ impl ShellSession {
                 }
                 Ok(out)
             }
+            Command::Metrics { json } => {
+                if json {
+                    return Ok(self.deployment.obs().to_json());
+                }
+                let mut out = self.deployment.obs().summary();
+                let endpoints = self.deployment.endpoint_stats();
+                if !endpoints.is_empty() {
+                    out.push_str("per-endpoint traffic (msgs/bytes):\n");
+                    let _ = writeln!(
+                        out,
+                        "  {:<6} {:>18} {:>18} {:>18} {:>18}",
+                        "node", "sent", "delivered", "dropped", "rejected"
+                    );
+                    for e in endpoints {
+                        let _ = writeln!(
+                            out,
+                            "  {:<6} {:>18} {:>18} {:>18} {:>18}",
+                            e.node.to_string(),
+                            format!("{}/{}", e.sent_msgs, e.sent_bytes),
+                            format!("{}/{}", e.delivered_msgs, e.delivered_bytes),
+                            format!("{}/{}", e.dropped_msgs, e.dropped_bytes),
+                            format!("{}/{}", e.rejected_msgs, e.rejected_bytes),
+                        );
+                    }
+                }
+                Ok(out)
+            }
+            Command::Trace { filter } => {
+                let spans = self.deployment.obs().tracer().snapshot();
+                if spans.is_empty() {
+                    return Ok("no spans recorded (is observability enabled?)".to_owned());
+                }
+                let spans = match &filter {
+                    None => spans,
+                    Some(prefix) => {
+                        // Keep a span when it — or any ancestor — matches, so
+                        // `trace migrate` shows the whole protocol subtree.
+                        let by_id: HashMap<_, _> = spans.iter().map(|s| (s.id, s)).collect();
+                        let matches = |s: &jsym_core::obs::SpanRecord| {
+                            let mut cur = Some(s);
+                            while let Some(c) = cur {
+                                if c.name.starts_with(prefix.as_str()) {
+                                    return true;
+                                }
+                                cur = c.parent.and_then(|p| by_id.get(&p).copied());
+                            }
+                            false
+                        };
+                        let kept: Vec<_> = spans.iter().filter(|s| matches(s)).cloned().collect();
+                        if kept.is_empty() {
+                            return Ok(format!("no spans matching {prefix:?}"));
+                        }
+                        kept
+                    }
+                };
+                Ok(jsym_core::obs::render_tree(&spans))
+            }
             Command::Log { n } => {
                 let events = self.deployment.events().tail(n);
                 if events.is_empty() {
@@ -457,6 +514,52 @@ mod event_log_tests {
         assert!(log.contains("loaded blob.jar"), "{log}");
         assert_eq!(Command::parse("log 5").unwrap(), Command::Log { n: 5 });
         assert_eq!(Command::parse("log").unwrap(), Command::Log { n: 20 });
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+    use jsym_core::testkit::{register_test_classes, shell_with_idle_machines};
+
+    #[test]
+    fn metrics_command_renders_summary_and_json() {
+        let d = shell_with_idle_machines(3).boot();
+        register_test_classes(&d);
+        let mut s = ShellSession::new(d).unwrap();
+        s.run_line("create Counter m0");
+        s.run_line("invoke c1 add 5");
+        let metrics = s.run_line("metrics");
+        assert!(metrics.contains("rmi.calls"), "{metrics}");
+        assert!(metrics.contains("per-endpoint traffic"), "{metrics}");
+        let json = s.run_line("metrics json");
+        assert!(json.contains("\"schema\": \"jsym-obs/v1\""), "{json}");
+        assert!(json.contains("\"counters\": ["), "{json}");
+    }
+
+    #[test]
+    fn trace_command_shows_migration_protocol_subtree() {
+        let d = shell_with_idle_machines(3).boot();
+        register_test_classes(&d);
+        let mut s = ShellSession::new(d).unwrap();
+        s.run_line("create Counter m0");
+        s.run_line("migrate c1 m1");
+        let trace = s.run_line("trace migrate");
+        for step in [
+            "migrate.request",
+            "migrate.quiesce",
+            "migrate.transfer",
+            "migrate.install",
+            "migrate.confirm",
+        ] {
+            assert!(trace.contains(step), "missing {step} in:\n{trace}");
+        }
+        // The filtered view must not include unrelated spans.
+        assert!(!trace.contains("rmi.create"), "{trace}");
+        // The unfiltered view includes the RMI spans too.
+        let full = s.run_line("trace");
+        assert!(full.contains("rmi.create"), "{full}");
+        assert!(s.run_line("trace nosuchspan").contains("no spans matching"));
     }
 }
 

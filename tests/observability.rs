@@ -1,0 +1,169 @@
+//! Workspace tests of the observability subsystem end to end: RMI and
+//! migration instrumentation through a live deployment, span-tree
+//! well-formedness, JSON export parseability (via serde_json), no-op mode,
+//! and drop/rejection accounting in the per-endpoint network stats.
+
+use jsym_core::obs::{validate_spans, MetricKey};
+use jsym_core::testkit::{register_test_classes, shell_with_idle_machines};
+use jsym_core::{JsObj, MigrateTarget, Placement, Value};
+use jsym_net::NodeId;
+
+#[test]
+fn rmi_and_migration_produce_metrics_and_nested_spans() {
+    let d = shell_with_idle_machines(3).boot();
+    register_test_classes(&d);
+    let reg = d.register_app().unwrap();
+    let obj = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(1)), None).unwrap();
+    obj.sinvoke("add", &[Value::I64(5)]).unwrap();
+    let h = obj.ainvoke("add", &[Value::I64(2)]).unwrap();
+    h.get_result().unwrap();
+    obj.oinvoke("add", &[Value::I64(1)]).unwrap();
+    assert_eq!(obj.sinvoke("get", &[]).unwrap(), Value::I64(8));
+    obj.migrate(MigrateTarget::ToPhys(NodeId(2)), None).unwrap();
+
+    let snap = d.obs().snapshot();
+
+    // Counters: per-mode RMI calls keyed to the application's home node.
+    let counter = |mode: &str| {
+        snap.metrics
+            .counters
+            .get(&MetricKey::new("rmi.calls", Some(0), mode))
+            .copied()
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("sinvoke"), 2);
+    assert_eq!(counter("ainvoke"), 1);
+    assert_eq!(counter("oinvoke"), 1);
+    assert!(snap.metrics.counter_total("msg.sent") > 0);
+
+    // Histograms: caller-side latency recorded per completed round trip,
+    // and per-link traffic recorded by the network.
+    let caller = snap
+        .metrics
+        .histograms
+        .get(&MetricKey::new("rmi.caller_seconds", Some(0), "sinvoke"))
+        .expect("sinvoke caller histogram");
+    assert_eq!(caller.count, 2);
+    assert!(snap.metrics.histogram_sum("net.bytes") > 0.0);
+
+    // The span forest is well-formed (ids unique, children within parents).
+    validate_spans(&snap.spans).unwrap();
+
+    // The migration appears as one root with the protocol steps nested
+    // under it, carrying virtual timestamps.
+    let find = |name: &str| {
+        snap.spans
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("no {name} span"))
+    };
+    let root = find("migrate");
+    let request = find("migrate.request");
+    let quiesce = find("migrate.quiesce");
+    let transfer = find("migrate.transfer");
+    let install = find("migrate.install");
+    let confirm = find("migrate.confirm");
+    assert_eq!(request.parent, Some(root.id));
+    assert_eq!(quiesce.parent, Some(request.id));
+    assert_eq!(transfer.parent, Some(request.id));
+    assert_eq!(install.parent, Some(transfer.id));
+    assert_eq!(confirm.parent, Some(root.id));
+    assert!(root.start <= request.start && request.end <= root.end);
+    assert!(root.end > root.start, "migration took virtual time");
+
+    // Structural runtime events are mirrored as instant spans.
+    assert!(snap.spans.iter().any(|s| s.name == "event.object_created"));
+    assert!(snap.spans.iter().any(|s| s.name == "event.migrated"));
+
+    // The rendered tree shows the whole protocol, indented.
+    let tree = jsym_core::obs::render_tree(&snap.spans);
+    for step in [
+        "migrate.request",
+        "migrate.quiesce",
+        "migrate.transfer",
+        "migrate.install",
+        "migrate.confirm",
+    ] {
+        assert!(tree.contains(step), "missing {step} in:\n{tree}");
+    }
+
+    d.shutdown();
+}
+
+#[test]
+fn json_export_parses_and_matches_recorded_state() {
+    let d = shell_with_idle_machines(2).boot();
+    register_test_classes(&d);
+    let reg = d.register_app().unwrap();
+    let obj = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(1)), None).unwrap();
+    obj.sinvoke("add", &[Value::I64(1)]).unwrap();
+    obj.migrate(MigrateTarget::ToPhys(NodeId(0)), None).unwrap();
+
+    let json = d.obs().to_json();
+    let v: serde_json::Value = serde_json::from_str(&json).expect("export must be valid JSON");
+    assert_eq!(v["schema"], "jsym-obs/v1");
+    let counters = v["counters"].as_array().unwrap();
+    assert!(counters
+        .iter()
+        .any(|c| c["name"] == "rmi.calls" && c["component"] == "sinvoke" && c["value"] == 1));
+    let spans = v["spans"].as_array().unwrap();
+    assert!(spans.iter().any(|s| s["name"] == "migrate.transfer"));
+    // Parent links survive serialization: every non-null parent id exists.
+    let ids: std::collections::HashSet<i64> =
+        spans.iter().map(|s| s["id"].as_i64().unwrap()).collect();
+    for s in spans {
+        if let Some(p) = s["parent"].as_i64() {
+            assert!(ids.contains(&p), "orphan parent {p} in export");
+        }
+    }
+    let histograms = v["histograms"].as_array().unwrap();
+    assert!(histograms.iter().any(|h| h["name"] == "net.latency"));
+
+    d.shutdown();
+}
+
+#[test]
+fn disabled_observability_still_runs_and_records_nothing() {
+    let d = shell_with_idle_machines(2).observability(false).boot();
+    register_test_classes(&d);
+    let reg = d.register_app().unwrap();
+    let obj = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(1)), None).unwrap();
+    obj.sinvoke("add", &[Value::I64(3)]).unwrap();
+    obj.migrate(MigrateTarget::ToPhys(NodeId(0)), None).unwrap();
+    assert_eq!(obj.sinvoke("get", &[]).unwrap(), Value::I64(3));
+
+    assert!(!d.obs().is_enabled());
+    let snap = d.obs().snapshot();
+    assert!(snap.metrics.counters.is_empty());
+    assert!(snap.metrics.histograms.is_empty());
+    assert!(snap.spans.is_empty());
+    // Per-endpoint traffic accounting is independent of the obs registry.
+    assert!(d.net_stats().msgs_delivered > 0);
+
+    d.shutdown();
+}
+
+#[test]
+fn partition_rejections_show_in_endpoint_stats_and_counters() {
+    let d = shell_with_idle_machines(2).boot();
+    register_test_classes(&d);
+    let reg = d.register_app().unwrap();
+    let obj = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(1)), None).unwrap();
+    obj.sinvoke("add", &[Value::I64(1)]).unwrap();
+
+    d.network().partition(NodeId(0), NodeId(1));
+    assert!(obj.sinvoke("get", &[]).is_err(), "partitioned call must fail");
+
+    let endpoints = d.endpoint_stats();
+    let n0 = endpoints.iter().find(|e| e.node == NodeId(0)).unwrap();
+    assert!(n0.rejected_msgs >= 1, "{n0:?}");
+    assert!(n0.rejected_bytes > 0, "{n0:?}");
+    assert!(d.net_stats().msgs_rejected >= 1);
+    let snap = d.obs().snapshot();
+    assert!(snap.metrics.counter_total("net.rejected") >= 1);
+
+    // Healing restores service; the failed call never mutated the object.
+    d.network().heal(NodeId(0), NodeId(1));
+    assert_eq!(obj.sinvoke("get", &[]).unwrap(), Value::I64(1));
+    d.shutdown();
+}
