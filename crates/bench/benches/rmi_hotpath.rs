@@ -1,0 +1,133 @@
+//! Criterion micro-benches: the locality fast path (loopback RMI).
+//!
+//! Measures the real per-call overhead of a synchronous ping along four
+//! locality tiers — same-node with the loopback fast path, same-node forced
+//! through the sharded delivery plane, same-cluster (Lan100), and WAN — plus
+//! a multi-sender fan-out that contends on the delivery plane. Modeled costs
+//! are free and the time scale is tiny, so the numbers are pure runtime
+//! machinery: the fast path's win is skipping the delay-queue heap and the
+//! cross-thread hand-off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jsym_core::testkit::{register_test_classes, shell_with_idle_machines};
+use jsym_core::{CostModel, Deployment, JsObj, JsShell, MachineConfig, Placement};
+use jsym_net::{LinkClass, NodeId};
+use std::time::Duration;
+
+fn single_node(fast_path: bool) -> Deployment {
+    let d = shell_with_idle_machines(1)
+        .time_scale(1e-6)
+        .cost_model(CostModel::free())
+        .loopback_fast_path(fast_path)
+        .boot();
+    register_test_classes(&d);
+    d
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rmi_hotpath");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Same node, fast path on (the default): delivered inline on the
+    // caller's thread.
+    {
+        let d = single_node(true);
+        let reg = d.register_app().unwrap();
+        let obj = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(0)), None).unwrap();
+        g.bench_function("loopback_sinvoke_fast", |b| {
+            b.iter(|| obj.sinvoke("get", &[]).unwrap())
+        });
+        reg.unregister().unwrap();
+        d.shutdown();
+    }
+
+    // Same node, fast path disabled: every send crosses the sharded
+    // delivery plane (heap push + shard thread + hook).
+    {
+        let d = single_node(false);
+        let reg = d.register_app().unwrap();
+        let obj = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(0)), None).unwrap();
+        g.bench_function("loopback_sinvoke_slow", |b| {
+            b.iter(|| obj.sinvoke("get", &[]).unwrap())
+        });
+        reg.unregister().unwrap();
+        d.shutdown();
+    }
+
+    // Same cluster: two Lan100 machines, object on the remote one.
+    {
+        let d = shell_with_idle_machines(2)
+            .time_scale(1e-6)
+            .cost_model(CostModel::free())
+            .boot();
+        register_test_classes(&d);
+        let reg = d.register_app().unwrap();
+        let obj = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(1)), None).unwrap();
+        g.bench_function("lan100_sinvoke", |b| {
+            b.iter(|| obj.sinvoke("get", &[]).unwrap())
+        });
+        reg.unregister().unwrap();
+        d.shutdown();
+    }
+
+    // WAN: the callee sits behind a wide-area link.
+    {
+        let far = {
+            let mut m = MachineConfig::idle("far", 50.0);
+            m.link = LinkClass::Wan;
+            m
+        };
+        let d = JsShell::new()
+            .add_machine(MachineConfig::idle("near", 50.0))
+            .add_machine(far)
+            .time_scale(1e-6)
+            .monitor_period(1.0)
+            .failure_timeout(1e9)
+            .cost_model(CostModel::free())
+            .boot();
+        register_test_classes(&d);
+        let reg = d.register_app().unwrap();
+        let obj = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(1)), None).unwrap();
+        g.bench_function("wan_sinvoke", |b| {
+            b.iter(|| obj.sinvoke("get", &[]).unwrap())
+        });
+        reg.unregister().unwrap();
+        d.shutdown();
+    }
+
+    // Multi-sender contention: eight asynchronous pings fanned out over
+    // three remote nodes, all in flight at once, then drained. Exercises
+    // the sharded delivery plane under concurrent senders.
+    {
+        let d = shell_with_idle_machines(4)
+            .time_scale(1e-6)
+            .cost_model(CostModel::free())
+            .boot();
+        register_test_classes(&d);
+        let reg = d.register_app().unwrap();
+        let objs: Vec<JsObj> = (1..4)
+            .map(|i| {
+                JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(i)), None).unwrap()
+            })
+            .collect();
+        g.bench_function("ainvoke_fanout_3nodes", |b| {
+            b.iter(|| {
+                let handles: Vec<_> = (0..8)
+                    .map(|i| objs[i % objs.len()].ainvoke("get", &[]).unwrap())
+                    .collect();
+                for h in handles {
+                    h.get_result().unwrap();
+                }
+            })
+        });
+        reg.unregister().unwrap();
+        d.shutdown();
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_hotpath);
+criterion_main!(benches);

@@ -11,6 +11,7 @@
 use crate::calltable::{Reissue, Slot};
 use crate::error::JsError;
 use crate::ids::{AgentAddr, AgentKind, AppId, IdGen, ObjectHandle, ObjectId, ReqId};
+use crate::intern::Sym;
 use crate::msg::Msg;
 use crate::runtime::{obs_now, NodeShared};
 use crate::value::{args_wire_size, Value};
@@ -107,7 +108,7 @@ impl AppShared {
                 req,
                 reply_to: self.addr(),
                 obj,
-                class: class.to_owned(),
+                class: Sym::intern(class),
                 args: args.to_vec(),
                 origin: self.addr(),
             },
@@ -142,7 +143,7 @@ impl AppShared {
                 req,
                 reply_to: self.addr(),
                 obj,
-                class: class.to_owned(),
+                class: Sym::intern(class),
                 state,
                 origin: self.addr(),
             },
@@ -178,7 +179,7 @@ impl AppShared {
                 req,
                 reply_to: self.addr(),
                 obj,
-                class: class.to_owned(),
+                class: Sym::intern(class),
                 state,
                 origin: self.addr(),
             },
@@ -222,7 +223,7 @@ impl AppShared {
             req,
             reply_to: want_reply.then(|| self.addr()),
             obj,
-            method: method.to_owned(),
+            method: Sym::intern(method),
             args: args.to_vec(),
         };
         if let Err(e) = node.send(AgentAddr::pub_oa(loc), msg) {
@@ -365,8 +366,8 @@ impl AppShared {
         let msg = Msg::StaticInvoke {
             req,
             reply_to: want_reply.then(|| self.addr()),
-            class: class.to_owned(),
-            method: method.to_owned(),
+            class: Sym::intern(class),
+            method: Sym::intern(method),
             args: args.to_vec(),
         };
         if let Err(e) = node.send(AgentAddr::pub_oa(target), msg) {

@@ -10,6 +10,7 @@
 
 use crate::error::JsError;
 use crate::ids::ObjectHandle;
+use crate::intern::Sym;
 use crate::value::Value;
 use crate::Result;
 use jsym_net::{NodeId, VirtTime};
@@ -126,10 +127,13 @@ struct ClassDef {
 
 /// The deployment-wide registry of distributed classes.
 ///
-/// Cloning shares the registry.
+/// Cloning shares the registry. Internally keyed by interned [`Sym`]s: the
+/// public `&str` API interns once on entry (class registration and
+/// app-facing lookups), while the dispatch hot path in the PubOA uses the
+/// `*_sym` variants and never hashes a string.
 #[derive(Clone)]
 pub struct ClassRegistry {
-    map: Arc<RwLock<HashMap<String, ClassDef>>>,
+    map: Arc<RwLock<HashMap<Sym, ClassDef>>>,
 }
 
 impl ClassRegistry {
@@ -140,10 +144,20 @@ impl ClassRegistry {
         }
     }
 
+    fn def(&self, class: Sym) -> Result<ClassDef> {
+        self.map
+            .read()
+            .get(&class)
+            .cloned()
+            .ok_or_else(|| JsError::UnknownClass(class.as_str().to_owned()))
+    }
+
     /// Registers a class with explicit constructor and restore functions.
     ///
     /// `artifact` names the codebase artifact carrying this class's
     /// byte-code; `None` marks a system class that is preloaded everywhere.
+    /// Registration is where the class name enters the symbol table (the
+    /// paper's registration broadcast syncing node-local name tables).
     pub fn register_raw(
         &self,
         name: &str,
@@ -152,7 +166,7 @@ impl ClassRegistry {
         restore: impl Fn(&[u8]) -> Result<Box<dyn JsClass>> + Send + Sync + 'static,
     ) {
         self.map.write().insert(
-            name.to_owned(),
+            Sym::intern(name),
             ClassDef {
                 artifact: artifact.map(str::to_owned),
                 ctor: Arc::new(ctor),
@@ -171,7 +185,7 @@ impl ClassRegistry {
     {
         let mut map = self.map.write();
         let def = map
-            .get_mut(name)
+            .get_mut(&Sym::intern(name))
             .ok_or_else(|| JsError::UnknownClass(name.to_owned()))?;
         def.static_ctor = Some(Arc::new(ctor));
         Ok(())
@@ -180,16 +194,14 @@ impl ClassRegistry {
     /// Instantiates the class's static context (one per node, created
     /// lazily by the PubOA on first static invocation).
     pub fn create_static(&self, name: &str) -> Result<Box<dyn JsClass>> {
-        let def = self
-            .map
-            .read()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| JsError::UnknownClass(name.to_owned()))?;
-        match def.static_ctor {
+        self.create_static_sym(Sym::intern(name))
+    }
+
+    pub(crate) fn create_static_sym(&self, class: Sym) -> Result<Box<dyn JsClass>> {
+        match self.def(class)?.static_ctor {
             Some(ctor) => ctor(),
             None => Err(JsError::NoSuchMethod {
-                class: name.to_owned(),
+                class: class.as_str().to_owned(),
                 method: "<static context>".to_owned(),
             }),
         }
@@ -197,9 +209,13 @@ impl ClassRegistry {
 
     /// Whether the class declares a static context.
     pub fn has_static(&self, name: &str) -> bool {
+        self.has_static_sym(Sym::intern(name))
+    }
+
+    pub(crate) fn has_static_sym(&self, class: Sym) -> bool {
         self.map
             .read()
-            .get(name)
+            .get(&class)
             .is_some_and(|d| d.static_ctor.is_some())
     }
 
@@ -224,44 +240,53 @@ impl ClassRegistry {
 
     /// Instantiates a class from constructor arguments.
     pub fn create(&self, name: &str, args: &[Value]) -> Result<Box<dyn JsClass>> {
-        let def = self
-            .map
-            .read()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| JsError::UnknownClass(name.to_owned()))?;
-        (def.ctor)(args)
+        self.create_sym(Sym::intern(name), args)
+    }
+
+    pub(crate) fn create_sym(&self, class: Sym, args: &[Value]) -> Result<Box<dyn JsClass>> {
+        (self.def(class)?.ctor)(args)
     }
 
     /// Reconstructs an instance from a state snapshot (migration arrival,
     /// persistent load).
     pub fn restore(&self, name: &str, bytes: &[u8]) -> Result<Box<dyn JsClass>> {
-        let def = self
-            .map
-            .read()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| JsError::UnknownClass(name.to_owned()))?;
-        (def.restore)(bytes)
+        self.restore_sym(Sym::intern(name), bytes)
+    }
+
+    pub(crate) fn restore_sym(&self, class: Sym, bytes: &[u8]) -> Result<Box<dyn JsClass>> {
+        (self.def(class)?.restore)(bytes)
     }
 
     /// The artifact carrying this class, or `None` for preloaded classes.
     pub fn artifact_of(&self, name: &str) -> Result<Option<String>> {
+        self.artifact_of_sym(Sym::intern(name))
+    }
+
+    pub(crate) fn artifact_of_sym(&self, class: Sym) -> Result<Option<String>> {
         self.map
             .read()
-            .get(name)
+            .get(&class)
             .map(|d| d.artifact.clone())
-            .ok_or_else(|| JsError::UnknownClass(name.to_owned()))
+            .ok_or_else(|| JsError::UnknownClass(class.as_str().to_owned()))
     }
 
     /// Whether the class is registered.
     pub fn contains(&self, name: &str) -> bool {
-        self.map.read().contains_key(name)
+        self.contains_sym(Sym::intern(name))
+    }
+
+    pub(crate) fn contains_sym(&self, class: Sym) -> bool {
+        self.map.read().contains_key(&class)
     }
 
     /// Names of all registered classes (sorted; for diagnostics).
     pub fn class_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.map.read().keys().cloned().collect();
+        let mut v: Vec<String> = self
+            .map
+            .read()
+            .keys()
+            .map(|s| s.as_str().to_owned())
+            .collect();
         v.sort();
         v
     }

@@ -1,0 +1,126 @@
+//! Symbol interning for class and method names.
+//!
+//! The runtime's messages used to carry freshly allocated `String` class and
+//! method names on every hop; dispatch then re-hashed those strings in the
+//! registry and statics tables. Class and method names form a small, finite
+//! vocabulary fixed at class-registration time, so we intern them once into
+//! [`Sym`]s — a `u32` id plus a leaked `&'static str` — and pass those around
+//! by copy. Comparison and hashing touch only the id; `as_str` is a stored
+//! pointer, not a table lookup.
+//!
+//! The interner is process-global, which models the paper's node-local
+//! name tables kept in sync at class-registration time (every node learns a
+//! class's name before it can host or call it — the same registration
+//! broadcast that ships the class id ships the symbol). Leaking is deliberate
+//! and bounded: only registered class names and invoked method names ever
+//! enter the table.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
+
+/// An interned class or method name. Copyable; equality and hashing use the
+/// `u32` id only.
+#[derive(Clone, Copy)]
+pub(crate) struct Sym {
+    id: u32,
+    s: &'static str,
+}
+
+static INTERNER: OnceLock<RwLock<HashMap<&'static str, u32>>> = OnceLock::new();
+
+fn table() -> &'static RwLock<HashMap<&'static str, u32>> {
+    INTERNER.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+impl Sym {
+    /// Interns `s`, returning its symbol. Idempotent; the common case (name
+    /// already known) is a single read-locked hash lookup.
+    pub(crate) fn intern(s: &str) -> Sym {
+        let t = table();
+        if let Some((&k, &id)) = t.read().get_key_value(s) {
+            return Sym { id, s: k };
+        }
+        let mut map = t.write();
+        if let Some((&k, &id)) = map.get_key_value(s) {
+            return Sym { id, s: k };
+        }
+        let id = u32::try_from(map.len()).expect("interner overflow");
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        map.insert(leaked, id);
+        Sym { id, s: leaked }
+    }
+
+    /// The interned text. Free: the symbol carries the pointer.
+    pub(crate) fn as_str(self) -> &'static str {
+        self.s
+    }
+}
+
+impl PartialEq for Sym {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+impl Eq for Sym {}
+
+impl Hash for Sym {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u32(self.id);
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.s)
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(sym: Sym) -> u64 {
+        let mut h = DefaultHasher::new();
+        sym.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_pointer_stable() {
+        let a = Sym::intern("Counter");
+        let b = Sym::intern(&String::from("Counter"));
+        assert_eq!(a, b);
+        assert_eq!(hash_of(a), hash_of(b));
+        // Same leaked storage, not merely equal text.
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+        assert_eq!(a.as_str(), "Counter");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        let a = Sym::intern("intern-test-a");
+        let b = Sym::intern("intern-test-b");
+        assert_ne!(a, b);
+        assert_eq!(a.to_string(), "intern-test-a");
+        assert_eq!(format!("{b:?}"), "\"intern-test-b\"");
+    }
+
+    #[test]
+    fn wire_size_parity_with_raw_strings() {
+        // The cost model charges name bytes via as_str().len(); interning
+        // must not change the analytic wire size.
+        for name in ["m", "add_to", "a much longer method name"] {
+            assert_eq!(Sym::intern(name).as_str().len(), name.len());
+        }
+    }
+}

@@ -54,6 +54,7 @@ mod cost;
 mod error;
 mod events;
 mod ids;
+mod intern;
 mod jsobj;
 mod msg;
 mod na;

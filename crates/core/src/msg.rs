@@ -7,6 +7,7 @@
 
 use crate::error::JsError;
 use crate::ids::{AgentAddr, AgentKind, ObjectId, ReqId};
+use crate::intern::Sym;
 use crate::value::{args_wire_size, Args, Value};
 use jsym_net::NodeId;
 use jsym_sysmon::SysSnapshot;
@@ -34,11 +35,17 @@ pub(crate) enum ReportLevel {
 pub(crate) enum Msg {
     // ---------------------------------------------------------------- OAS
     /// Create an object instance of `class` on the receiving PubOA.
+    ///
+    /// Class and method names travel as interned [`Sym`]s: a `u32` symbol id
+    /// on the (modeled) wire, resolved against the node-local name table
+    /// synced at class-registration time. The cost model still charges the
+    /// full name bytes — Java RMI serializes the string — via
+    /// [`Sym::as_str`].
     CreateObject {
         req: ReqId,
         reply_to: AgentAddr,
         obj: ObjectId,
-        class: String,
+        class: Sym,
         args: Args,
         origin: AgentAddr,
     },
@@ -47,7 +54,7 @@ pub(crate) enum Msg {
         req: ReqId,
         reply_to: AgentAddr,
         obj: ObjectId,
-        class: String,
+        class: Sym,
         state: Vec<u8>,
         origin: AgentAddr,
     },
@@ -59,7 +66,7 @@ pub(crate) enum Msg {
         req: ReqId,
         reply_to: Option<AgentAddr>,
         obj: ObjectId,
-        method: String,
+        method: Sym,
         args: Args,
     },
     /// Completion of a request.
@@ -92,7 +99,7 @@ pub(crate) enum Msg {
         req: ReqId,
         reply_to: AgentAddr,
         obj: ObjectId,
-        class: String,
+        class: Sym,
         state: Vec<u8>,
         origin: AgentAddr,
         /// Wire-encoded tracing span of the sender's transfer step, parent
@@ -135,8 +142,8 @@ pub(crate) enum Msg {
     StaticInvoke {
         req: ReqId,
         reply_to: Option<AgentAddr>,
-        class: String,
-        method: String,
+        class: Sym,
+        method: Sym,
         args: Args,
     },
 }
@@ -146,10 +153,16 @@ impl Msg {
     pub(crate) fn wire_size(&self) -> usize {
         const HDR: usize = 48; // addressing, ids, protocol framing
         match self {
-            Msg::CreateObject { class, args, .. } => HDR + 32 + class.len() + args_wire_size(args),
-            Msg::CreateFromState { class, state, .. } => HDR + 32 + class.len() + state.len(),
+            Msg::CreateObject { class, args, .. } => {
+                HDR + 32 + class.as_str().len() + args_wire_size(args)
+            }
+            Msg::CreateFromState { class, state, .. } => {
+                HDR + 32 + class.as_str().len() + state.len()
+            }
             Msg::FreeObject { .. } => HDR,
-            Msg::Invoke { method, args, .. } => HDR + 16 + method.len() + args_wire_size(args),
+            Msg::Invoke { method, args, .. } => {
+                HDR + 16 + method.as_str().len() + args_wire_size(args)
+            }
             Msg::Reply { result, .. } => {
                 HDR + match result {
                     Ok(v) => v.wire_size(),
@@ -158,7 +171,9 @@ impl Msg {
             }
             Msg::WhereIs { .. } => HDR + 8,
             Msg::MigrateRequest { .. } => HDR + 16,
-            Msg::MigrateTransfer { class, state, .. } => HDR + 32 + class.len() + state.len(),
+            Msg::MigrateTransfer { class, state, .. } => {
+                HDR + 32 + class.as_str().len() + state.len()
+            }
             Msg::StoreObject { key, .. } => HDR + 8 + key.as_deref().map_or(0, str::len),
             Msg::LoadArtifact { name, bytes, .. } => HDR + name.len() + bytes,
             Msg::UnloadArtifact { name, .. } => HDR + name.len(),
@@ -170,7 +185,7 @@ impl Msg {
                 method,
                 args,
                 ..
-            } => HDR + 16 + class.len() + method.len() + args_wire_size(args),
+            } => HDR + 16 + class.as_str().len() + method.as_str().len() + args_wire_size(args),
         }
     }
 
@@ -199,14 +214,14 @@ mod tests {
             req: IdGen::req(),
             reply_to: Some(addr()),
             obj: ObjectId(1),
-            method: "m".into(),
+            method: Sym::intern("m"),
             args: vec![],
         };
         let big = Msg::Invoke {
             req: IdGen::req(),
             reply_to: Some(addr()),
             obj: ObjectId(1),
-            method: "m".into(),
+            method: Sym::intern("m"),
             args: vec![Value::floats(vec![0.0; 1000])],
         };
         assert!(big.wire_size() > small.wire_size() + 3900);
@@ -218,7 +233,7 @@ mod tests {
             req: IdGen::req(),
             reply_to: addr(),
             obj: ObjectId(1),
-            class: "C".into(),
+            class: Sym::intern("C"),
             state: vec![0; 5000],
             origin: addr(),
             span: 0,

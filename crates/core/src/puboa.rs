@@ -11,6 +11,7 @@
 use crate::class::InvokeCtx;
 use crate::error::JsError;
 use crate::ids::{AgentAddr, IdGen, ObjectId};
+use crate::intern::Sym;
 use crate::msg::Msg;
 use crate::runtime::{obs_now, spawn_worker, NodeClient, NodeShared, ObjEntry};
 use crate::value::{args_wire_size, Value};
@@ -33,7 +34,7 @@ pub(crate) fn handle(shared: &Arc<NodeShared>, src: NodeId, msg: Msg) {
         } => {
             let sh = Arc::clone(shared);
             spawn_worker(shared, "create", move || {
-                let result = create_object(&sh, obj, &class, &args, origin);
+                let result = create_object(&sh, obj, class, &args, origin);
                 sh.send_reply(reply_to, req, result);
             });
         }
@@ -47,7 +48,7 @@ pub(crate) fn handle(shared: &Arc<NodeShared>, src: NodeId, msg: Msg) {
         } => {
             let sh = Arc::clone(shared);
             spawn_worker(shared, "restore", move || {
-                let result = install_from_state(&sh, obj, &class, &state, origin);
+                let result = install_from_state(&sh, obj, class, &state, origin);
                 sh.send_reply(reply_to, req, result);
             });
         }
@@ -79,7 +80,7 @@ pub(crate) fn handle(shared: &Arc<NodeShared>, src: NodeId, msg: Msg) {
                     exec.submit(
                         shared,
                         Box::new(move || {
-                            let result = execute(&sh, obj, &method, &args);
+                            let result = execute(&sh, obj, method, &args);
                             if let Some(to) = reply_to {
                                 sh.send_reply(to, req, result);
                             }
@@ -117,7 +118,7 @@ pub(crate) fn handle(shared: &Arc<NodeShared>, src: NodeId, msg: Msg) {
         } => {
             let sh = Arc::clone(shared);
             spawn_worker(shared, "migrate-in", move || {
-                let result = migrate_in(&sh, obj, &class, &state, origin, SpanId::from_wire(span));
+                let result = migrate_in(&sh, obj, class, &state, origin, SpanId::from_wire(span));
                 sh.send_reply(reply_to, req, result);
             });
         }
@@ -185,7 +186,7 @@ pub(crate) fn handle(shared: &Arc<NodeShared>, src: NodeId, msg: Msg) {
         } => {
             // Resolve (or lazily create) the class's static context, then
             // run through its per-context FIFO executor like any object.
-            match static_entry(shared, &class) {
+            match static_entry(shared, class) {
                 Ok(entry) => {
                     let sh = Arc::clone(shared);
                     let exec = Arc::clone(&entry.exec);
@@ -193,7 +194,7 @@ pub(crate) fn handle(shared: &Arc<NodeShared>, src: NodeId, msg: Msg) {
                     exec.submit(
                         shared,
                         Box::new(move || {
-                            let result = execute_static(&sh, &instance, &method, &args);
+                            let result = execute_static(&sh, &instance, method, &args);
                             if let Some(to) = reply_to {
                                 sh.send_reply(to, req, result);
                             }
@@ -215,23 +216,19 @@ pub(crate) fn handle(shared: &Arc<NodeShared>, src: NodeId, msg: Msg) {
 
 /// Resolves the per-node static context of `class`, creating it on first
 /// use. Selective classloading applies: the class's artifact must be here.
-fn static_entry(shared: &Arc<NodeShared>, class: &str) -> Result<ObjEntry> {
-    if let Some(entry) = shared.statics.lock().get(class).cloned() {
+fn static_entry(shared: &Arc<NodeShared>, class: Sym) -> Result<ObjEntry> {
+    if let Some(entry) = shared.statics.lock().get(&class).cloned() {
         return Ok(entry);
     }
     check_class_available(shared, class)?;
-    let instance = shared.classes.create_static(class)?;
+    let instance = shared.classes.create_static_sym(class)?;
     let mut statics = shared.statics.lock();
     // Double-checked: another worker may have created it meanwhile.
-    if let Some(entry) = statics.get(class).cloned() {
+    if let Some(entry) = statics.get(&class).cloned() {
         return Ok(entry);
     }
-    let entry = ObjEntry::new(
-        class.to_owned(),
-        crate::ids::AgentAddr::pub_oa(shared.phys),
-        instance,
-    );
-    statics.insert(class.to_owned(), entry.clone());
+    let entry = ObjEntry::new(class, crate::ids::AgentAddr::pub_oa(shared.phys), instance);
+    statics.insert(class, entry.clone());
     Ok(entry)
 }
 
@@ -240,7 +237,7 @@ fn static_entry(shared: &Arc<NodeShared>, class: &str) -> Result<ObjEntry> {
 fn execute_static(
     shared: &Arc<NodeShared>,
     instance: &Arc<parking_lot::Mutex<Box<dyn crate::JsClass>>>,
-    method: &str,
+    method: Sym,
     args: &[Value],
 ) -> Result<Value> {
     shared
@@ -251,21 +248,21 @@ fn execute_static(
         shared: Arc::clone(shared),
     };
     let mut ctx = InvokeCtx::new(&shared.machine, shared.phys, &client);
-    let out = guard.invoke(method, args, &mut ctx);
+    let out = guard.invoke(method.as_str(), args, &mut ctx);
     shared.stats.invocations.fetch_add(1, Ordering::Relaxed);
     out
 }
 
 /// Whether `class` may be instantiated here under selective classloading.
-fn check_class_available(shared: &NodeShared, class: &str) -> Result<()> {
-    match shared.classes.artifact_of(class)? {
+fn check_class_available(shared: &NodeShared, class: Sym) -> Result<()> {
+    match shared.classes.artifact_of_sym(class)? {
         None => Ok(()), // preloaded system class
         Some(artifact) => {
             if shared.loaded.lock().contains(&artifact) {
                 Ok(())
             } else {
                 Err(JsError::ClassNotLoaded {
-                    class: class.to_owned(),
+                    class: class.as_str().to_owned(),
                     node: shared.phys,
                 })
             }
@@ -276,7 +273,7 @@ fn check_class_available(shared: &NodeShared, class: &str) -> Result<()> {
 fn create_object(
     shared: &Arc<NodeShared>,
     obj: ObjectId,
-    class: &str,
+    class: Sym,
     args: &[Value],
     origin: AgentAddr,
 ) -> Result<Value> {
@@ -284,17 +281,17 @@ fn create_object(
     shared
         .machine
         .compute(shared.cost.create_flops + shared.cost.invoke_callee(args_wire_size(args)));
-    let instance = shared.classes.create(class, args)?;
+    let instance = shared.classes.create_sym(class, args)?;
     shared
         .objects
         .lock()
-        .insert(obj, ObjEntry::new(class.to_owned(), origin, instance));
+        .insert(obj, ObjEntry::new(class, origin, instance));
     shared.stats.creations.fetch_add(1, Ordering::Relaxed);
     shared.events.record(
         shared.clock.now(),
         crate::RuntimeEvent::ObjectCreated {
             obj,
-            class: class.to_owned(),
+            class: class.as_str().to_owned(),
             node: shared.phys,
         },
     );
@@ -304,17 +301,17 @@ fn create_object(
 fn install_from_state(
     shared: &Arc<NodeShared>,
     obj: ObjectId,
-    class: &str,
+    class: Sym,
     state: &[u8],
     origin: AgentAddr,
 ) -> Result<Value> {
     check_class_available(shared, class)?;
     shared.machine.compute(shared.cost.state_cost(state.len()));
-    let instance = shared.classes.restore(class, state)?;
+    let instance = shared.classes.restore_sym(class, state)?;
     shared
         .objects
         .lock()
-        .insert(obj, ObjEntry::new(class.to_owned(), origin, instance));
+        .insert(obj, ObjEntry::new(class, origin, instance));
     shared.events.record(
         shared.clock.now(),
         crate::RuntimeEvent::ObjectRestored {
@@ -326,7 +323,7 @@ fn install_from_state(
 }
 
 /// Executes a method on a hosted object.
-fn execute(shared: &Arc<NodeShared>, obj: ObjectId, method: &str, args: &[Value]) -> Result<Value> {
+fn execute(shared: &Arc<NodeShared>, obj: ObjectId, method: Sym, args: &[Value]) -> Result<Value> {
     // Callee-side dispatch + argument unmarshalling.
     shared
         .machine
@@ -349,7 +346,7 @@ fn execute(shared: &Arc<NodeShared>, obj: ObjectId, method: &str, args: &[Value]
     };
     let mut ctx = InvokeCtx::new(&shared.machine, shared.phys, &client);
     let start = obs_now(shared);
-    let out = instance.invoke(method, args, &mut ctx);
+    let out = instance.invoke(method.as_str(), args, &mut ctx);
     if shared.obs.is_enabled() {
         shared
             .obs
@@ -425,7 +422,7 @@ fn migrate_out(
             req,
             reply_to: AgentAddr::pub_oa(shared.phys),
             obj,
-            class: entry.class.clone(),
+            class: entry.class,
             state,
             origin: entry.origin,
             span: SpanId::to_wire(transfer.id()),
@@ -460,7 +457,7 @@ fn migrate_out(
 fn migrate_in(
     shared: &Arc<NodeShared>,
     obj: ObjectId,
-    class: &str,
+    class: Sym,
     state: &[u8],
     origin: AgentAddr,
     parent: Option<SpanId>,
@@ -474,11 +471,11 @@ fn migrate_in(
         .parent(parent)
         .attr("obj", obj);
     shared.machine.compute(shared.cost.state_cost(state.len()));
-    let instance = shared.classes.restore(class, state)?;
+    let instance = shared.classes.restore_sym(class, state)?;
     shared
         .objects
         .lock()
-        .insert(obj, ObjEntry::new(class.to_owned(), origin, instance));
+        .insert(obj, ObjEntry::new(class, origin, instance));
     shared.stats.migrations_in.fetch_add(1, Ordering::Relaxed);
     shared.location_cache.lock().remove(&obj);
     install.finish(obs_now(shared));
@@ -502,7 +499,7 @@ fn store_object(shared: &Arc<NodeShared>, obj: ObjectId, key: Option<String>) ->
         instance.snapshot()?
     };
     shared.machine.compute(shared.cost.state_cost(state.len()));
-    let key = shared.store.put(key, &entry.class, state);
+    let key = shared.store.put(key, entry.class.as_str(), state);
     shared.stats.stores.fetch_add(1, Ordering::Relaxed);
     shared.events.record(
         shared.clock.now(),

@@ -7,6 +7,7 @@ use crate::class::{ClassRegistry, ObjectCaller};
 use crate::cost::CostModel;
 use crate::error::JsError;
 use crate::ids::{AgentAddr, AgentKind, IdGen, ObjectHandle, ObjectId, ReqId};
+use crate::intern::Sym;
 use crate::msg::{Msg, Packet};
 use crate::na::NaState;
 use crate::persist::ObjectStore;
@@ -25,7 +26,7 @@ use std::time::Duration;
 /// remote-objects-table).
 #[derive(Clone)]
 pub(crate) struct ObjEntry {
-    pub class: String,
+    pub class: Sym,
     /// The AppOA this object originates from — the location authority.
     pub origin: AgentAddr,
     /// The instance; the mutex serializes method execution per object and is
@@ -37,7 +38,7 @@ pub(crate) struct ObjEntry {
 }
 
 impl ObjEntry {
-    pub(crate) fn new(class: String, origin: AgentAddr, instance: Box<dyn crate::JsClass>) -> Self {
+    pub(crate) fn new(class: Sym, origin: AgentAddr, instance: Box<dyn crate::JsClass>) -> Self {
         ObjEntry {
             class,
             origin,
@@ -149,7 +150,7 @@ pub(crate) struct NodeShared {
     /// The PubOA's remote-objects-table.
     pub objects: Mutex<HashMap<ObjectId, ObjEntry>>,
     /// Per-class static contexts hosted on this node (lazily created).
-    pub statics: Mutex<HashMap<String, ObjEntry>>,
+    pub statics: Mutex<HashMap<Sym, ObjEntry>>,
     /// Codebase artifacts present on this node (selective classloading).
     pub loaded: Mutex<HashSet<String>>,
     /// AppOAs homed on this node.
@@ -298,7 +299,7 @@ impl NodeShared {
                 req,
                 reply_to: Some(AgentAddr::pub_oa(self.phys)),
                 obj,
-                method: method.to_owned(),
+                method: Sym::intern(method),
                 args: args.to_vec(),
             },
         )?;
@@ -389,7 +390,7 @@ pub(crate) fn run_receiver(shared: Arc<NodeShared>, rx: Receiver<Envelope>) {
     shared.calls.fail_all(JsError::ShuttingDown);
 }
 
-fn dispatch(shared: &Arc<NodeShared>, env: Envelope) {
+pub(crate) fn dispatch(shared: &Arc<NodeShared>, env: Envelope) {
     let src = env.src;
     let packet = match env.payload.downcast::<Packet>() {
         Ok(p) => *p,
@@ -430,9 +431,14 @@ pub(crate) fn spawn_worker(
 /// nested-invocation chains — so the runtime can never deadlock on pool
 /// exhaustion.
 pub(crate) struct WorkerPool {
+    label: String,
     tx: crossbeam::channel::Sender<Job>,
     resident: u32,
     active: Arc<AtomicU32>,
+    /// Transient-thread fallbacks taken because every resident worker was
+    /// busy; exposed via [`crate::NodeStats`] so bench runs can detect pool
+    /// exhaustion.
+    transient_spawns: AtomicU64,
 }
 
 impl WorkerPool {
@@ -454,19 +460,23 @@ impl WorkerPool {
                 .expect("spawn pool worker");
         }
         WorkerPool {
+            label: label.to_owned(),
             tx,
             resident,
             active,
+            transient_spawns: AtomicU64::new(0),
         }
     }
 
     pub(crate) fn submit(&self, name: &str, job: Job) {
         // All resident workers busy (likely blocked on nested calls or long
         // computations): overflow to a transient thread so progress is
-        // never gated on pool capacity.
+        // never gated on pool capacity. The transient thread carries the
+        // pool's label so `ps`/profilers can attribute it to its node.
         if self.active.load(Ordering::Relaxed) >= self.resident {
+            self.transient_spawns.fetch_add(1, Ordering::Relaxed);
             let _ = std::thread::Builder::new()
-                .name(format!("jsym-ovf-{name}"))
+                .name(format!("jsym-{}-ovf-{name}", self.label))
                 .spawn(job);
             return;
         }
@@ -474,6 +484,11 @@ impl WorkerPool {
             // Pool torn down mid-shutdown: run nothing.
             drop(e);
         }
+    }
+
+    /// How often submissions overflowed to a transient thread.
+    pub(crate) fn transient_spawns(&self) -> u64 {
+        self.transient_spawns.load(Ordering::Relaxed)
     }
 }
 
@@ -535,6 +550,28 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         panic!("not all jobs completed: {}", done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn transient_overflow_threads_carry_pool_label_and_are_counted() {
+        let pool = WorkerPool::new("t9", 1);
+        assert_eq!(pool.transient_spawns(), 0);
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let g = Arc::clone(&gate);
+        pool.submit("blocker", Box::new(move || g.wait()));
+        std::thread::sleep(Duration::from_millis(20));
+        let (name_tx, name_rx) = crossbeam::channel::bounded::<String>(1);
+        pool.submit(
+            "probe",
+            Box::new(move || {
+                let name = std::thread::current().name().unwrap_or("").to_owned();
+                let _ = name_tx.send(name);
+            }),
+        );
+        let name = name_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(name, "jsym-t9-ovf-probe");
+        assert_eq!(pool.transient_spawns(), 1);
+        gate.wait();
     }
 
     #[test]

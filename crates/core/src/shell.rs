@@ -70,6 +70,8 @@ pub struct JsShell {
     store: Option<ObjectStore>,
     shared_segments: Vec<LinkClass>,
     observability: bool,
+    loopback_fast_path: bool,
+    delivery_shards: usize,
 }
 
 impl JsShell {
@@ -89,6 +91,8 @@ impl JsShell {
             store: None,
             shared_segments: Vec::new(),
             observability: true,
+            loopback_fast_path: jsym_net::NetworkConfig::default().loopback_fast_path,
+            delivery_shards: jsym_net::NetworkConfig::default().delivery_shards,
         }
     }
 
@@ -173,6 +177,24 @@ impl JsShell {
         self
     }
 
+    /// Enables or disables the loopback fast path: same-node sends whose
+    /// modeled arrival is imminent are delivered inline on the caller's
+    /// thread instead of crossing the delivery plane. On by default;
+    /// disable to force every send through the shared delivery heaps
+    /// (useful for differential testing — results and charged wire bytes
+    /// are identical either way).
+    pub fn loopback_fast_path(mut self, enabled: bool) -> Self {
+        self.loopback_fast_path = enabled;
+        self
+    }
+
+    /// Sets the number of delivery-plane shards (per-destination heaps
+    /// served by dedicated threads). Clamped to at least 1.
+    pub fn delivery_shards(mut self, shards: usize) -> Self {
+        self.delivery_shards = shards.max(1);
+        self
+    }
+
     /// Boots the deployment: spawns every node runtime and the NAS.
     pub fn boot(self) -> Deployment {
         let clock = SimClock::new(self.time_scale);
@@ -192,6 +214,8 @@ impl JsShell {
                 topo,
                 jsym_net::NetworkConfig {
                     shared_segments: self.shared_segments.clone(),
+                    loopback_fast_path: self.loopback_fast_path,
+                    delivery_shards: self.delivery_shards,
                     ..jsym_net::NetworkConfig::default()
                 },
                 obs.clone(),
@@ -312,6 +336,8 @@ pub struct NodeStats {
     pub objects_hosted: usize,
     /// Monitoring rounds completed by the NA.
     pub monitor_rounds: u64,
+    /// Transient worker threads spawned because the resident pool was full.
+    pub transient_workers: u64,
 }
 
 impl Deployment {
@@ -353,6 +379,24 @@ impl Deployment {
             workers: runtime::WorkerPool::new(&format!("{phys}"), 3),
             shutdown: AtomicBool::new(false),
         });
+        // Local deliveries (loopback fast path and same-node slow path)
+        // bypass the mailbox and dispatch straight into the runtime. The
+        // hook holds the node weakly: shutdown drops the runtime even if
+        // the network outlives it, and a hook firing during teardown is a
+        // no-op.
+        {
+            let weak = Arc::downgrade(&shared);
+            inner.network.set_local_hook(
+                phys,
+                Arc::new(move |env| {
+                    if let Some(sh) = weak.upgrade() {
+                        if !sh.shutdown.load(Ordering::Relaxed) {
+                            runtime::dispatch(&sh, env);
+                        }
+                    }
+                }),
+            );
+        }
         let mut threads = Vec::new();
         {
             let sh = Arc::clone(&shared);
@@ -555,6 +599,7 @@ impl Deployment {
             stores: s.stores.load(Ordering::Relaxed),
             objects_hosted,
             monitor_rounds: h.shared.na.rounds.load(Ordering::Relaxed),
+            transient_workers: h.shared.workers.transient_spawns(),
         })
     }
 

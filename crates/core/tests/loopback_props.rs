@@ -1,0 +1,127 @@
+//! Differential property tests for the loopback fast path.
+//!
+//! The fast path is a pure transport optimisation: a same-node send whose
+//! modeled arrival is imminent is delivered inline on the caller's thread
+//! instead of crossing the sharded delivery plane. Nothing observable may
+//! change. These tests run the same random program twice — fast path on and
+//! forced off — and require identical invocation results (which encode the
+//! per-object execution order, since one-sided and synchronous calls to the
+//! same object interleave), identical charged wire bytes, and identical
+//! message counts.
+
+use jsym_core::testkit::register_test_classes;
+use jsym_core::{CostModel, JsObj, JsShell, MachineConfig, Placement, Value};
+use jsym_net::NodeId;
+use proptest::prelude::*;
+
+/// One step of the random single-node program, acting on one of two
+/// counters. Synchronous adds return the running value (order-sensitive);
+/// one-sided adds and sets apply in issue order under the per-pair FIFO
+/// guarantee, so the next synchronous result observes them.
+#[derive(Clone, Debug)]
+enum Op {
+    SyncAdd(u8, i64),
+    OneSidedAdd(u8, i64),
+    OneSidedSet(u8, i64),
+    SyncRead(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ((0u8..2), -100i64..100).prop_map(|(o, k)| Op::SyncAdd(o, k)),
+        ((0u8..2), -100i64..100).prop_map(|(o, k)| Op::OneSidedAdd(o, k)),
+        ((0u8..2), -100i64..100).prop_map(|(o, k)| Op::OneSidedSet(o, k)),
+        (0u8..2).prop_map(Op::SyncRead),
+    ]
+}
+
+/// Everything observable about one run: every synchronous result in program
+/// order, the final counter values, and the network counters at quiescence.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    sync_results: Vec<Value>,
+    finals: Vec<Value>,
+    msgs_sent: u64,
+    bytes_sent: u64,
+    msgs_delivered: u64,
+    msgs_dropped: u64,
+    msgs_rejected: u64,
+}
+
+fn run(ops: &[Op], fast_path: bool) -> Outcome {
+    // One machine, NA silenced (a monitoring period far beyond the run) so
+    // the network counters contain application traffic only.
+    let d = JsShell::new()
+        .add_machine(MachineConfig::idle("m0", 50.0))
+        .time_scale(1e-5)
+        .monitor_period(1e9)
+        .failure_timeout(1e9)
+        .cost_model(CostModel::free())
+        .loopback_fast_path(fast_path)
+        .boot();
+    register_test_classes(&d);
+    let reg = d.register_app().unwrap();
+    let objs: Vec<JsObj> = (0..2)
+        .map(|_| JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(0)), None).unwrap())
+        .collect();
+    let mut sync_results = Vec::new();
+    for op in ops {
+        match *op {
+            Op::SyncAdd(o, k) => {
+                sync_results.push(objs[o as usize].sinvoke("add", &[Value::I64(k)]).unwrap());
+            }
+            Op::OneSidedAdd(o, k) => {
+                objs[o as usize].oinvoke("add", &[Value::I64(k)]).unwrap();
+            }
+            Op::OneSidedSet(o, k) => {
+                objs[o as usize].oinvoke("set", &[Value::I64(k)]).unwrap();
+            }
+            Op::SyncRead(o) => {
+                sync_results.push(objs[o as usize].sinvoke("get", &[]).unwrap());
+            }
+        }
+    }
+    // A final synchronous read per object flushes every one-sided call
+    // still in flight (per-pair FIFO ordering): afterwards the network is
+    // quiescent and the counters are exact.
+    let finals: Vec<Value> = objs
+        .iter()
+        .map(|o| o.sinvoke("get", &[]).unwrap())
+        .collect();
+    let s = d.net_stats();
+    let out = Outcome {
+        sync_results,
+        finals,
+        msgs_sent: s.msgs_sent,
+        bytes_sent: s.bytes_sent,
+        msgs_delivered: s.msgs_delivered,
+        msgs_dropped: s.msgs_dropped,
+        msgs_rejected: s.msgs_rejected,
+    };
+    reg.unregister().unwrap();
+    d.shutdown();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10, // each case boots two deployments; keep the count low
+        .. ProptestConfig::default()
+    })]
+
+    /// The fast path is observationally equivalent to the slow path:
+    /// identical results (hence identical per-object execution order),
+    /// identical charged wire bytes and message counts, nothing lost.
+    #[test]
+    fn fast_path_is_observationally_equivalent(
+        ops in proptest::collection::vec(arb_op(), 0..20)
+    ) {
+        let fast = run(&ops, true);
+        let slow = run(&ops, false);
+        prop_assert_eq!(&fast, &slow);
+        prop_assert_eq!(fast.msgs_dropped, 0);
+        prop_assert_eq!(fast.msgs_rejected, 0);
+        // Quiescence reached: everything sent was delivered.
+        prop_assert_eq!(fast.msgs_sent, fast.msgs_delivered);
+    }
+}

@@ -34,5 +34,5 @@ pub use clock::{sleep_until, SimClock, TimeScale, VirtDur, VirtTime};
 pub use id::NodeId;
 pub use link::{LinkClass, Topology};
 pub use message::{Envelope, Payload};
-pub use network::{Network, NetworkConfig, SendError};
+pub use network::{LocalHook, Network, NetworkConfig, SendError};
 pub use stats::{EndpointStatsSnapshot, NetStats, NetStatsSnapshot};

@@ -1,11 +1,15 @@
 //! Delayed delivery scheduler.
 //!
-//! A single background thread owns a priority queue of in-flight messages
-//! keyed by their real-time delivery deadline (the virtual transfer delay
-//! mapped through the [`crate::SimClock`]). When a deadline passes, the
-//! message is handed to the delivery callback installed by the network.
+//! A small pool of background threads (the *delivery plane*) owns N
+//! priority queues of in-flight messages keyed by their real-time delivery
+//! deadline (the virtual transfer delay mapped through the
+//! [`crate::SimClock`]). Messages are sharded by **destination node**, so
+//! concurrent senders on unrelated links never contend on a shared heap
+//! lock, while everything bound for one node — in particular every
+//! (src, dst) pair — still funnels through a single shard and keeps its
+//! deterministic (due, seq) order.
 
-use crate::Envelope;
+use crate::{Envelope, NodeId};
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
@@ -13,12 +17,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Delivery callback: gets the ready message.
-pub(crate) type DeliverFn = Box<dyn Fn(Envelope) + Send + Sync>;
+/// Delivery callback: gets the ready message. Shared across shard threads.
+pub(crate) type DeliverFn = Arc<dyn Fn(Envelope) + Send + Sync>;
 
 struct Scheduled {
     due: Instant,
-    /// Tie-breaker preserving send order for equal deadlines.
+    /// Tie-breaker preserving send order for equal deadlines. Per-shard:
+    /// a (src, dst) pair always maps to one shard, so pair order is total.
     seq: u64,
     env: Envelope,
 }
@@ -51,48 +56,69 @@ struct QueueState {
     shutdown: bool,
 }
 
-struct QueueInner {
+struct ShardInner {
     state: Mutex<QueueState>,
     cond: Condvar,
 }
 
-/// Handle to the delivery thread. Dropping it stops the thread; pending
+struct Shard {
+    inner: Arc<ShardInner>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Handle to the delivery plane. Dropping it stops the threads; pending
 /// messages are discarded (matching a network that disappears).
 pub(crate) struct DelayQueue {
-    inner: Arc<QueueInner>,
-    handle: Option<JoinHandle<()>>,
+    shards: Vec<Shard>,
+}
+
+/// Picks the shard for a destination. All traffic to one node — and hence
+/// every (src, dst) pair — lands on exactly one shard.
+fn shard_index(dst: NodeId, shards: usize) -> usize {
+    dst.0 as usize % shards
 }
 
 impl DelayQueue {
-    pub(crate) fn start(deliver: DeliverFn) -> Self {
-        let inner = Arc::new(QueueInner {
-            state: Mutex::new(QueueState::default()),
-            cond: Condvar::new(),
-        });
-        let thread_inner = Arc::clone(&inner);
-        let handle = std::thread::Builder::new()
-            .name("jsym-net-delivery".into())
-            .spawn(move || Self::run(thread_inner, deliver))
-            .expect("spawn delivery thread");
-        DelayQueue {
-            inner,
-            handle: Some(handle),
-        }
+    /// Spawns `shards` delivery threads (clamped to at least one), all
+    /// feeding the same delivery callback.
+    pub(crate) fn start(shards: usize, deliver: DeliverFn) -> Self {
+        let shards = shards.max(1);
+        let shards = (0..shards)
+            .map(|i| {
+                let inner = Arc::new(ShardInner {
+                    state: Mutex::new(QueueState::default()),
+                    cond: Condvar::new(),
+                });
+                let thread_inner = Arc::clone(&inner);
+                let thread_deliver = Arc::clone(&deliver);
+                let handle = std::thread::Builder::new()
+                    .name(format!("jsym-net-delivery-{i}"))
+                    .spawn(move || Self::run(thread_inner, thread_deliver))
+                    .expect("spawn delivery thread");
+                Shard {
+                    inner,
+                    handle: Mutex::new(Some(handle)),
+                }
+            })
+            .collect();
+        DelayQueue { shards }
     }
 
-    /// Schedules `env` for delivery at real time `due`.
+    /// Schedules `env` for delivery at real time `due` on the shard owning
+    /// its destination node.
     pub(crate) fn push(&self, due: Instant, env: Envelope) {
-        let mut state = self.inner.state.lock();
+        let shard = &self.shards[shard_index(env.dst, self.shards.len())];
+        let mut state = shard.inner.state.lock();
         if state.shutdown {
             return;
         }
         let seq = state.next_seq;
         state.next_seq += 1;
         state.heap.push(Scheduled { due, seq, env });
-        self.inner.cond.notify_one();
+        shard.inner.cond.notify_one();
     }
 
-    fn run(inner: Arc<QueueInner>, deliver: DeliverFn) {
+    fn run(inner: Arc<ShardInner>, deliver: DeliverFn) {
         // OS condvar timeouts overshoot by 50-100 µs, which at aggressive
         // time scales dwarfs the modeled link latencies. For deadlines in
         // the near future we therefore release the lock and spin-sleep to
@@ -131,15 +157,20 @@ impl DelayQueue {
         }
     }
 
-    pub(crate) fn shutdown(&mut self) {
-        {
-            let mut state = self.inner.state.lock();
-            state.shutdown = true;
-            state.heap.clear();
+    pub(crate) fn shutdown(&self) {
+        for shard in &self.shards {
+            {
+                let mut state = shard.inner.state.lock();
+                state.shutdown = true;
+                state.heap.clear();
+            }
+            shard.inner.cond.notify_all();
         }
-        self.inner.cond.notify_all();
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
+        // Join after flagging every shard so they wind down in parallel.
+        for shard in &self.shards {
+            if let Some(h) = shard.handle.lock().take() {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -158,21 +189,33 @@ mod tests {
     use std::time::Duration;
 
     fn env(marker: u32) -> Envelope {
+        env_to(marker, 1)
+    }
+
+    fn env_to(marker: u32, dst: u32) -> Envelope {
         Envelope {
             src: NodeId(0),
-            dst: NodeId(1),
+            dst: NodeId(dst),
             sent_at: 0.0,
             payload: Payload::new("t", 0, marker),
         }
     }
 
-    #[test]
-    fn delivers_in_deadline_order() {
+    fn collecting(shards: usize) -> (DelayQueue, Arc<PlMutex<Vec<u32>>>) {
         let got: Arc<PlMutex<Vec<u32>>> = Arc::new(PlMutex::new(Vec::new()));
         let sink = Arc::clone(&got);
-        let q = DelayQueue::start(Box::new(move |e| {
-            sink.lock().push(*e.payload.downcast::<u32>().unwrap());
-        }));
+        let q = DelayQueue::start(
+            shards,
+            Arc::new(move |e: Envelope| {
+                sink.lock().push(*e.payload.downcast::<u32>().unwrap());
+            }),
+        );
+        (q, got)
+    }
+
+    #[test]
+    fn delivers_in_deadline_order() {
+        let (q, got) = collecting(1);
         let now = Instant::now();
         q.push(now + Duration::from_millis(30), env(3));
         q.push(now + Duration::from_millis(10), env(1));
@@ -183,11 +226,7 @@ mod tests {
 
     #[test]
     fn equal_deadlines_preserve_send_order() {
-        let got: Arc<PlMutex<Vec<u32>>> = Arc::new(PlMutex::new(Vec::new()));
-        let sink = Arc::clone(&got);
-        let q = DelayQueue::start(Box::new(move |e| {
-            sink.lock().push(*e.payload.downcast::<u32>().unwrap());
-        }));
+        let (q, got) = collecting(1);
         let due = Instant::now() + Duration::from_millis(15);
         for i in 0..8 {
             q.push(due, env(i));
@@ -197,12 +236,42 @@ mod tests {
     }
 
     #[test]
+    fn same_destination_keeps_order_across_shards() {
+        // With several shards, everything bound for one node still lands on
+        // one heap: equal deadlines must come out in send order.
+        let (q, got) = collecting(4);
+        let due = Instant::now() + Duration::from_millis(15);
+        for i in 0..8 {
+            q.push(due, env_to(i, 6));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(*got.lock(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn distinct_destinations_each_keep_deadline_order() {
+        let (q, got) = collecting(4);
+        let now = Instant::now();
+        // Interleave pushes to four destinations with per-destination
+        // deadlines in reverse push order.
+        for dst in 0u32..4 {
+            q.push(now + Duration::from_millis(40), env_to(100 + dst, dst));
+        }
+        for dst in 0u32..4 {
+            q.push(now + Duration::from_millis(15), env_to(dst, dst));
+        }
+        std::thread::sleep(Duration::from_millis(150));
+        let got = got.lock();
+        for dst in 0u32..4 {
+            let early = got.iter().position(|&v| v == dst).expect("early");
+            let late = got.iter().position(|&v| v == 100 + dst).expect("late");
+            assert!(early < late, "dst {dst}: {got:?}");
+        }
+    }
+
+    #[test]
     fn shutdown_discards_pending() {
-        let got: Arc<PlMutex<Vec<u32>>> = Arc::new(PlMutex::new(Vec::new()));
-        let sink = Arc::clone(&got);
-        let mut q = DelayQueue::start(Box::new(move |e| {
-            sink.lock().push(*e.payload.downcast::<u32>().unwrap());
-        }));
+        let (q, got) = collecting(2);
         q.push(Instant::now() + Duration::from_secs(60), env(9));
         q.shutdown();
         assert!(got.lock().is_empty());
@@ -210,7 +279,7 @@ mod tests {
 
     #[test]
     fn push_after_shutdown_is_ignored() {
-        let mut q = DelayQueue::start(Box::new(|_| {}));
+        let q = DelayQueue::start(2, Arc::new(|_| {}));
         q.shutdown();
         q.push(Instant::now(), env(1)); // must not panic or hang
     }
@@ -218,9 +287,12 @@ mod tests {
     #[test]
     fn immediate_deadline_delivers_quickly() {
         let (tx, rx) = crossbeam::channel::bounded(1);
-        let q = DelayQueue::start(Box::new(move |e| {
-            let _ = tx.send(*e.payload.downcast::<u32>().unwrap());
-        }));
+        let q = DelayQueue::start(
+            4,
+            Arc::new(move |e: Envelope| {
+                let _ = tx.send(*e.payload.downcast::<u32>().unwrap());
+            }),
+        );
         q.push(Instant::now(), env(5));
         let v = rx.recv_timeout(Duration::from_secs(2)).expect("delivered");
         assert_eq!(v, 5);
