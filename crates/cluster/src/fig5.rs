@@ -179,8 +179,7 @@ pub fn run_fig5_instrumented(
         for &n in &cfg.sizes {
             let mut baseline = None;
             for &nodes in &cfg.node_counts {
-                let run =
-                    run_cell_full(n, nodes, load, cfg.time_scale, cfg.seed, cfg.verify);
+                let run = run_cell_full(n, nodes, load, cfg.time_scale, cfg.seed, cfg.verify);
                 if nodes == 1 {
                     baseline = Some(run.seconds);
                 }
@@ -281,7 +280,10 @@ mod sweep_tests {
         let run = run_cell_full(200, 2, LoadKind::Dedicated, 1e-2, 1, false);
         assert!(run.messages > 0);
         assert!(run.obs_json.contains("\"schema\": \"jsym-obs/v1\""));
-        assert!(run.obs_json.contains("rmi.calls"), "no RMI counters in export");
+        assert!(
+            run.obs_json.contains("rmi.calls"),
+            "no RMI counters in export"
+        );
         assert!(run.obs_json.contains("msg.sent"), "no per-node counters");
         assert!(run.obs_json.contains("\"spans\": []"), "spans not stripped");
     }

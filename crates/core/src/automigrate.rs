@@ -50,12 +50,22 @@ pub(crate) fn run(deployment: Weak<DeploymentInner>, period: f64) {
 /// One auto-migration round. Returns the number of objects migrated;
 /// exposed crate-internally so tests can drive rounds deterministically.
 pub(crate) fn round(d: &Arc<DeploymentInner>) -> usize {
-    let violations = d.vda.violating_nodes();
-    if violations.is_empty() {
+    let n = d.automigrate_rounds.fetch_add(1, Ordering::Relaxed);
+    // Dirty-set scans only re-evaluate nodes whose cached sample moved past
+    // the threshold; every 8th round falls back to a full scan so drift
+    // below the threshold cannot hide a violation forever.
+    let use_dirty = d.automigrate_dirty.load(Ordering::Relaxed) && n % 8 != 0;
+    let mode = if use_dirty { "dirty" } else { "full" };
+    let scan = d.vda.scan_violations(use_dirty);
+    d.obs.counter("automigrate.rounds", None, mode).inc();
+    d.obs
+        .counter("automigrate.nodes_evaluated", None, mode)
+        .add(scan.evaluated as u64);
+    if scan.violations.is_empty() {
         return 0;
     }
     let mut migrated = 0;
-    for (node_key, phys) in violations {
+    for (node_key, phys) in scan.violations {
         let node = d.vda.node_handle(node_key);
         let constraints = d.vda.effective_constraints(&node);
         // Locality order: same cluster, then same site, then same domain.

@@ -181,10 +181,7 @@ impl EventLog {
     /// Appends an event at virtual time `at`.
     pub fn record(&self, at: VirtTime, event: RuntimeEvent) {
         if self.tracer.is_enabled() {
-            let mut span = self
-                .tracer
-                .span(event.kind(), at)
-                .attr("detail", &event);
+            let mut span = self.tracer.span(event.kind(), at).attr("detail", &event);
             if let Some(node) = event.node() {
                 span = span.node(node.0);
             }

@@ -51,10 +51,14 @@ pub(crate) fn run_checkpointer(deployment: Weak<DeploymentInner>, period: f64) {
 /// One checkpoint round. Returns how many objects were persisted; exposed
 /// crate-internally so tests can drive rounds deterministically.
 pub(crate) fn checkpoint_round(d: &Arc<DeploymentInner>) -> usize {
-    let span = d
-        .obs
-        .tracer()
-        .span("checkpoint.round", if d.obs.is_enabled() { d.clock.now() } else { 0.0 });
+    let span = d.obs.tracer().span(
+        "checkpoint.round",
+        if d.obs.is_enabled() {
+            d.clock.now()
+        } else {
+            0.0
+        },
+    );
     let apps: Vec<_> = d.apps.read().values().cloned().collect();
     let mut saved = 0;
     for app in apps {
@@ -72,8 +76,11 @@ pub(crate) fn checkpoint_round(d: &Arc<DeploymentInner>) -> usize {
             }
         }
     }
-    span.attr("saved", saved)
-        .finish(if d.obs.is_enabled() { d.clock.now() } else { 0.0 });
+    span.attr("saved", saved).finish(if d.obs.is_enabled() {
+        d.clock.now()
+    } else {
+        0.0
+    });
     saved
 }
 
@@ -137,7 +144,14 @@ pub(crate) fn recover_from(d: &Arc<DeploymentInner>, dead: jsym_net::NodeId) -> 
     let span = d
         .obs
         .tracer()
-        .span("recover.node", if d.obs.is_enabled() { d.clock.now() } else { 0.0 })
+        .span(
+            "recover.node",
+            if d.obs.is_enabled() {
+                d.clock.now()
+            } else {
+                0.0
+            },
+        )
         .node(dead.0)
         .attr("dead", dead);
     let survivors: Vec<jsym_net::NodeId> = d
@@ -147,8 +161,11 @@ pub(crate) fn recover_from(d: &Arc<DeploymentInner>, dead: jsym_net::NodeId) -> 
         .filter(|&m| m != dead && !d.vda.is_failed(m))
         .collect();
     if survivors.is_empty() {
-        span.attr("recovered", 0)
-            .finish(if d.obs.is_enabled() { d.clock.now() } else { 0.0 });
+        span.attr("recovered", 0).finish(if d.obs.is_enabled() {
+            d.clock.now()
+        } else {
+            0.0
+        });
         return 0;
     }
     let apps: Vec<_> = d.apps.read().values().cloned().collect();
@@ -187,6 +204,10 @@ pub(crate) fn recover_from(d: &Arc<DeploymentInner>, dead: jsym_net::NodeId) -> 
         }
     }
     span.attr("recovered", recovered)
-        .finish(if d.obs.is_enabled() { d.clock.now() } else { 0.0 });
+        .finish(if d.obs.is_enabled() {
+            d.clock.now()
+        } else {
+            0.0
+        });
     recovered
 }

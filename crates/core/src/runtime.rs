@@ -558,7 +558,12 @@ mod tests {
         assert_eq!(pool.transient_spawns(), 0);
         let gate = Arc::new(std::sync::Barrier::new(2));
         let g = Arc::clone(&gate);
-        pool.submit("blocker", Box::new(move || g.wait()));
+        pool.submit(
+            "blocker",
+            Box::new(move || {
+                g.wait();
+            }),
+        );
         std::thread::sleep(Duration::from_millis(20));
         let (name_tx, name_rx) = crossbeam::channel::bounded::<String>(1);
         pool.submit(

@@ -27,7 +27,7 @@ use jsym_sysmon::{LoadModel, LoadProfile, MachineSpec, SimMachine, SysSnapshot};
 use jsym_vda::{ResourcePool, VdaRegistry};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -72,6 +72,8 @@ pub struct JsShell {
     observability: bool,
     loopback_fast_path: bool,
     delivery_shards: usize,
+    param_plane: bool,
+    automigrate_dirty_set: bool,
 }
 
 impl JsShell {
@@ -93,6 +95,8 @@ impl JsShell {
             observability: true,
             loopback_fast_path: jsym_net::NetworkConfig::default().loopback_fast_path,
             delivery_shards: jsym_net::NetworkConfig::default().delivery_shards,
+            param_plane: true,
+            automigrate_dirty_set: true,
         }
     }
 
@@ -195,6 +199,26 @@ impl JsShell {
         self
     }
 
+    /// Enables or disables the parameter aggregation plane: cached samples
+    /// (TTL = monitoring period), incremental component rollups and the
+    /// indexed placement heap. On by default; disable to force every
+    /// allocation and component query onto the recompute-from-scratch slow
+    /// path (the two produce identical placement decisions given the same
+    /// samples — see `DESIGN.md` §9).
+    pub fn param_plane(mut self, enabled: bool) -> Self {
+        self.param_plane = enabled;
+        self
+    }
+
+    /// Enables or disables dirty-set automigrate rounds: only nodes whose
+    /// cached sample changed past a threshold (plus currently-violating
+    /// ones) are re-evaluated, with a periodic full scan as a safety net.
+    /// On by default; requires the parameter aggregation plane.
+    pub fn automigrate_dirty_set(mut self, enabled: bool) -> Self {
+        self.automigrate_dirty_set = enabled;
+        self
+    }
+
     /// Boots the deployment: spawns every node runtime and the NAS.
     pub fn boot(self) -> Deployment {
         let clock = SimClock::new(self.time_scale);
@@ -222,7 +246,12 @@ impl JsShell {
             )
         };
         let pool = ResourcePool::new();
-        let vda = VdaRegistry::new(pool.clone());
+        let vda = VdaRegistry::with_obs(pool.clone(), obs.clone());
+        vda.set_plane_config(jsym_vda::PlaneConfig {
+            enabled: self.param_plane,
+            ttl: self.monitor_period,
+            ..jsym_vda::PlaneConfig::default()
+        });
         let classes = ClassRegistry::new();
         let store = self.store.clone().unwrap_or_default();
         let events = crate::EventLog::with_tracer(4096, obs.tracer().clone());
@@ -241,6 +270,8 @@ impl JsShell {
             nodes: RwLock::new(HashMap::new()),
             apps: RwLock::new(HashMap::new()),
             automigration: AtomicBool::new(self.automigration),
+            automigrate_dirty: AtomicBool::new(self.automigrate_dirty_set),
+            automigrate_rounds: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
         });
@@ -305,6 +336,8 @@ pub(crate) struct DeploymentInner {
     pub nodes: RwLock<HashMap<NodeId, NodeRuntimeHandle>>,
     pub apps: RwLock<HashMap<AppId, Arc<AppShared>>>,
     pub automigration: AtomicBool,
+    pub automigrate_dirty: AtomicBool,
+    pub automigrate_rounds: AtomicU64,
     pub shutdown: AtomicBool,
     pub threads: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -562,6 +595,8 @@ impl Deployment {
         for handle in self.inner.nodes.read().values() {
             handle.shared.na.knobs.set_monitor_period(secs);
         }
+        // The aggregation plane's sample TTL tracks the monitoring period.
+        self.inner.vda.set_plane_ttl(secs);
     }
 
     /// Changes the NAS failure timeout at runtime (JS-Shell, §5.1: the
@@ -580,6 +615,25 @@ impl Deployment {
     /// Whether automatic migration is currently enabled.
     pub fn automigration_enabled(&self) -> bool {
         self.inner.automigration.load(Ordering::Relaxed)
+    }
+
+    /// Switches automigrate rounds between dirty-set scans (re-evaluate only
+    /// nodes whose cached sample changed) and full scans (JS-Shell toggle).
+    pub fn set_automigrate_dirty(&self, enabled: bool) {
+        self.inner
+            .automigrate_dirty
+            .store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether automigrate rounds use dirty-set scans.
+    pub fn automigrate_dirty_enabled(&self) -> bool {
+        self.inner.automigrate_dirty.load(Ordering::Relaxed)
+    }
+
+    /// Statistics of the parameter aggregation plane (cache hits/misses,
+    /// dirty-set and placement-index sizes).
+    pub fn plane_stats(&self) -> jsym_vda::PlaneStats {
+        self.inner.vda.plane_stats()
     }
 
     // ------------------------------------------------------------ telemetry

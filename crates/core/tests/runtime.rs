@@ -359,9 +359,9 @@ fn free_with_invocations_in_flight_fails_them_cleanly() {
     let h = obj.ainvoke("compute", &[Value::F64(5e8)]).unwrap(); // ~10 virt s
     obj.free().unwrap();
     match h.get_result() {
-        Ok(_) => {}                                  // started before the free
-        Err(JsError::NoSuchObject(_)) => {}          // dropped by the free
-        Err(JsError::Timeout) => {}                  // re-issue loop exhausted
+        Ok(_) => {}                         // started before the free
+        Err(JsError::NoSuchObject(_)) => {} // dropped by the free
+        Err(JsError::Timeout) => {}         // re-issue loop exhausted
         Err(other) => panic!("unexpected error: {other:?}"),
     }
     // New invocations are rejected locally: the table entry is gone.

@@ -206,8 +206,12 @@ impl Routing {
                 let (dst, bytes) = (env.dst, env.payload.wire_bytes());
                 ep.gate.acquire();
                 let _guard = GateGuard(&ep.gate);
-                (ep.hook)(env);
+                // Count before dispatching: once the gate is held the
+                // delivery is committed, and counting first means a caller
+                // woken by the hook (e.g. a sync response) can never observe
+                // stats that lag its own message.
                 self.stats.record_delivery(dst, bytes);
+                (ep.hook)(env);
                 return;
             }
         }

@@ -140,7 +140,11 @@ impl std::fmt::Debug for ObsRegistry {
         write!(
             f,
             "ObsRegistry({})",
-            if self.is_enabled() { "enabled" } else { "no-op" }
+            if self.is_enabled() {
+                "enabled"
+            } else {
+                "no-op"
+            }
         )
     }
 }
@@ -203,11 +207,13 @@ mod tests {
         s.finish(2.0);
         let snap = obs.snapshot();
         assert_eq!(
-            snap.metrics.counters
-                [&MetricKey::new("rmi.calls", Some(0), "sinvoke")],
+            snap.metrics.counters[&MetricKey::new("rmi.calls", Some(0), "sinvoke")],
             3
         );
-        assert_eq!(snap.metrics.gauges[&MetricKey::new("pool.size", None, "")], 7.5);
+        assert_eq!(
+            snap.metrics.gauges[&MetricKey::new("pool.size", None, "")],
+            7.5
+        );
         assert_eq!(snap.spans.len(), 1);
         assert_eq!(snap.spans[0].name, "rmi.sinvoke");
         assert_eq!(snap.spans[0].start, 1.0);
@@ -219,10 +225,7 @@ mod tests {
         let obs = ObsRegistry::new();
         obs.counter("c", Some(2), "a\"b").inc();
         obs.histogram("h", None, "", &[1.0]).observe(0.5);
-        obs.tracer()
-            .span("s", 0.25)
-            .attr("k", "v\"w")
-            .finish(0.75);
+        obs.tracer().span("s", 0.25).attr("k", "v\"w").finish(0.75);
         let j = obs.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
         assert!(j.contains("\"schema\": \"jsym-obs/v1\""));

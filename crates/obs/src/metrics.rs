@@ -14,12 +14,19 @@ use std::sync::{Arc, RwLock};
 /// Standard bucket-bound sets used by the runtime's instrumentation.
 pub mod bounds {
     /// Virtual-second latency buckets: 100 µs .. 10 s.
-    pub const LATENCY_SECONDS: &[f64] = &[
-        1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0,
-    ];
+    pub const LATENCY_SECONDS: &[f64] =
+        &[1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0];
     /// Message/state size buckets: 64 B .. 4 MiB.
     pub const SIZE_BYTES: &[f64] = &[
-        64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262_144.0, 1_048_576.0, 4_194_304.0,
+        64.0,
+        256.0,
+        1024.0,
+        4096.0,
+        16384.0,
+        65536.0,
+        262_144.0,
+        1_048_576.0,
+        4_194_304.0,
     ];
 }
 
@@ -143,7 +150,9 @@ impl HistoCore {
     fn new(bucket_bounds: &[f64]) -> Self {
         HistoCore {
             bounds: bucket_bounds.to_vec(),
-            buckets: (0..=bucket_bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            buckets: (0..=bucket_bounds.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0f64.to_bits()),
             min: AtomicU64::new(f64::INFINITY.to_bits()),
@@ -386,7 +395,9 @@ impl MetricsRegistry {
             return Counter(Some(Arc::clone(c)));
         }
         let mut map = write_or_recover(&inner.counters);
-        let c = map.entry(key).or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        let c = map
+            .entry(key)
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
         Counter(Some(Arc::clone(c)))
     }
 
@@ -569,7 +580,10 @@ mod tests {
 
     #[test]
     fn key_display_is_compact() {
-        assert_eq!(MetricKey::new("x", Some(3), "wan").to_string(), "x{n3}[wan]");
+        assert_eq!(
+            MetricKey::new("x", Some(3), "wan").to_string(),
+            "x{n3}[wan]"
+        );
         assert_eq!(MetricKey::new("x", None, "").to_string(), "x");
     }
 }

@@ -139,14 +139,23 @@ impl Tracer {
     /// Spans evicted from the ring so far.
     pub fn dropped(&self) -> u64 {
         self.inner.as_ref().map_or(0, |inner| {
-            inner.spans.lock().unwrap_or_else(|e| e.into_inner()).dropped
+            inner
+                .spans
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .dropped
         })
     }
 
     /// Number of retained spans.
     pub fn len(&self) -> usize {
         self.inner.as_ref().map_or(0, |inner| {
-            inner.spans.lock().unwrap_or_else(|e| e.into_inner()).buf.len()
+            inner
+                .spans
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .buf
+                .len()
         })
     }
 
@@ -250,7 +259,10 @@ pub fn validate_spans(spans: &[SpanRecord]) -> Result<(), String> {
     }
     for s in spans {
         if !(s.end >= s.start) {
-            return Err(format!("span {} [{} .. {}] is inverted", s.name, s.start, s.end));
+            return Err(format!(
+                "span {} [{} .. {}] is inverted",
+                s.name, s.start, s.end
+            ));
         }
         if let Some(pid) = s.parent {
             let Some(p) = by_id.get(&pid) else {
@@ -396,8 +408,14 @@ mod tests {
         let t = Tracer::new(16);
         let root = t.span("migrate", 1.0).node(0);
         let rid = root.id();
-        t.span("migrate.quiesce", 1.25).node(1).parent(rid).finish(1.5);
-        t.span("migrate.transfer", 1.5).node(1).parent(rid).finish(1.75);
+        t.span("migrate.quiesce", 1.25)
+            .node(1)
+            .parent(rid)
+            .finish(1.5);
+        t.span("migrate.transfer", 1.5)
+            .node(1)
+            .parent(rid)
+            .finish(1.75);
         root.finish(2.0);
         let out = render_tree(&t.snapshot());
         let lines: Vec<&str> = out.lines().collect();

@@ -19,12 +19,7 @@ fn arb_histo() -> impl Strategy<Value = HistogramSnapshot> {
 /// Everything exact about a snapshot; `sum` is checked separately with a
 /// tolerance because float addition is only approximately associative.
 fn exact_parts(h: &HistogramSnapshot) -> (Vec<u64>, u64, u64, u64) {
-    (
-        h.buckets.clone(),
-        h.count,
-        h.min.to_bits(),
-        h.max.to_bits(),
-    )
+    (h.buckets.clone(), h.count, h.min.to_bits(), h.max.to_bits())
 }
 
 proptest! {

@@ -116,6 +116,14 @@ pub enum Command {
         /// New timeout in virtual seconds.
         secs: f64,
     },
+    /// `params [--cached]` — per-machine key system parameters; with
+    /// `--cached`, the aggregation-plane view instead (DESIGN.md §9):
+    /// configuration, sample-cache hit/miss/invalidation counters, heap and
+    /// dirty-set sizes.
+    Params {
+        /// Show the aggregation-plane statistics instead of live samples.
+        cached: bool,
+    },
     /// `stats` — network and per-node runtime counters.
     Stats,
     /// `metrics [json]` — observability registry: counters, gauges,
@@ -368,6 +376,11 @@ impl Command {
                 ["off"] => Ok(Command::Automigrate { enabled: false }),
                 _ => Err(ParseError::Usage("automigrate on|off")),
             },
+            "params" => match rest.as_slice() {
+                [] => Ok(Command::Params { cached: false }),
+                ["--cached"] => Ok(Command::Params { cached: true }),
+                _ => Err(ParseError::Usage("params [--cached]")),
+            },
             "stats" => Ok(Command::Stats),
             "metrics" => match rest.as_slice() {
                 [] => Ok(Command::Metrics { json: false }),
@@ -412,6 +425,7 @@ commands:
   kill <node>                            fail a machine
   addnode <name> <mflops> / rmnode <name>  grow / shrink the deployment
   automigrate on|off                     toggle automatic migration
+  params [--cached]                      key parameters per machine / plane stats
   period <secs> / timeout <secs>         tune monitoring / failure detection
   stats / objects / log [n]              counters / object table / events
   metrics [json]                         observability metrics (summary or JSON)
@@ -457,6 +471,26 @@ mod tests {
         );
         assert!(matches!(
             Command::parse("trace a b"),
+            Err(ParseError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_params_command() {
+        assert_eq!(
+            Command::parse("params").unwrap(),
+            Command::Params { cached: false }
+        );
+        assert_eq!(
+            Command::parse("params --cached").unwrap(),
+            Command::Params { cached: true }
+        );
+        assert!(matches!(
+            Command::parse("params --cached extra"),
+            Err(ParseError::Usage(_))
+        ));
+        assert!(matches!(
+            Command::parse("params live"),
             Err(ParseError::Usage(_))
         ));
     }

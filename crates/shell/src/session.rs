@@ -291,6 +291,54 @@ impl ShellSession {
                     if enabled { "enabled" } else { "disabled" }
                 ))
             }
+            Command::Params { cached } => {
+                if cached {
+                    let p = self.deployment.plane_stats();
+                    let mut out = format!(
+                        "aggregation plane: {} (ttl {:.2}s)\n",
+                        if p.enabled { "enabled" } else { "disabled" },
+                        p.ttl
+                    );
+                    let _ = writeln!(
+                        out,
+                        "sample cache: {} hits, {} misses, {} invalidations, {} entries",
+                        p.hits, p.misses, p.invalidations, p.cached
+                    );
+                    let _ = writeln!(
+                        out,
+                        "placement heap: {} free machines; rollups: {} node contributions",
+                        p.heap, p.tracked
+                    );
+                    let _ = writeln!(out, "dirty set: {} nodes awaiting re-evaluation", p.dirty);
+                    out.push_str(
+                        "(counters also export via `metrics` as vda.sample.* / vda.dirty.size)\n",
+                    );
+                    return Ok(out);
+                }
+                let mut out = format!(
+                    "{:<10} {:>8} {:>7} {:>10} {:>7}\n",
+                    "name", "load1", "idle%", "availMB", "procs"
+                );
+                for id in self.deployment.machines() {
+                    let snap = self
+                        .deployment
+                        .pool()
+                        .snapshot_of(id)
+                        .map_err(|e| e.to_string())?;
+                    let name = snap.str(SysParam::NodeName).unwrap_or("?").to_owned();
+                    let num = |p: SysParam| snap.num(p).unwrap_or(f64::NAN);
+                    let _ = writeln!(
+                        out,
+                        "{:<10} {:>8.3} {:>7.1} {:>10.1} {:>7.0}",
+                        name,
+                        num(SysParam::CpuLoad1),
+                        num(SysParam::IdlePct),
+                        num(SysParam::AvailMem),
+                        num(SysParam::NumProcesses),
+                    );
+                }
+                Ok(out)
+            }
             Command::Stats => {
                 let net = self.deployment.net_stats();
                 let mut out = format!(
@@ -434,6 +482,24 @@ mod tests {
         let one = s.run_line("snapshot m0 idle");
         assert!(one.starts_with("IdlePct ="), "{one}");
         assert!(s.run_line("snapshot ghost").starts_with("error:"));
+    }
+
+    #[test]
+    fn params_shows_live_and_cached_views() {
+        let mut s = session();
+        let live = s.run_line("params");
+        assert!(live.contains("name"), "{live}");
+        assert!(
+            live.contains("m0") && live.contains("m1") && live.contains("m2"),
+            "{live}"
+        );
+        // Allocate something so the plane has cache traffic to report.
+        s.run_line("cluster 2 idle>=50");
+        let cached = s.run_line("params --cached");
+        assert!(cached.contains("aggregation plane: enabled"), "{cached}");
+        assert!(cached.contains("sample cache:"), "{cached}");
+        assert!(cached.contains("dirty set:"), "{cached}");
+        assert!(s.run_line("params --cached extra").starts_with("error:"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! kept only when uniform.
 
 use crate::{ParamValue, SysParam, SysSnapshot};
+use jsym_net::VirtTime;
 use std::collections::BTreeMap;
 
 /// Averages a set of node snapshots into a component snapshot.
@@ -98,6 +99,138 @@ pub fn weighted_average(components: &[(SysSnapshot, usize)]) -> SysSnapshot {
     out
 }
 
+/// Incrementally maintained component aggregate: the running
+/// sum-and-count per parameter that a cluster/site/domain manager keeps so
+/// its averaged snapshot never has to be recomputed by descent.
+///
+/// [`ParamRollup::to_snapshot`] reproduces [`average`] over the multiset of
+/// contributed snapshots:
+///
+/// * numeric parameters: arithmetic mean over contributions carrying them;
+/// * string parameters: kept only when every contribution carries the same
+///   value (uniformity **and** full coverage, as in [`average`]);
+/// * `at`: high-water mark of contribution timestamps. Removing the newest
+///   contribution cannot lower the mark — acceptable, since `at` only
+///   answers "no older than".
+///
+/// Floating-point caveat: `remove` subtracts from a running sum, so a long
+/// add/remove history can drift from a from-scratch recomputation by normal
+/// cancellation error. The differential property tests bound this at 1e-6
+/// relative; a rollup rebuilt from live contributions is bitwise identical
+/// to [`average`] because both fold in ascending order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParamRollup {
+    count: usize,
+    at: VirtTime,
+    nums: BTreeMap<SysParam, (f64, usize)>,
+    strs: BTreeMap<SysParam, BTreeMap<String, usize>>,
+}
+
+impl ParamRollup {
+    /// An empty rollup (no contributions).
+    pub fn new() -> Self {
+        ParamRollup::default()
+    }
+
+    /// Adds one node snapshot to the aggregate.
+    pub fn add(&mut self, snap: &SysSnapshot) {
+        self.count += 1;
+        self.at = self.at.max(snap.at);
+        for (&param, value) in snap.iter() {
+            match value {
+                ParamValue::Num(n) => {
+                    let e = self.nums.entry(param).or_insert((0.0, 0));
+                    e.0 += n;
+                    e.1 += 1;
+                }
+                ParamValue::Str(s) => {
+                    *self
+                        .strs
+                        .entry(param)
+                        .or_default()
+                        .entry(s.clone())
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    /// Removes one previously added snapshot from the aggregate.
+    ///
+    /// The caller must pass the exact snapshot it contributed (the registry
+    /// keeps each node's live contribution for this purpose); removing a
+    /// never-added snapshot corrupts the aggregate.
+    pub fn remove(&mut self, snap: &SysSnapshot) {
+        self.count = self.count.saturating_sub(1);
+        for (&param, value) in snap.iter() {
+            match value {
+                ParamValue::Num(n) => {
+                    if let Some(e) = self.nums.get_mut(&param) {
+                        e.0 -= n;
+                        e.1 = e.1.saturating_sub(1);
+                        if e.1 == 0 {
+                            self.nums.remove(&param);
+                        }
+                    }
+                }
+                ParamValue::Str(s) => {
+                    if let Some(m) = self.strs.get_mut(&param) {
+                        if let Some(c) = m.get_mut(s.as_str()) {
+                            *c = c.saturating_sub(1);
+                            if *c == 0 {
+                                m.remove(s.as_str());
+                            }
+                        }
+                        if m.is_empty() {
+                            self.strs.remove(&param);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Swaps one contribution for a fresher sample of the same node.
+    pub fn replace(&mut self, old: &SysSnapshot, new: &SysSnapshot) {
+        self.remove(old);
+        self.add(new);
+    }
+
+    /// Number of contributions.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the rollup has no contributions.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Materializes the averaged component snapshot.
+    pub fn to_snapshot(&self) -> SysSnapshot {
+        if self.count == 0 {
+            return SysSnapshot::empty(0.0);
+        }
+        let mut out = SysSnapshot::empty(self.at);
+        for (&param, &(sum, count)) in &self.nums {
+            if count > 0 {
+                out.set(param, sum / count as f64);
+            }
+        }
+        for (&param, values) in &self.strs {
+            // Uniform across *all* contributions: a single distinct value
+            // whose multiplicity covers every contributor.
+            if values.len() == 1 {
+                let (s, &c) = values.iter().next().unwrap();
+                if c == self.count {
+                    out.set(param, s.as_str());
+                }
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +303,76 @@ mod tests {
     #[test]
     fn weighted_average_of_nothing_is_empty() {
         assert!(weighted_average(&[]).is_empty());
+    }
+
+    #[test]
+    fn rollup_of_fresh_adds_matches_average_exactly() {
+        let snaps = [
+            snap(1.0, 80.0, "a"),
+            snap(2.0, 40.0, "b"),
+            snap(3.0, 63.0, "c"),
+        ];
+        let mut r = ParamRollup::new();
+        for s in &snaps {
+            r.add(s);
+        }
+        assert_eq!(r.to_snapshot(), average(&snaps));
+    }
+
+    #[test]
+    fn rollup_remove_tracks_average_of_remaining() {
+        let a = snap(1.0, 80.0, "a");
+        let b = snap(2.0, 40.0, "b");
+        let mut r = ParamRollup::new();
+        r.add(&a);
+        r.add(&b);
+        r.remove(&a);
+        let got = r.to_snapshot();
+        assert_eq!(got.num(SysParam::IdlePct), Some(40.0));
+        // With only "b" left, NodeName is uniform again.
+        assert_eq!(got.str(SysParam::NodeName), Some("b"));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn rollup_replace_swaps_a_contribution() {
+        let old = snap(1.0, 80.0, "a");
+        let new = snap(5.0, 20.0, "a");
+        let other = snap(1.0, 40.0, "b");
+        let mut r = ParamRollup::new();
+        r.add(&old);
+        r.add(&other);
+        r.replace(&old, &new);
+        assert_eq!(r.to_snapshot().num(SysParam::IdlePct), Some(30.0));
+        assert_eq!(r.to_snapshot().at, 5.0);
+    }
+
+    #[test]
+    fn rollup_string_coverage_rule_matches_average() {
+        // OsName present on only one of two contributions must be dropped,
+        // exactly as `average` drops partially-present strings.
+        let mut a = SysSnapshot::empty(0.0);
+        a.set(SysParam::OsName, "SunOS");
+        let b = SysSnapshot::empty(0.0);
+        let mut r = ParamRollup::new();
+        r.add(&a);
+        r.add(&b);
+        assert_eq!(r.to_snapshot().str(SysParam::OsName), None);
+        assert_eq!(average(&[a, b]).str(SysParam::OsName), None);
+    }
+
+    #[test]
+    fn empty_rollup_is_empty_snapshot() {
+        let mut r = ParamRollup::new();
+        assert!(r.is_empty());
+        assert!(r.to_snapshot().is_empty());
+        let s = snap(1.0, 10.0, "x");
+        r.add(&s);
+        r.remove(&s);
+        assert!(
+            r.to_snapshot().is_empty(),
+            "drained rollup leaves no residue"
+        );
     }
 
     #[test]

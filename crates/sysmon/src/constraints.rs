@@ -227,6 +227,57 @@ impl JsConstraints {
         self.constraints.extend(other.constraints.iter().cloned());
         self
     }
+
+    /// Precompiles the set into a [`CompiledConstraints`] predicate for
+    /// repeated evaluation on a placement hot path.
+    pub fn compile(&self) -> CompiledConstraints {
+        let mut nums = Vec::new();
+        let mut strs = Vec::new();
+        for c in &self.constraints {
+            match &c.value {
+                ParamValue::Num(n) => nums.push((c.param, c.op, *n)),
+                ParamValue::Str(s) => strs.push((c.param, c.op, s.clone())),
+            }
+        }
+        CompiledConstraints { nums, strs }
+    }
+}
+
+/// A [`JsConstraints`] set compiled into two flat comparison lists, split by
+/// value kind, so the placement index can evaluate it on every heap pop
+/// without re-dispatching on [`ParamValue`] variants or allocating.
+///
+/// Semantics are identical to [`JsConstraints::holds`]: a parameter missing
+/// from the snapshot or of the wrong kind fails the predicate (fail-closed —
+/// [`SysSnapshot::num`]/[`SysSnapshot::str`] return `None` exactly in the
+/// cases where [`Constraint::holds`] returns `false`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CompiledConstraints {
+    nums: Vec<(SysParam, RelOp, f64)>,
+    strs: Vec<(SysParam, RelOp, String)>,
+}
+
+impl CompiledConstraints {
+    /// Whether every compiled comparison holds for `snap`.
+    pub fn holds(&self, snap: &SysSnapshot) -> bool {
+        self.nums
+            .iter()
+            .all(|&(p, op, rhs)| snap.num(p).is_some_and(|lhs| op.eval_num(lhs, rhs)))
+            && self
+                .strs
+                .iter()
+                .all(|(p, op, rhs)| snap.str(*p).is_some_and(|lhs| op.eval_str(lhs, rhs)))
+    }
+
+    /// Number of compiled comparisons.
+    pub fn len(&self) -> usize {
+        self.nums.len() + self.strs.len()
+    }
+
+    /// Whether the predicate is empty (always satisfied).
+    pub fn is_empty(&self) -> bool {
+        self.nums.is_empty() && self.strs.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -343,6 +394,37 @@ mod tests {
         let mut c2 = JsConstraints::new();
         c2.set(SysParam::NodeName, "<", "alpha");
         assert!(!c2.holds(&snap));
+    }
+
+    #[test]
+    fn compiled_constraints_agree_with_interpreted() {
+        let mut constr = JsConstraints::new();
+        constr.set(SysParam::NodeName, "!=", "milena");
+        constr.set(SysParam::CpuSysPct, "<=", 10);
+        constr.set(SysParam::IdlePct, ">=", 50);
+        // Kind-mismatch cases must fail closed in both forms.
+        constr.set(SysParam::AvailMem, ">=", 50);
+        let compiled = constr.compile();
+        assert_eq!(compiled.len(), constr.len());
+        for snap in [
+            snapshot("rachel", 0.05, 512.0),
+            snapshot("milena", 0.05, 512.0),
+            snapshot("rachel", 0.9, 512.0),
+            SysSnapshot::empty(0.0),
+        ] {
+            assert_eq!(constr.holds(&snap), compiled.holds(&snap));
+        }
+        assert!(JsConstraints::new().compile().is_empty());
+    }
+
+    #[test]
+    fn compiled_kind_mismatch_fails_closed() {
+        let mut constr = JsConstraints::new();
+        constr.set(SysParam::NodeName, "==", 5); // string param vs number
+        assert!(!constr.compile().holds(&snapshot("5", 0.0, 128.0)));
+        let mut c2 = JsConstraints::new();
+        c2.set(SysParam::IdlePct, ">=", "fifty"); // numeric param vs string
+        assert!(!c2.compile().holds(&snapshot("a", 0.0, 128.0)));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+mod cache;
 mod constraints;
 mod history;
 mod load;
@@ -32,7 +33,11 @@ mod param;
 mod simmachine;
 mod snapshot;
 
-pub use constraints::{Constraint, IntoParamValue, IntoRelOp, JsConstraints, RelOp};
+pub use aggregate::ParamRollup;
+pub use cache::{CacheStats, SampleCache};
+pub use constraints::{
+    CompiledConstraints, Constraint, IntoParamValue, IntoRelOp, JsConstraints, RelOp,
+};
 pub use history::ParamHistory;
 pub use load::{LoadModel, LoadProfile, UserLoad};
 pub use machine::MachineSpec;

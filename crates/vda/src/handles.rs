@@ -1,10 +1,12 @@
 //! Public handles: [`VdaRegistry`], [`Node`], [`Cluster`], [`Site`],
 //! [`Domain`] — the Rust counterpart of the paper's §4.2 API.
 
+use crate::plane::{PlaneConfig, PlaneStats, ViolationScan};
 use crate::state::VdaState;
 use crate::{ClusterKey, DomainKey, NodeKey, ResourcePool, Result, SiteKey, VdaError, VdaEvent};
 use crossbeam::channel::{Receiver, Sender};
 use jsym_net::NodeId;
+use jsym_obs::ObsRegistry;
 use jsym_sysmon::{aggregate, JsConstraints, ParamValue, SysParam, SysSnapshot};
 use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
@@ -13,6 +15,7 @@ struct RegistryInner {
     pool: ResourcePool,
     state: RwLock<VdaState>,
     subscribers: Mutex<Vec<Sender<VdaEvent>>>,
+    obs: ObsRegistry,
 }
 
 /// The registry of virtual distributed architectures for one deployment.
@@ -28,11 +31,18 @@ pub struct VdaRegistry {
 impl VdaRegistry {
     /// Creates a registry over a pool of physical machines.
     pub fn new(pool: ResourcePool) -> Self {
+        Self::with_obs(pool, ObsRegistry::disabled())
+    }
+
+    /// Creates a registry that exports aggregation-plane metrics
+    /// (`vda.sample.*`, `vda.dirty.size`) through `obs`.
+    pub fn with_obs(pool: ResourcePool, obs: ObsRegistry) -> Self {
         VdaRegistry {
             inner: Arc::new(RegistryInner {
                 pool,
                 state: RwLock::new(VdaState::default()),
                 subscribers: Mutex::new(Vec::new()),
+                obs,
             }),
         }
     }
@@ -49,13 +59,38 @@ impl VdaRegistry {
         rx
     }
 
-    /// Runs `f` under the state lock, then broadcasts any events it queued.
+    /// Runs `f` under the state lock, then broadcasts any events it queued
+    /// and exports aggregation-plane counter deltas through obs.
     fn with_state<T>(&self, f: impl FnOnce(&mut VdaState, &ResourcePool) -> T) -> T {
-        let (out, events) = {
+        let (out, events, deltas) = {
             let mut st = self.inner.state.write();
+            let before = st.plane.enabled.then(|| st.plane.cache.stats());
             let out = f(&mut st, &self.inner.pool);
-            (out, std::mem::take(&mut st.pending_events))
+            let deltas = before.map(|b| {
+                let a = st.plane.cache.stats();
+                (
+                    a.hits - b.hits,
+                    a.misses - b.misses,
+                    a.invalidations - b.invalidations,
+                    st.plane.dirty.len(),
+                )
+            });
+            (out, std::mem::take(&mut st.pending_events), deltas)
         };
+        if let Some((hits, misses, invalidations, dirty)) = deltas {
+            let obs = &self.inner.obs;
+            if hits > 0 {
+                obs.counter("vda.sample.hits", None, "plane").add(hits);
+            }
+            if misses > 0 {
+                obs.counter("vda.sample.misses", None, "plane").add(misses);
+            }
+            if invalidations > 0 {
+                obs.counter("vda.sample.invalidations", None, "plane")
+                    .add(invalidations);
+            }
+            obs.gauge("vda.dirty.size", None, "plane").set(dirty as f64);
+        }
         if !events.is_empty() {
             let mut subs = self.inner.subscribers.lock();
             subs.retain(|tx| events.iter().all(|ev| tx.send(ev.clone()).is_ok()));
@@ -223,33 +258,50 @@ impl VdaRegistry {
         self.read_state(|st| st.allocated.get(&phys).copied().unwrap_or(0))
     }
 
+    // ------------------------------------------------------ aggregation plane
+
+    /// Applies an aggregation-plane configuration (see [`PlaneConfig`]).
+    /// Enabling mid-flight rebuilds the cache, rollups and placement index
+    /// from the pool; disabling reverts every query to the slow path.
+    pub fn set_plane_config(&self, cfg: PlaneConfig) {
+        self.with_state(|st, pool| st.set_plane_config(pool, cfg));
+    }
+
+    /// The current aggregation-plane configuration.
+    pub fn plane_config(&self) -> PlaneConfig {
+        self.read_state(|st| st.plane_config())
+    }
+
+    /// Point-in-time statistics of the aggregation plane (cache hit/miss
+    /// counts, dirty-set size, placement-index size).
+    pub fn plane_stats(&self) -> PlaneStats {
+        self.read_state(|st| st.plane.stats())
+    }
+
+    /// Re-targets the sample TTL (the JS-Shell ties it to the monitoring
+    /// period) without touching enablement or cached structures.
+    pub fn set_plane_ttl(&self, ttl: f64) {
+        self.with_state(|st, _| {
+            st.plane.cache.set_ttl(ttl);
+            st.plane.last_refresh = None;
+        });
+    }
+
+    /// Scans for constraint violations. `dirty_only` restricts the scan to
+    /// nodes whose cached sample moved past the configured threshold (plus
+    /// the nodes already violating) — the event-driven automigrate round.
+    /// Falls back to a full scan when the plane is disabled.
+    pub fn scan_violations(&self, dirty_only: bool) -> ViolationScan {
+        self.with_state(|st, pool| st.scan_violations(pool, dirty_only))
+    }
+
     // ---------------------------------------------------------------- queries
 
     /// Live virtual nodes whose effective constraints no longer hold,
     /// with the machine backing them. Drives automatic migration.
+    /// Always evaluates every constrained node against a fresh sample.
     pub fn violating_nodes(&self) -> Vec<(NodeKey, NodeId)> {
-        // Take snapshots outside the state lock? Snapshots only touch the
-        // pool (its own lock), so nesting read->read is fine and brief.
-        self.read_state(|st| {
-            st.nodes
-                .iter()
-                .enumerate()
-                .filter(|(_, n)| !n.freed)
-                .filter_map(|(i, n)| {
-                    let nk = NodeKey(i as u32);
-                    let constr = st.effective_constraints(nk);
-                    if constr.is_empty() {
-                        return None;
-                    }
-                    let snap = self.inner.pool.snapshot_of(n.phys).ok()?;
-                    if constr.holds(&snap) {
-                        None
-                    } else {
-                        Some((nk, n.phys))
-                    }
-                })
-                .collect()
-        })
+        self.scan_violations(false).violations
     }
 
     /// Locality-ordered migration candidates for the node: machines in the
@@ -454,6 +506,14 @@ impl Node {
 
     /// `getCluster()` — the (possibly implicit) cluster of this node.
     pub fn get_cluster(&self) -> Result<Cluster> {
+        // Repeat lookups only take the read lock; the write lock is needed
+        // once, to materialize the implicit cluster.
+        if let Some(key) = self.reg.read_state(|st| st.cluster_of_node_ref(self.key))? {
+            return Ok(Cluster {
+                key,
+                reg: self.reg.clone(),
+            });
+        }
         let key = self.reg.with_state(|st, _| st.cluster_of_node(self.key))?;
         Ok(Cluster {
             key,
@@ -572,6 +632,12 @@ impl Cluster {
 
     /// `getSite()` — the (possibly implicit) site of this cluster.
     pub fn get_site(&self) -> Result<Site> {
+        if let Some(key) = self.reg.read_state(|st| st.site_of_cluster_ref(self.key))? {
+            return Ok(Site {
+                key,
+                reg: self.reg.clone(),
+            });
+        }
         let key = self.reg.with_state(|st, _| st.site_of_cluster(self.key))?;
         Ok(Site {
             key,
@@ -616,8 +682,21 @@ impl Cluster {
 
     /// Averaged snapshot over the cluster's machines (§4.6: "System
     /// parameters for clusters, sites, and domains are averaged across the
-    /// contained nodes").
+    /// contained nodes"). Served from the incremental rollup when the
+    /// aggregation plane is enabled.
     pub fn snapshot(&self) -> Result<SysSnapshot> {
+        if self.reg.read_state(|st| st.plane_config().enabled) {
+            return Ok(self.reg.with_state(|st, pool| {
+                st.plane_refresh(pool);
+                st.cluster(self.key).rollup.to_snapshot()
+            }));
+        }
+        self.snapshot_uncached()
+    }
+
+    /// Averaged snapshot recomputed from fresh per-machine samples,
+    /// bypassing the aggregation plane.
+    pub fn snapshot_uncached(&self) -> Result<SysSnapshot> {
         let machines = self.reg.read_state(|st| st.cluster_machines(self.key));
         self.reg.component_snapshot(&machines)
     }
@@ -738,6 +817,12 @@ impl Site {
 
     /// `getDomain()` — the (possibly implicit) domain of this site.
     pub fn get_domain(&self) -> Result<Domain> {
+        if let Some(key) = self.reg.read_state(|st| st.domain_of_site_ref(self.key))? {
+            return Ok(Domain {
+                key,
+                reg: self.reg.clone(),
+            });
+        }
         let key = self.reg.with_state(|st, _| st.domain_of_site(self.key))?;
         Ok(Domain {
             key,
@@ -775,8 +860,20 @@ impl Site {
             })
     }
 
-    /// Averaged snapshot over all the site's machines.
+    /// Averaged snapshot over all the site's machines. Served from the
+    /// incremental rollup when the aggregation plane is enabled.
     pub fn snapshot(&self) -> Result<SysSnapshot> {
+        if self.reg.read_state(|st| st.plane_config().enabled) {
+            return Ok(self.reg.with_state(|st, pool| {
+                st.plane_refresh(pool);
+                st.site(self.key).rollup.to_snapshot()
+            }));
+        }
+        self.snapshot_uncached()
+    }
+
+    /// Averaged snapshot recomputed from fresh per-machine samples.
+    pub fn snapshot_uncached(&self) -> Result<SysSnapshot> {
         let machines = self.reg.read_state(|st| st.site_machines(self.key));
         self.reg.component_snapshot(&machines)
     }
@@ -935,8 +1032,20 @@ impl Domain {
             })
     }
 
-    /// Averaged snapshot over all the domain's machines.
+    /// Averaged snapshot over all the domain's machines. Served from the
+    /// incremental rollup when the aggregation plane is enabled.
     pub fn snapshot(&self) -> Result<SysSnapshot> {
+        if self.reg.read_state(|st| st.plane_config().enabled) {
+            return Ok(self.reg.with_state(|st, pool| {
+                st.plane_refresh(pool);
+                st.domain(self.key).rollup.to_snapshot()
+            }));
+        }
+        self.snapshot_uncached()
+    }
+
+    /// Averaged snapshot recomputed from fresh per-machine samples.
+    pub fn snapshot_uncached(&self) -> Result<SysSnapshot> {
         let machines = self.reg.read_state(|st| st.domain_machines(self.key));
         self.reg.component_snapshot(&machines)
     }

@@ -30,6 +30,7 @@ mod error;
 mod event;
 mod handles;
 mod keys;
+mod plane;
 mod pool;
 mod state;
 
@@ -37,6 +38,7 @@ pub use error::VdaError;
 pub use event::{ManagerScope, VdaEvent};
 pub use handles::{Cluster, Domain, MonitorView, Node, Site, VdaRegistry};
 pub use keys::{ClusterKey, DomainKey, NodeKey, SiteKey};
+pub use plane::{PlaneConfig, PlaneStats, ViolationScan, DEFAULT_DIRTY_THRESHOLD};
 pub use pool::ResourcePool;
 
 /// Crate-wide result type.

@@ -1,0 +1,302 @@
+//! The parameter aggregation plane: cached samples, incremental rollups and
+//! an indexed free-machine heap behind the allocation and automigration
+//! paths.
+//!
+//! The slow path recomputes everything from fresh [`SimMachine`] snapshots on
+//! every query — correct, but O(machines) per allocation and O(nodes) per
+//! automigration round. The plane keeps three derived structures that make
+//! those paths cheap while provably agreeing with the slow path on the same
+//! sample inputs (see `DESIGN.md` §9):
+//!
+//! * a per-machine [`SampleCache`] with a virtual-time TTL, so one monitoring
+//!   interval's worth of queries shares one sample per machine;
+//! * per-component [`ParamRollup`]s (running sum + count per parameter) on
+//!   cluster/site/domain entries, updated incrementally as nodes attach,
+//!   detach and refresh instead of by descending the hierarchy;
+//! * a lazy-deletion min-heap over free machines keyed by smoothed
+//!   `CpuLoad1`, so `alloc_any`/`alloc_many` pop candidates in exactly the
+//!   `(load, id)` order the slow path's full scan would rank them.
+//!
+//! A dirty set tracks virtual nodes whose cached sample moved past a
+//! relative threshold since the last automigration scan; dirty-mode scans
+//! re-evaluate only those plus the currently-violating watch set.
+//!
+//! [`SimMachine`]: jsym_sysmon::SimMachine
+
+use crate::keys::NodeKey;
+use jsym_net::NodeId;
+use jsym_sysmon::{ParamValue, SampleCache, SysParam, SysSnapshot};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Default virtual-time TTL for cached samples (matches the default
+/// monitoring period order of magnitude).
+pub const DEFAULT_TTL: f64 = 2.0;
+
+/// `f64` with a total order, usable as a heap key.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Configuration of the aggregation plane.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlaneConfig {
+    /// Whether the fast path is active at all.
+    pub enabled: bool,
+    /// Virtual-time TTL of cached per-machine samples.
+    pub ttl: f64,
+    /// Relative change in any numeric parameter (vs `max(|old|, 1)`) above
+    /// which a node is marked dirty for the next automigration scan. `0.0`
+    /// marks on any change.
+    pub dirty_threshold: f64,
+}
+
+/// Default dirty threshold: 5% relative movement. Large enough that the
+/// load model's per-interval jitter (memory noise, page-fault drift) does
+/// not mark idle nodes dirty every refresh, small enough that any real load
+/// shift does.
+pub const DEFAULT_DIRTY_THRESHOLD: f64 = 0.05;
+
+impl Default for PlaneConfig {
+    fn default() -> Self {
+        PlaneConfig {
+            enabled: false,
+            ttl: DEFAULT_TTL,
+            dirty_threshold: DEFAULT_DIRTY_THRESHOLD,
+        }
+    }
+}
+
+/// Point-in-time statistics of the aggregation plane.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlaneStats {
+    /// Whether the plane is enabled.
+    pub enabled: bool,
+    /// Sample TTL in virtual seconds.
+    pub ttl: f64,
+    /// Cache hits since the plane was created.
+    pub hits: u64,
+    /// Cache misses (fresh samples taken) since the plane was created.
+    pub misses: u64,
+    /// Explicit invalidations (failures, epoch bumps).
+    pub invalidations: u64,
+    /// Machines currently holding a cached sample.
+    pub cached: usize,
+    /// Virtual nodes queued for the next dirty-mode automigration scan.
+    pub dirty: usize,
+    /// Free machines currently indexed by the placement heap.
+    pub heap: usize,
+    /// Virtual nodes contributing to a component rollup.
+    pub tracked: usize,
+}
+
+/// Result of one constraint-violation scan.
+#[derive(Clone, Debug, Default)]
+pub struct ViolationScan {
+    /// Violating `(node, machine)` pairs in ascending node order.
+    pub violations: Vec<(NodeKey, NodeId)>,
+    /// Number of nodes whose constraints were actually evaluated.
+    pub evaluated: usize,
+}
+
+/// Mutable state of the aggregation plane, owned by `VdaState`.
+#[derive(Debug)]
+pub(crate) struct AggPlane {
+    /// Fast path on/off. When off, every other field is quiescent and the
+    /// registry behaves exactly as before the plane existed.
+    pub enabled: bool,
+    /// Relative dirty-marking threshold (see [`PlaneConfig`]).
+    pub dirty_threshold: f64,
+    /// Per-machine sample cache (virtual-time TTL + epoch invalidation).
+    pub cache: SampleCache,
+    /// Virtual time of the last completed refresh sweep, if any.
+    pub last_refresh: Option<f64>,
+    /// Pool membership at the last refresh; a change forces a sweep even
+    /// inside the TTL window.
+    pub cached_ids: Vec<NodeId>,
+    /// The exact snapshot each attached node currently contributes to its
+    /// ancestor rollups — removed verbatim on detach, so rollups never leak.
+    pub contrib: HashMap<NodeKey, SysSnapshot>,
+    /// Live virtual nodes per physical machine, for dirty propagation.
+    pub live_by_phys: HashMap<NodeId, Vec<NodeKey>>,
+    /// Min-heap of free machines by `(CpuLoad1, NodeId)`, lazily pruned.
+    pub heap: BinaryHeap<Reverse<(OrdF64, NodeId)>>,
+    /// Authoritative `machine -> load` map; a heap entry is valid only if it
+    /// matches this bit-exactly.
+    pub heap_loads: HashMap<NodeId, f64>,
+    /// Nodes whose cached sample moved past the threshold since the last
+    /// scan (plus freshly allocated/re-attached nodes).
+    pub dirty: HashSet<NodeKey>,
+    /// Nodes found violating by the last scan; always re-evaluated so a
+    /// recovery is noticed even without a sample delta.
+    pub watch: HashSet<NodeKey>,
+}
+
+impl Default for AggPlane {
+    fn default() -> Self {
+        AggPlane {
+            enabled: false,
+            dirty_threshold: 0.0,
+            cache: SampleCache::new(DEFAULT_TTL),
+            last_refresh: None,
+            cached_ids: Vec::new(),
+            contrib: HashMap::new(),
+            live_by_phys: HashMap::new(),
+            heap: BinaryHeap::new(),
+            heap_loads: HashMap::new(),
+            dirty: HashSet::new(),
+            watch: HashSet::new(),
+        }
+    }
+}
+
+impl AggPlane {
+    /// Snapshot of the plane's statistics.
+    pub fn stats(&self) -> PlaneStats {
+        let c = self.cache.stats();
+        PlaneStats {
+            enabled: self.enabled,
+            ttl: self.cache.ttl(),
+            hits: c.hits,
+            misses: c.misses,
+            invalidations: c.invalidations,
+            cached: c.entries,
+            dirty: self.dirty.len(),
+            heap: self.heap_loads.len(),
+            tracked: self.contrib.len(),
+        }
+    }
+
+    /// Drops every derived structure (keeping configuration and lifetime
+    /// cache counters) — used on disable and before a rebuild.
+    pub fn clear(&mut self) {
+        self.cache.bump_epoch();
+        self.last_refresh = None;
+        self.cached_ids.clear();
+        self.contrib.clear();
+        self.live_by_phys.clear();
+        self.heap.clear();
+        self.heap_loads.clear();
+        self.dirty.clear();
+        self.watch.clear();
+    }
+
+    /// Indexes `id` as a free machine under `load`.
+    pub fn heap_push(&mut self, id: NodeId, load: f64) {
+        self.heap_loads.insert(id, load);
+        self.heap.push(Reverse((OrdF64(load), id)));
+    }
+}
+
+/// The heap key for a cached sample: smoothed 1-minute load, with missing
+/// values sorting last (mirrors the slow path's `unwrap_or(f64::MAX)`).
+pub(crate) fn load_of(snap: &SysSnapshot) -> f64 {
+    snap.num(SysParam::CpuLoad1).unwrap_or(f64::MAX)
+}
+
+/// Whether the sample moved enough to re-evaluate its nodes' constraints.
+///
+/// Numeric parameters compare relatively (`|new - old| > thr * max(|old|,
+/// 1)`, so MB-scale and fraction-scale parameters get comparable
+/// sensitivity); any string change, or a parameter appearing/disappearing,
+/// always trips it. A threshold of `0.0` trips on any change at all.
+///
+/// `UptimeSecs` is excluded: it grows linearly with virtual time, so it
+/// would mark every node dirty on every refresh. Constraints on it are
+/// still caught by the periodic full scan.
+pub(crate) fn delta_exceeds(old: &SysSnapshot, new: &SysSnapshot, threshold: f64) -> bool {
+    if old.len() != new.len() {
+        return true;
+    }
+    for (param, nv) in new.iter() {
+        if *param == SysParam::UptimeSecs {
+            continue;
+        }
+        match (old.get(*param), nv) {
+            (Some(ParamValue::Num(o)), ParamValue::Num(n)) => {
+                if (n - o).abs() > threshold * o.abs().max(1.0) {
+                    return true;
+                }
+            }
+            (Some(ov), nv) => {
+                if ov != nv {
+                    return true;
+                }
+            }
+            (None, _) => return true,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsym_sysmon::SysParam;
+
+    fn snap(load: f64, mem: f64, name: &str) -> SysSnapshot {
+        let mut s = SysSnapshot::empty(0.0);
+        s.set(SysParam::CpuLoad1, load);
+        s.set(SysParam::AvailMem, mem);
+        s.set(SysParam::NodeName, name);
+        s
+    }
+
+    #[test]
+    fn ord_f64_orders_totally() {
+        let mut v = vec![OrdF64(2.0), OrdF64(f64::MAX), OrdF64(0.5), OrdF64(0.0)];
+        v.sort();
+        assert_eq!(v[0], OrdF64(0.0));
+        assert_eq!(v[3], OrdF64(f64::MAX));
+    }
+
+    #[test]
+    fn delta_is_relative_per_parameter() {
+        let a = snap(0.10, 200.0, "m0");
+        // 200 -> 205 MB is a 2.5% move: below a 0.25 threshold.
+        let b = snap(0.10, 205.0, "m0");
+        assert!(!delta_exceeds(&a, &b, 0.25));
+        // Load 0.10 -> 0.90 compares against max(|old|, 1) = 1.
+        let c = snap(0.90, 200.0, "m0");
+        assert!(delta_exceeds(&a, &c, 0.25));
+        // Zero threshold trips on any change.
+        assert!(delta_exceeds(&a, &b, 0.0));
+        assert!(!delta_exceeds(&a, &a.clone(), 0.0));
+    }
+
+    #[test]
+    fn delta_trips_on_strings_and_shape() {
+        let a = snap(0.1, 200.0, "m0");
+        let renamed = snap(0.1, 200.0, "m1");
+        assert!(delta_exceeds(&a, &renamed, 10.0));
+        let mut fewer = a.clone();
+        fewer.set(SysParam::IdlePct, 50.0);
+        assert!(delta_exceeds(&a, &fewer, 10.0));
+    }
+
+    #[test]
+    fn heap_pops_in_load_then_id_order() {
+        let mut p = AggPlane::default();
+        p.heap_push(NodeId(3), 0.5);
+        p.heap_push(NodeId(1), 0.5);
+        p.heap_push(NodeId(2), 0.1);
+        let mut order = Vec::new();
+        while let Some(Reverse((_, id))) = p.heap.pop() {
+            order.push(id.0);
+        }
+        assert_eq!(order, vec![2, 1, 3]);
+    }
+}

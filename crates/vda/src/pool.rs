@@ -93,6 +93,18 @@ impl ResourcePool {
     pub fn contains(&self, id: NodeId) -> bool {
         self.state.read().machines.contains_key(&id)
     }
+
+    /// Current virtual time as seen by the pool's machines (`0.0` when the
+    /// pool is empty). All machines of one deployment share a clock.
+    pub fn now(&self) -> f64 {
+        self.state
+            .read()
+            .machines
+            .values()
+            .next()
+            .map(|m| m.clock().now())
+            .unwrap_or(0.0)
+    }
 }
 
 impl Default for ResourcePool {

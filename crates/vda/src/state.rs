@@ -5,9 +5,11 @@
 //! handles in [`crate::handles`] are thin wrappers.
 
 use crate::event::{ManagerScope, VdaEvent};
+use crate::plane::{self, AggPlane, OrdF64, PlaneConfig, ViolationScan};
 use crate::{ClusterKey, DomainKey, NodeKey, ResourcePool, Result, SiteKey, VdaError};
 use jsym_net::NodeId;
-use jsym_sysmon::{JsConstraints, SysParam};
+use jsym_sysmon::{JsConstraints, ParamRollup, SysParam, SysSnapshot};
+use std::cmp::Reverse;
 use std::collections::{HashMap, HashSet};
 
 #[derive(Debug)]
@@ -31,6 +33,8 @@ pub(crate) struct ClusterEntry {
     pub constraints: Option<JsConstraints>,
     pub manager: Option<NodeKey>,
     pub backup: Option<NodeKey>,
+    /// Incremental parameter aggregate over member nodes (plane fast path).
+    pub rollup: ParamRollup,
 }
 
 #[derive(Debug)]
@@ -42,6 +46,8 @@ pub(crate) struct SiteEntry {
     /// Invariant: a site manager is the manager of one of its clusters.
     pub manager: Option<NodeKey>,
     pub backup: Option<NodeKey>,
+    /// Incremental parameter aggregate over all contained nodes.
+    pub rollup: ParamRollup,
 }
 
 #[derive(Debug)]
@@ -52,6 +58,8 @@ pub(crate) struct DomainEntry {
     /// Invariant: a domain manager is the manager of one of its sites.
     pub manager: Option<NodeKey>,
     pub backup: Option<NodeKey>,
+    /// Incremental parameter aggregate over all contained nodes.
+    pub rollup: ParamRollup,
 }
 
 #[derive(Default)]
@@ -66,6 +74,8 @@ pub(crate) struct VdaState {
     pub failed: HashSet<NodeId>,
     /// Events produced by the current operation, drained by the registry.
     pub pending_events: Vec<VdaEvent>,
+    /// The parameter aggregation plane (disabled by default).
+    pub plane: AggPlane,
 }
 
 impl VdaState {
@@ -127,6 +137,13 @@ impl VdaState {
             named,
         });
         *self.allocated.entry(phys).or_insert(0) += 1;
+        if self.plane.enabled {
+            // The machine is no longer free; the node is evaluated on the
+            // next dirty scan.
+            self.plane.heap_loads.remove(&phys);
+            self.plane.live_by_phys.entry(phys).or_default().push(key);
+            self.plane.dirty.insert(key);
+        }
         self.emit(VdaEvent::NodeAllocated { node: key, phys });
         key
     }
@@ -139,6 +156,9 @@ impl VdaState {
         pool: &ResourcePool,
         constraints: Option<&JsConstraints>,
     ) -> Result<NodeKey> {
+        if self.plane.enabled {
+            return self.alloc_any_fast(pool, constraints);
+        }
         let candidates = self.free_machines(pool);
         if candidates.is_empty() {
             return Err(VdaError::InsufficientNodes {
@@ -170,6 +190,9 @@ impl VdaState {
     /// always honored while the machine is alive, even if it already backs
     /// another virtual node (explicit sharing).
     pub fn alloc_named(&mut self, pool: &ResourcePool, name: &str) -> Result<NodeKey> {
+        // Keep the plane's invariant that every machine backing a live node
+        // has a cached sample.
+        self.plane_refresh(pool);
         let (id, _) = pool.by_name(name)?;
         if self.failed.contains(&id) {
             return Err(VdaError::UnknownPhysicalNode(id));
@@ -185,6 +208,9 @@ impl VdaState {
         n: usize,
         constraints: Option<&JsConstraints>,
     ) -> Result<Vec<NodeKey>> {
+        if self.plane.enabled {
+            return self.alloc_many_fast(pool, n, constraints);
+        }
         let mut ranked: Vec<(f64, NodeId)> = Vec::new();
         let candidates = self.free_machines(pool);
         for id in &candidates {
@@ -214,6 +240,126 @@ impl VdaState {
             .collect())
     }
 
+    // ------------------------------------------------- indexed allocation
+
+    /// Pops the next valid free machine off the placement heap, or `None`
+    /// when the heap is exhausted. Stale entries (superseded load, machine
+    /// no longer free) are discarded lazily.
+    fn pop_free(&mut self) -> Option<(f64, NodeId)> {
+        while let Some(Reverse((OrdF64(load), id))) = self.plane.heap.pop() {
+            if self.plane.heap_loads.get(&id) != Some(&load) {
+                continue; // superseded by a newer load for this machine
+            }
+            let free =
+                !self.failed.contains(&id) && self.allocated.get(&id).copied().unwrap_or(0) == 0;
+            if !free {
+                self.plane.heap_loads.remove(&id);
+                continue;
+            }
+            return Some((load, id));
+        }
+        None
+    }
+
+    /// Heap-indexed `alloc_any`: pops candidates in exactly the `(load, id)`
+    /// order the slow path would rank them, so both paths pick the same
+    /// machine given the same samples.
+    fn alloc_any_fast(
+        &mut self,
+        pool: &ResourcePool,
+        constraints: Option<&JsConstraints>,
+    ) -> Result<NodeKey> {
+        self.plane_refresh(pool);
+        // Judge cache validity at the refresh watermark, not a later clock
+        // read: at steep time scales the TTL can lapse mid-operation.
+        let now = self.plane.last_refresh.unwrap_or_else(|| pool.now());
+        let compiled = constraints.map(|c| c.compile());
+        let mut rejected: Vec<(f64, NodeId)> = Vec::new();
+        let mut chosen: Option<NodeId> = None;
+        while let Some((load, id)) = self.pop_free() {
+            let ok = match &compiled {
+                None => true,
+                Some(c) => self
+                    .plane
+                    .cache
+                    .get(id, now)
+                    .is_some_and(|snap| c.holds(snap)),
+            };
+            if ok {
+                chosen = Some(id);
+                break;
+            }
+            rejected.push((load, id));
+        }
+        for (load, id) in rejected {
+            self.plane.heap.push(Reverse((OrdF64(load), id)));
+        }
+        match chosen {
+            Some(id) => Ok(self.insert_node(id, constraints.cloned(), false)),
+            None if self.plane.heap_loads.is_empty() => Err(VdaError::InsufficientNodes {
+                requested: 1,
+                available: 0,
+            }),
+            None => Err(VdaError::ConstraintsUnsatisfied),
+        }
+    }
+
+    /// Heap-indexed `alloc_many`; all-or-nothing like the slow path.
+    fn alloc_many_fast(
+        &mut self,
+        pool: &ResourcePool,
+        n: usize,
+        constraints: Option<&JsConstraints>,
+    ) -> Result<Vec<NodeKey>> {
+        self.plane_refresh(pool);
+        let now = self.plane.last_refresh.unwrap_or_else(|| pool.now());
+        let compiled = constraints.map(|c| c.compile());
+        let mut satisfying: Vec<(f64, NodeId)> = Vec::new();
+        let mut rejected: Vec<(f64, NodeId)> = Vec::new();
+        while satisfying.len() < n {
+            let Some((load, id)) = self.pop_free() else {
+                break;
+            };
+            let ok = match &compiled {
+                None => true,
+                Some(c) => self
+                    .plane
+                    .cache
+                    .get(id, now)
+                    .is_some_and(|snap| c.holds(snap)),
+            };
+            if ok {
+                satisfying.push((load, id));
+            } else {
+                rejected.push((load, id));
+            }
+        }
+        if satisfying.len() < n {
+            // The heap was drained, so satisfying + rejected is every free
+            // machine — the same candidate set the slow path would count.
+            let available = satisfying.len();
+            let free_total = available + rejected.len();
+            for (load, id) in satisfying.into_iter().chain(rejected) {
+                self.plane.heap.push(Reverse((OrdF64(load), id)));
+            }
+            return Err(if constraints.is_some() && free_total >= n {
+                VdaError::ConstraintsUnsatisfied
+            } else {
+                VdaError::InsufficientNodes {
+                    requested: n,
+                    available,
+                }
+            });
+        }
+        for (load, id) in rejected {
+            self.plane.heap.push(Reverse((OrdF64(load), id)));
+        }
+        Ok(satisfying
+            .into_iter()
+            .map(|(_, id)| self.insert_node(id, constraints.cloned(), false))
+            .collect())
+    }
+
     // ------------------------------------------------------------ structure
 
     pub fn new_cluster(&mut self, constraints: Option<JsConstraints>) -> ClusterKey {
@@ -225,6 +371,7 @@ impl VdaState {
             constraints,
             manager: None,
             backup: None,
+            rollup: ParamRollup::new(),
         });
         key
     }
@@ -238,6 +385,7 @@ impl VdaState {
             constraints,
             manager: None,
             backup: None,
+            rollup: ParamRollup::new(),
         });
         key
     }
@@ -250,6 +398,7 @@ impl VdaState {
             constraints,
             manager: None,
             backup: None,
+            rollup: ParamRollup::new(),
         });
         key
     }
@@ -268,6 +417,7 @@ impl VdaState {
         self.node_mut(nk).parent = Some(ck);
         self.cluster_mut(ck).nodes.push(nk);
         self.refresh_managers_for_cluster(ck, false);
+        self.plane_attach_node(nk);
         Ok(())
     }
 
@@ -288,6 +438,7 @@ impl VdaState {
         if let Some(dk) = self.site(sk).parent {
             self.refresh_domain_manager(dk, false);
         }
+        self.plane_lift_cluster(sk, ck);
         Ok(())
     }
 
@@ -305,6 +456,7 @@ impl VdaState {
         self.site_mut(sk).parent = Some(dk);
         self.domain_mut(dk).sites.push(sk);
         self.refresh_domain_manager(dk, false);
+        self.plane_lift_site(dk, sk);
         Ok(())
     }
 
@@ -321,7 +473,17 @@ impl VdaState {
         self.node_mut(nk).parent = Some(ck);
         self.cluster_mut(ck).nodes.push(nk);
         self.refresh_managers_for_cluster(ck, false);
+        self.plane_attach_node(nk);
         Ok(ck)
+    }
+
+    /// Read-only variant of [`Self::cluster_of_node`]: `None` when the
+    /// implicit cluster has not been materialized yet.
+    pub fn cluster_of_node_ref(&self, nk: NodeKey) -> Result<Option<ClusterKey>> {
+        if self.node(nk).freed {
+            return Err(VdaError::Freed("node"));
+        }
+        Ok(self.node(nk).parent)
     }
 
     pub fn site_of_cluster(&mut self, ck: ClusterKey) -> Result<SiteKey> {
@@ -335,7 +497,16 @@ impl VdaState {
         self.cluster_mut(ck).parent = Some(sk);
         self.site_mut(sk).clusters.push(ck);
         self.refresh_site_manager(sk, false);
+        self.plane_lift_cluster(sk, ck);
         Ok(sk)
+    }
+
+    /// Read-only variant of [`Self::site_of_cluster`].
+    pub fn site_of_cluster_ref(&self, ck: ClusterKey) -> Result<Option<SiteKey>> {
+        if self.cluster(ck).freed {
+            return Err(VdaError::Freed("cluster"));
+        }
+        Ok(self.cluster(ck).parent)
     }
 
     pub fn domain_of_site(&mut self, sk: SiteKey) -> Result<DomainKey> {
@@ -349,7 +520,16 @@ impl VdaState {
         self.site_mut(sk).parent = Some(dk);
         self.domain_mut(dk).sites.push(sk);
         self.refresh_domain_manager(dk, false);
+        self.plane_lift_site(dk, sk);
         Ok(dk)
+    }
+
+    /// Read-only variant of [`Self::domain_of_site`].
+    pub fn domain_of_site_ref(&self, sk: SiteKey) -> Result<Option<DomainKey>> {
+        if self.site(sk).freed {
+            return Err(VdaError::Freed("site"));
+        }
+        Ok(self.site(sk).parent)
     }
 
     // --------------------------------------------------------------- freeing
@@ -360,6 +540,8 @@ impl VdaState {
         }
         let phys = self.node(nk).phys;
         let parent = self.node(nk).parent;
+        // Remove the node's contribution while its parent chain is intact.
+        self.plane_detach_node(nk);
         self.node_mut(nk).freed = true;
         if let Some(count) = self.allocated.get_mut(&phys) {
             *count = count.saturating_sub(1);
@@ -367,6 +549,24 @@ impl VdaState {
         if let Some(ck) = parent {
             self.cluster_mut(ck).nodes.retain(|&k| k != nk);
             self.refresh_managers_for_cluster(ck, false);
+        }
+        if self.plane.enabled {
+            self.plane.dirty.remove(&nk);
+            self.plane.watch.remove(&nk);
+            if let Some(v) = self.plane.live_by_phys.get_mut(&phys) {
+                v.retain(|&k| k != nk);
+            }
+            // If the machine just became free again, re-index it under its
+            // cached load (bit-exact, so the heap entry stays valid).
+            let now_free = !self.failed.contains(&phys)
+                && self.allocated.get(&phys).copied().unwrap_or(0) == 0;
+            if now_free {
+                if let Some(load) = self.plane.cache.peek(phys).map(plane::load_of) {
+                    if self.plane.heap_loads.get(&phys) != Some(&load) {
+                        self.plane.heap_push(phys, load);
+                    }
+                }
+            }
         }
         self.emit(VdaEvent::NodeFreed { node: nk, phys });
         Ok(())
@@ -377,8 +577,10 @@ impl VdaState {
             return Err(VdaError::Freed("cluster"));
         }
         for nk in self.cluster(ck).nodes.clone() {
-            // Members lose their parent first so free_node does not mutate
-            // the cluster we are tearing down.
+            // Detach the rollup contribution while the full ancestor chain
+            // is still visible, then drop the parent link so free_node does
+            // not mutate the cluster we are tearing down.
+            self.plane_detach_node(nk);
             self.node_mut(nk).parent = None;
             self.free_node(nk)?;
         }
@@ -403,6 +605,13 @@ impl VdaState {
             return Err(VdaError::Freed("site"));
         }
         for ck in self.site(sk).clusters.clone() {
+            if self.plane.enabled {
+                // Detach node contributions while cluster->site->domain
+                // links are still intact.
+                for nk in self.cluster(ck).nodes.clone() {
+                    self.plane_detach_node(nk);
+                }
+            }
             self.cluster_mut(ck).parent = None;
             self.free_cluster(ck)?;
         }
@@ -424,6 +633,13 @@ impl VdaState {
             return Err(VdaError::Freed("domain"));
         }
         for sk in self.domain(dk).sites.clone() {
+            if self.plane.enabled {
+                for ck in self.site(sk).clusters.clone() {
+                    for nk in self.cluster(ck).nodes.clone() {
+                        self.plane_detach_node(nk);
+                    }
+                }
+            }
             self.site_mut(sk).parent = None;
             self.free_site(sk)?;
         }
@@ -578,6 +794,12 @@ impl VdaState {
         if !self.failed.insert(phys) {
             return; // already handled
         }
+        if self.plane.enabled {
+            // A failed machine's sample is meaningless and it must never be
+            // handed out by the heap.
+            self.plane.cache.invalidate(phys);
+            self.plane.heap_loads.remove(&phys);
+        }
         self.emit(VdaEvent::NodeFailed { phys });
         let affected: Vec<NodeKey> = self
             .nodes
@@ -598,6 +820,358 @@ impl VdaState {
         // simply releases this node").
         for nk in affected {
             let _ = self.free_node(nk);
+        }
+    }
+
+    // ----------------------------------------------------- aggregation plane
+
+    /// Applies a plane configuration. Enabling rebuilds every derived
+    /// structure from the pool, so the plane can be switched on mid-flight;
+    /// disabling drops them and reverts to the slow path.
+    pub fn set_plane_config(&mut self, pool: &ResourcePool, cfg: PlaneConfig) {
+        self.plane.cache.set_ttl(cfg.ttl);
+        self.plane.dirty_threshold = cfg.dirty_threshold;
+        if cfg.enabled == self.plane.enabled {
+            if cfg.enabled {
+                // TTL/threshold may have changed: force a sweep next time.
+                self.plane.last_refresh = None;
+            }
+            return;
+        }
+        self.plane.enabled = cfg.enabled;
+        if cfg.enabled {
+            self.rebuild_plane(pool);
+        } else {
+            self.plane.clear();
+            for c in &mut self.clusters {
+                c.rollup = ParamRollup::new();
+            }
+            for s in &mut self.sites {
+                s.rollup = ParamRollup::new();
+            }
+            for d in &mut self.domains {
+                d.rollup = ParamRollup::new();
+            }
+        }
+    }
+
+    /// Current plane configuration.
+    pub fn plane_config(&self) -> PlaneConfig {
+        PlaneConfig {
+            enabled: self.plane.enabled,
+            ttl: self.plane.cache.ttl(),
+            dirty_threshold: self.plane.dirty_threshold,
+        }
+    }
+
+    /// Rebuilds cache, heap, contributions and rollups from scratch.
+    fn rebuild_plane(&mut self, pool: &ResourcePool) {
+        self.plane.clear();
+        for c in &mut self.clusters {
+            c.rollup = ParamRollup::new();
+        }
+        for s in &mut self.sites {
+            s.rollup = ParamRollup::new();
+        }
+        for d in &mut self.domains {
+            d.rollup = ParamRollup::new();
+        }
+        let now = pool.now();
+        let ids = pool.ids();
+        for &id in &ids {
+            if let Ok(snap) = pool.snapshot_of(id) {
+                self.plane.cache.put(id, snap);
+            }
+        }
+        let live: Vec<(NodeKey, NodeId)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.freed)
+            .map(|(i, n)| (NodeKey(i as u32), n.phys))
+            .collect();
+        for &(nk, phys) in &live {
+            self.plane.live_by_phys.entry(phys).or_default().push(nk);
+            self.plane.dirty.insert(nk);
+            self.plane_attach_node(nk);
+        }
+        for &id in &ids {
+            let free =
+                !self.failed.contains(&id) && self.allocated.get(&id).copied().unwrap_or(0) == 0;
+            if free {
+                if let Some(load) = self.plane.cache.peek(id).map(plane::load_of) {
+                    self.plane.heap_push(id, load);
+                }
+            }
+        }
+        self.plane.last_refresh = Some(now);
+        self.plane.cached_ids = ids;
+    }
+
+    /// Ancestor chain of a node as it stands right now.
+    fn ancestors(&self, nk: NodeKey) -> (Option<ClusterKey>, Option<SiteKey>, Option<DomainKey>) {
+        let ck = self.node(nk).parent;
+        let sk = ck.and_then(|c| self.cluster(c).parent);
+        let dk = sk.and_then(|s| self.site(s).parent);
+        (ck, sk, dk)
+    }
+
+    /// Starts counting `nk`'s cached sample into its ancestors' rollups.
+    /// No-op when the plane is off, the node is unattached, or its machine
+    /// has no cached sample (failed machines after invalidation).
+    fn plane_attach_node(&mut self, nk: NodeKey) {
+        if !self.plane.enabled {
+            return;
+        }
+        let (ck, sk, dk) = self.ancestors(nk);
+        let Some(ck) = ck else {
+            return;
+        };
+        let phys = self.node(nk).phys;
+        let Some(snap) = self.plane.cache.peek(phys).cloned() else {
+            return;
+        };
+        self.cluster_mut(ck).rollup.add(&snap);
+        if let Some(sk) = sk {
+            self.site_mut(sk).rollup.add(&snap);
+        }
+        if let Some(dk) = dk {
+            self.domain_mut(dk).rollup.add(&snap);
+        }
+        self.plane.contrib.insert(nk, snap);
+        self.plane.dirty.insert(nk);
+    }
+
+    /// Removes `nk`'s contribution from its ancestors' rollups. Idempotent:
+    /// a second call finds no stored contribution and does nothing. Must run
+    /// while the node's parent chain is still intact.
+    fn plane_detach_node(&mut self, nk: NodeKey) {
+        if !self.plane.enabled {
+            return;
+        }
+        let Some(snap) = self.plane.contrib.remove(&nk) else {
+            return;
+        };
+        let (ck, sk, dk) = self.ancestors(nk);
+        if let Some(ck) = ck {
+            self.cluster_mut(ck).rollup.remove(&snap);
+        }
+        if let Some(sk) = sk {
+            self.site_mut(sk).rollup.remove(&snap);
+        }
+        if let Some(dk) = dk {
+            self.domain_mut(dk).rollup.remove(&snap);
+        }
+        self.plane.dirty.remove(&nk);
+        self.plane.watch.remove(&nk);
+    }
+
+    /// A cluster just gained a site parent: its members' contributions now
+    /// also count toward the site (and the site's domain, if any).
+    fn plane_lift_cluster(&mut self, sk: SiteKey, ck: ClusterKey) {
+        if !self.plane.enabled {
+            return;
+        }
+        let dk = self.site(sk).parent;
+        for nk in self.cluster(ck).nodes.clone() {
+            if let Some(snap) = self.plane.contrib.get(&nk).cloned() {
+                self.site_mut(sk).rollup.add(&snap);
+                if let Some(dk) = dk {
+                    self.domain_mut(dk).rollup.add(&snap);
+                }
+            }
+            // Ancestor constraints changed: re-evaluate on the next scan.
+            self.plane.dirty.insert(nk);
+        }
+    }
+
+    /// A site just gained a domain parent: lift every contained node's
+    /// contribution into the domain rollup.
+    fn plane_lift_site(&mut self, dk: DomainKey, sk: SiteKey) {
+        if !self.plane.enabled {
+            return;
+        }
+        for ck in self.site(sk).clusters.clone() {
+            for nk in self.cluster(ck).nodes.clone() {
+                if let Some(snap) = self.plane.contrib.get(&nk).cloned() {
+                    self.domain_mut(dk).rollup.add(&snap);
+                }
+                self.plane.dirty.insert(nk);
+            }
+        }
+    }
+
+    /// Refreshes the per-machine sample cache if the TTL window has lapsed
+    /// (or pool membership changed), propagating new samples into rollups,
+    /// the placement heap and the dirty set. Cheap when fresh: a virtual
+    /// clock read and a membership comparison.
+    pub fn plane_refresh(&mut self, pool: &ResourcePool) {
+        if !self.plane.enabled {
+            return;
+        }
+        let now = pool.now();
+        let ids = pool.ids();
+        let fresh = self
+            .plane
+            .last_refresh
+            .is_some_and(|t| now - t <= self.plane.cache.ttl());
+        if fresh && ids == self.plane.cached_ids {
+            return;
+        }
+        if ids != self.plane.cached_ids {
+            let keep: HashSet<NodeId> = ids.iter().copied().collect();
+            self.plane.cache.retain(|id| keep.contains(&id));
+            self.plane.heap_loads.retain(|id, _| keep.contains(id));
+        }
+        let mut changed: Vec<(NodeId, Option<SysSnapshot>, SysSnapshot)> = Vec::new();
+        for &id in &ids {
+            if self.plane.cache.get(id, now).is_none() {
+                let Ok(snap) = pool.snapshot_of(id) else {
+                    continue;
+                };
+                let old = self.plane.cache.put(id, snap.clone());
+                if old.as_ref() != Some(&snap) {
+                    changed.push((id, old, snap));
+                }
+            }
+            let free =
+                !self.failed.contains(&id) && self.allocated.get(&id).copied().unwrap_or(0) == 0;
+            if free {
+                let load = self
+                    .plane
+                    .cache
+                    .peek(id)
+                    .map(plane::load_of)
+                    .unwrap_or(f64::MAX);
+                if self.plane.heap_loads.get(&id) != Some(&load) {
+                    self.plane.heap_push(id, load);
+                }
+            } else {
+                self.plane.heap_loads.remove(&id);
+            }
+        }
+        let threshold = self.plane.dirty_threshold;
+        for (id, old, snap) in changed {
+            let exceeded = old
+                .as_ref()
+                .is_none_or(|o| plane::delta_exceeds(o, &snap, threshold));
+            let nks: Vec<NodeKey> = self
+                .plane
+                .live_by_phys
+                .get(&id)
+                .cloned()
+                .unwrap_or_default();
+            for nk in nks {
+                if exceeded {
+                    self.plane.dirty.insert(nk);
+                }
+                if let Some(prev) = self.plane.contrib.get(&nk).cloned() {
+                    let (ck, sk, dk) = self.ancestors(nk);
+                    if let Some(ck) = ck {
+                        self.cluster_mut(ck).rollup.replace(&prev, &snap);
+                    }
+                    if let Some(sk) = sk {
+                        self.site_mut(sk).rollup.replace(&prev, &snap);
+                    }
+                    if let Some(dk) = dk {
+                        self.domain_mut(dk).rollup.replace(&prev, &snap);
+                    }
+                    self.plane.contrib.insert(nk, snap.clone());
+                }
+            }
+        }
+        self.plane.last_refresh = Some(now);
+        self.plane.cached_ids = ids;
+    }
+
+    /// Scans for constraint violations. Full mode evaluates every live
+    /// constrained node against a fresh sample (the pre-plane behavior);
+    /// dirty mode re-evaluates only nodes whose cached sample moved past
+    /// the threshold plus the current watch set, against cached samples.
+    /// Given the same samples both modes report the same violations: an
+    /// unchanged sample cannot change an unchanged constraint's verdict.
+    pub fn scan_violations(&mut self, pool: &ResourcePool, dirty_only: bool) -> ViolationScan {
+        if dirty_only && self.plane.enabled {
+            self.scan_violations_dirty(pool)
+        } else {
+            self.scan_violations_full(pool)
+        }
+    }
+
+    fn scan_violations_full(&mut self, pool: &ResourcePool) -> ViolationScan {
+        let mut violations = Vec::new();
+        let mut evaluated = 0usize;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.freed {
+                continue;
+            }
+            let nk = NodeKey(i as u32);
+            let constraints = self.effective_constraints(nk);
+            if constraints.is_empty() {
+                continue;
+            }
+            evaluated += 1;
+            let Ok(snap) = pool.snapshot_of(n.phys) else {
+                continue;
+            };
+            if !constraints.holds(&snap) {
+                violations.push((nk, n.phys));
+            }
+        }
+        if self.plane.enabled {
+            // A full scan subsumes all pending dirt and resets the watch
+            // set to what is actually violating right now.
+            self.plane.watch = violations.iter().map(|&(nk, _)| nk).collect();
+            self.plane.dirty.clear();
+        }
+        ViolationScan {
+            violations,
+            evaluated,
+        }
+    }
+
+    fn scan_violations_dirty(&mut self, pool: &ResourcePool) -> ViolationScan {
+        self.plane_refresh(pool);
+        let now = self.plane.last_refresh.unwrap_or_else(|| pool.now());
+        let mut to_eval: Vec<NodeKey> =
+            self.plane.dirty.union(&self.plane.watch).copied().collect();
+        to_eval.sort_unstable();
+        let mut violations = Vec::new();
+        let mut evaluated = 0usize;
+        let mut watch = HashSet::new();
+        for nk in to_eval {
+            let (freed, phys) = {
+                let n = self.node(nk);
+                (n.freed, n.phys)
+            };
+            if freed {
+                continue;
+            }
+            let constraints = self.effective_constraints(nk);
+            if constraints.is_empty() {
+                continue;
+            }
+            evaluated += 1;
+            let holds = match self.plane.cache.get(phys, now) {
+                Some(snap) => constraints.holds(snap),
+                // No cached sample (failed machine edge): fall back to a
+                // fresh one; treat an unreachable machine as conforming —
+                // failure handling, not migration, deals with it.
+                None => pool
+                    .snapshot_of(phys)
+                    .map(|s| constraints.holds(&s))
+                    .unwrap_or(true),
+            };
+            if !holds {
+                violations.push((nk, phys));
+                watch.insert(nk);
+            }
+        }
+        self.plane.watch = watch;
+        self.plane.dirty.clear();
+        ViolationScan {
+            violations,
+            evaluated,
         }
     }
 

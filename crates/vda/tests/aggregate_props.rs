@@ -1,0 +1,287 @@
+//! Differential properties for the parameter aggregation plane
+//! (DESIGN.md §9): the incremental paths must be indistinguishable from the
+//! from-scratch paths they replace.
+//!
+//! * [`ParamRollup`] under random add/remove/replace sequences must match
+//!   [`aggregate::average`] recomputed over the surviving contributions.
+//! * A plane-enabled registry must make the same placement decisions (and
+//!   return the same errors) as a plane-disabled registry fed the same
+//!   operation sequence over an identical pool.
+
+use jsym_net::{SimClock, TimeScale};
+use jsym_sysmon::{
+    aggregate, JsConstraints, LoadModel, LoadProfile, MachineSpec, ParamRollup, ParamValue,
+    SimMachine, SysParam, SysSnapshot,
+};
+use jsym_vda::{Cluster, Node, PlaneConfig, ResourcePool, VdaRegistry};
+use proptest::prelude::*;
+
+// ------------------------------------------------- rollup vs. recompute
+
+#[derive(Clone, Debug)]
+enum RollupOp {
+    /// Add a snapshot: (load‰, mem MB, timestamp, string variant 0..3).
+    Add(u16, u16, u8, u8),
+    /// Remove the contribution at index `i % len`.
+    Remove(u8),
+    /// Replace the contribution at index `i % len` with a fresh sample.
+    Replace(u8, u16, u16),
+}
+
+fn arb_rollup_op() -> impl Strategy<Value = RollupOp> {
+    prop_oneof![
+        (0u16..1000, 0u16..512, any::<u8>(), 0u8..3)
+            .prop_map(|(l, m, at, s)| RollupOp::Add(l, m, at, s)),
+        any::<u8>().prop_map(RollupOp::Remove),
+        (any::<u8>(), 0u16..1000, 0u16..512).prop_map(|(i, l, m)| RollupOp::Replace(i, l, m)),
+    ]
+}
+
+fn make_snap(load: u16, mem: u16, at: u8, string_variant: u8) -> SysSnapshot {
+    let mut snap = SysSnapshot::empty(at as f64);
+    snap.set(SysParam::CpuLoad1, load as f64 / 1000.0);
+    snap.set(SysParam::AvailMem, mem as f64);
+    match string_variant {
+        0 => snap.set(SysParam::OsName, "linux"),
+        1 => snap.set(SysParam::OsName, "solaris"),
+        _ => {} // no string param: exercises the full-coverage rule
+    }
+    snap
+}
+
+/// Numeric params within 1e-6 relative, string params exactly equal, and the
+/// same key set on both sides. `at` is excluded: the rollup keeps a
+/// high-water mark while `average` uses the max over survivors.
+fn assert_matches_average(rollup: &ParamRollup, shadow: &[SysSnapshot]) -> TestCaseResult {
+    let inc = rollup.to_snapshot();
+    let full = aggregate::average(shadow);
+    let inc_keys: Vec<SysParam> = inc.iter().map(|(&p, _)| p).collect();
+    let full_keys: Vec<SysParam> = full.iter().map(|(&p, _)| p).collect();
+    prop_assert_eq!(inc_keys, full_keys, "param key sets diverged");
+    for (&param, value) in full.iter() {
+        match value {
+            ParamValue::Num(want) => {
+                let got = inc.num(param).unwrap();
+                let tol = 1e-6 * want.abs().max(1.0);
+                prop_assert!(
+                    (got - want).abs() <= tol,
+                    "{param:?}: incremental {got} vs recomputed {want}"
+                );
+            }
+            ParamValue::Str(want) => {
+                prop_assert_eq!(inc.str(param), Some(want.as_str()), "{:?}", param);
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_rollup_matches_recompute(ops in proptest::collection::vec(arb_rollup_op(), 1..80)) {
+        let mut rollup = ParamRollup::new();
+        let mut shadow: Vec<SysSnapshot> = Vec::new();
+        for op in &ops {
+            match *op {
+                RollupOp::Add(l, m, at, s) => {
+                    let snap = make_snap(l, m, at, s);
+                    rollup.add(&snap);
+                    shadow.push(snap);
+                }
+                RollupOp::Remove(i) => {
+                    if !shadow.is_empty() {
+                        let snap = shadow.remove(i as usize % shadow.len());
+                        rollup.remove(&snap);
+                    }
+                }
+                RollupOp::Replace(i, l, m) => {
+                    if !shadow.is_empty() {
+                        let idx = i as usize % shadow.len();
+                        let fresh = make_snap(l, m, 200, 2);
+                        rollup.replace(&shadow[idx], &fresh);
+                        shadow[idx] = fresh;
+                    }
+                }
+            }
+            prop_assert_eq!(rollup.len(), shadow.len());
+            assert_matches_average(&rollup, &shadow)?;
+        }
+    }
+}
+
+// --------------------------------------------- fast path vs. slow path
+
+#[derive(Clone, Debug)]
+enum PlaceOp {
+    /// Unconstrained single-node allocation.
+    Any,
+    /// Allocation constrained to CpuLoad1 <= x/100.
+    Constrained(u8),
+    /// Cluster of `n` nodes, optionally constrained.
+    Many(u8, Option<u8>),
+    /// Free the node pair at index `i % len`.
+    FreeNode(u8),
+    /// Free the cluster pair at index `i % len`.
+    FreeCluster(u8),
+}
+
+fn arb_place_op() -> impl Strategy<Value = PlaceOp> {
+    prop_oneof![
+        Just(PlaceOp::Any),
+        (0u8..100).prop_map(PlaceOp::Constrained),
+        (1u8..5, prop_oneof![Just(None), (0u8..100).prop_map(Some)])
+            .prop_map(|(n, c)| PlaceOp::Many(n, c)),
+        any::<u8>().prop_map(PlaceOp::FreeNode),
+        any::<u8>().prop_map(PlaceOp::FreeCluster),
+    ]
+}
+
+/// Two registries over identically built pools sharing one effectively
+/// frozen clock (1e9 real seconds per virtual second), so both sides see
+/// bit-identical samples.
+fn twin_registries(loads: &[u8]) -> (VdaRegistry, VdaRegistry) {
+    let clock = SimClock::new(TimeScale::new(1e9));
+    let build = |clock: &SimClock| {
+        let pool = ResourcePool::new();
+        for (i, &l) in loads.iter().enumerate() {
+            pool.add_machine(SimMachine::new(
+                MachineSpec::generic(&format!("m{i}"), 25.0 + i as f64, 128.0),
+                LoadModel::new(LoadProfile::Constant(l as f64 / 100.0), i as u64),
+                clock.clone(),
+            ));
+        }
+        pool
+    };
+    let fast = VdaRegistry::new(build(&clock));
+    fast.set_plane_config(PlaneConfig {
+        enabled: true,
+        ttl: 60.0,
+        dirty_threshold: 0.0,
+    });
+    let slow = VdaRegistry::new(build(&clock));
+    (fast, slow)
+}
+
+fn load_constraint(pct: u8) -> JsConstraints {
+    let mut c = JsConstraints::new();
+    c.set(SysParam::CpuLoad1, "<=", pct as f64 / 100.0);
+    c
+}
+
+/// Collapses a placement outcome to its observable decision: machine names
+/// on success, the error (including its payload) on failure.
+fn node_decision(r: Result<Node, jsym_vda::VdaError>) -> Result<(String, Node), String> {
+    match r {
+        Ok(n) => {
+            let name = n.name().expect("fresh node has a name");
+            Ok((name, n))
+        }
+        Err(e) => Err(format!("{e:?}")),
+    }
+}
+
+fn cluster_decision(
+    r: Result<Cluster, jsym_vda::VdaError>,
+    reg: &VdaRegistry,
+) -> Result<(Vec<String>, Cluster), String> {
+    match r {
+        Ok(c) => {
+            let names = c
+                .machines()
+                .into_iter()
+                .map(|id| {
+                    let m = reg.pool().machine(id).expect("live machine");
+                    m.spec().name.clone()
+                })
+                .collect();
+            Ok((names, c))
+        }
+        Err(e) => Err(format!("{e:?}")),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fast_path_matches_slow_path(
+        loads in proptest::collection::vec(0u8..95, 4..24),
+        ops in proptest::collection::vec(arb_place_op(), 1..40),
+    ) {
+        let (fast, slow) = twin_registries(&loads);
+        let mut nodes: Vec<(Node, Node)> = Vec::new();
+        let mut clusters: Vec<(Cluster, Cluster)> = Vec::new();
+        for op in &ops {
+            match *op {
+                PlaceOp::Any => {
+                    let f = node_decision(fast.request_node());
+                    let s = node_decision(slow.request_node());
+                    match (f, s) {
+                        (Ok((fname, fnode)), Ok((sname, snode))) => {
+                            prop_assert_eq!(fname, sname, "unconstrained pick diverged");
+                            nodes.push((fnode, snode));
+                        }
+                        (Err(fe), Err(se)) => prop_assert_eq!(fe, se),
+                        (f, s) => {
+                            return Err(TestCaseError::fail(format!(
+                                "outcome diverged: fast {f:?} vs slow {s:?}"
+                            )));
+                        }
+                    }
+                }
+                PlaceOp::Constrained(pct) => {
+                    let c = load_constraint(pct);
+                    let f = node_decision(fast.request_node_constrained(&c));
+                    let s = node_decision(slow.request_node_constrained(&c));
+                    match (f, s) {
+                        (Ok((fname, fnode)), Ok((sname, snode))) => {
+                            prop_assert_eq!(fname, sname, "constrained pick diverged");
+                            nodes.push((fnode, snode));
+                        }
+                        (Err(fe), Err(se)) => prop_assert_eq!(fe, se),
+                        (f, s) => {
+                            return Err(TestCaseError::fail(format!(
+                                "outcome diverged: fast {f:?} vs slow {s:?}"
+                            )));
+                        }
+                    }
+                }
+                PlaceOp::Many(n, pct) => {
+                    let c = pct.map(load_constraint);
+                    let f = cluster_decision(fast.request_cluster(n as usize, c.as_ref()), &fast);
+                    let s = cluster_decision(slow.request_cluster(n as usize, c.as_ref()), &slow);
+                    match (f, s) {
+                        (Ok((fnames, fc)), Ok((snames, sc))) => {
+                            prop_assert_eq!(fnames, snames, "cluster membership diverged");
+                            clusters.push((fc, sc));
+                        }
+                        (Err(fe), Err(se)) => prop_assert_eq!(fe, se),
+                        (f, s) => {
+                            return Err(TestCaseError::fail(format!(
+                                "outcome diverged: fast {f:?} vs slow {s:?}"
+                            )));
+                        }
+                    }
+                }
+                PlaceOp::FreeNode(i) => {
+                    if !nodes.is_empty() {
+                        let (f, s) = &nodes[i as usize % nodes.len()];
+                        prop_assert_eq!(f.free().is_ok(), s.free().is_ok());
+                    }
+                }
+                PlaceOp::FreeCluster(i) => {
+                    if !clusters.is_empty() {
+                        let (f, s) = &clusters[i as usize % clusters.len()];
+                        prop_assert_eq!(f.free().is_ok(), s.free().is_ok());
+                    }
+                }
+            }
+        }
+        // The dirty scan must agree with the full scan at the end of the run.
+        let dirty = fast.scan_violations(true);
+        let full = fast.scan_violations(false);
+        prop_assert_eq!(dirty.violations, full.violations);
+    }
+}

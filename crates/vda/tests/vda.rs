@@ -628,3 +628,127 @@ fn site_and_domain_backups_are_valid_managers() {
         assert_ne!(Some(backup), domain.manager());
     }
 }
+
+// ----------------------------------------- aggregation plane teardown
+
+use jsym_net::TimeScale;
+use jsym_vda::PlaneConfig;
+
+/// Pool on an effectively frozen clock (1e9 real seconds per virtual
+/// second), so cached and fresh samples are bit-identical.
+fn frozen_pool(loads: &[f64]) -> jsym_vda::ResourcePool {
+    let pool = jsym_vda::ResourcePool::new();
+    let clock = SimClock::new(TimeScale::new(1e9));
+    for (i, &load) in loads.iter().enumerate() {
+        pool.add_machine(SimMachine::new(
+            MachineSpec::generic(&format!("m{i}"), 10.0 + i as f64, 256.0),
+            LoadModel::new(LoadProfile::Constant(load), i as u64),
+            clock.clone(),
+        ));
+    }
+    pool
+}
+
+fn plane_registry(n: usize) -> VdaRegistry {
+    let reg = VdaRegistry::new(frozen_pool(&vec![0.1; n]));
+    reg.set_plane_config(PlaneConfig {
+        enabled: true,
+        ttl: 60.0,
+        dirty_threshold: 0.0,
+    });
+    reg
+}
+
+#[test]
+fn free_node_evicts_plane_entries() {
+    let reg = plane_registry(4);
+    let n = reg.request_node().unwrap();
+    // A bare node joins the rollups once its implicit cluster materializes.
+    n.get_cluster().unwrap();
+    assert_eq!(reg.plane_stats().tracked, 1);
+    n.free().unwrap();
+    let stats = reg.plane_stats();
+    assert_eq!(stats.tracked, 0, "freed node left a rollup contribution");
+    assert_eq!(stats.dirty, 0, "freed node left a dirty mark");
+    // The machine is placeable again: four singles must all succeed.
+    for _ in 0..4 {
+        reg.request_node().unwrap();
+    }
+}
+
+#[test]
+fn free_cluster_evicts_plane_entries() {
+    let reg = plane_registry(6);
+    let c = reg.request_cluster(4, None).unwrap();
+    assert_eq!(reg.plane_stats().tracked, 4);
+    c.free().unwrap();
+    let stats = reg.plane_stats();
+    assert_eq!(stats.tracked, 0);
+    assert_eq!(stats.dirty, 0);
+    // All six machines are back in the placement index.
+    let again = reg.request_cluster(6, None).unwrap();
+    assert_eq!(again.nr_nodes(), 6);
+}
+
+#[test]
+fn free_site_evicts_plane_entries() {
+    let reg = plane_registry(6);
+    let s = reg.request_site(&[2, 2], None).unwrap();
+    assert_eq!(reg.plane_stats().tracked, 4);
+    // Site aggregates come from the incremental rollup while the plane is on.
+    assert!(!s.snapshot().unwrap().is_empty());
+    s.free().unwrap();
+    let stats = reg.plane_stats();
+    assert_eq!(stats.tracked, 0, "freed site left rollup contributions");
+    assert_eq!(stats.dirty, 0);
+    let again = reg.request_cluster(6, None).unwrap();
+    assert_eq!(again.nr_nodes(), 6);
+}
+
+#[test]
+fn phys_failure_invalidates_cached_sample() {
+    // m0 has by far the lowest load, so it is always the first pick.
+    let reg = VdaRegistry::new(frozen_pool(&[0.01, 0.4, 0.5]));
+    reg.set_plane_config(PlaneConfig {
+        enabled: true,
+        ttl: 60.0,
+        dirty_threshold: 0.0,
+    });
+    let n = reg.request_node().unwrap();
+    assert_eq!(n.name().unwrap(), "m0");
+    let phys = n.phys();
+    reg.handle_phys_failure(phys);
+    let stats = reg.plane_stats();
+    assert!(
+        stats.invalidations >= 1,
+        "failure must evict the cached sample"
+    );
+    // The failed machine must never be handed out again.
+    let next = reg.request_node().unwrap();
+    assert_eq!(next.name().unwrap(), "m1");
+    let last = reg.request_node().unwrap();
+    assert_eq!(last.name().unwrap(), "m2");
+    assert!(reg.request_node().is_err());
+}
+
+#[test]
+fn component_snapshot_matches_uncached_while_plane_on() {
+    let reg = plane_registry(5);
+    let c = reg.request_cluster(3, None).unwrap();
+    let cached = c.snapshot().unwrap();
+    let uncached = c.snapshot_uncached().unwrap();
+    for (&param, value) in uncached.iter() {
+        match value {
+            jsym_sysmon::ParamValue::Num(want) => {
+                let got = cached.num(param).unwrap();
+                assert!(
+                    (got - want).abs() <= 1e-6 * want.abs().max(1.0),
+                    "{param:?}: cached {got} vs uncached {want}"
+                );
+            }
+            jsym_sysmon::ParamValue::Str(want) => {
+                assert_eq!(cached.str(param), Some(want.as_str()));
+            }
+        }
+    }
+}

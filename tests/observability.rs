@@ -152,7 +152,10 @@ fn partition_rejections_show_in_endpoint_stats_and_counters() {
     obj.sinvoke("add", &[Value::I64(1)]).unwrap();
 
     d.network().partition(NodeId(0), NodeId(1));
-    assert!(obj.sinvoke("get", &[]).is_err(), "partitioned call must fail");
+    assert!(
+        obj.sinvoke("get", &[]).is_err(),
+        "partitioned call must fail"
+    );
 
     let endpoints = d.endpoint_stats();
     let n0 = endpoints.iter().find(|e| e.node == NodeId(0)).unwrap();
