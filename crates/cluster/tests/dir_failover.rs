@@ -1,0 +1,185 @@
+//! Kill-minority-mid-workload (DESIGN.md §10): the replicated directory
+//! keeps serving placements after a minority of its replicas — always
+//! including the leader — is killed while a counter workload with
+//! migrations is in flight.
+//!
+//! Asserted end to end, for 3- and 5-replica directories:
+//!
+//! * zero misrouted RMIs — every probe reaches the object wherever the
+//!   racing migrations put it, and the serialized add stream returns
+//!   strict `+1` increments (no loss, no double delivery);
+//! * bounded re-election — a new leader emerges among the survivors
+//!   within a fixed number of heartbeat intervals of virtual time.
+
+use jsym_cluster::catalog::{testbed_machines, LoadKind};
+use jsym_core::testkit::register_test_classes;
+use jsym_core::{Deployment, JsObj, JsShell, MigrateTarget, Placement, Value};
+use jsym_net::NodeId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Re-election budget, in leader-heartbeat intervals of virtual time. The
+/// detection half is `election_timeout = 4` heartbeats; the rest absorbs
+/// vote staggering and real-scheduler jitter leaking into the virtual
+/// clock on a loaded test host.
+const REELECTION_HEARTBEATS: f64 = 240.0;
+
+fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    for _ in 0..800 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+/// Boots `replicas + 2` testbed machines with an n-replica directory, runs
+/// a migrating counter workload, and kills a minority of replicas —
+/// leader first — part-way through.
+fn kill_minority_mid_workload(replicas: u32) {
+    let machines = replicas as usize + 2;
+    let d: Deployment = JsShell::new()
+        .time_scale(1e-3)
+        .monitor_period(50.0)
+        .failure_timeout(1e9) // NAS stays out of it: this is a quorum test
+        .add_machines(testbed_machines(machines, LoadKind::Dedicated, 3))
+        .directory_replicas(replicas)
+        .boot();
+    register_test_classes(&d);
+
+    // Workload lives on the two non-replica machines.
+    let home = NodeId(replicas);
+    let away = NodeId(replicas + 1);
+    let reg = d.register_app_on(home).unwrap();
+
+    // Wait for the first election to settle and note the leader.
+    wait_until(
+        || {
+            d.directory_status()
+                .iter()
+                .filter(|s| s.role == "leader")
+                .count()
+                == 1
+        },
+        "initial directory leader",
+    );
+    let st = d.directory_status();
+    let heartbeat = st[0].heartbeat_interval;
+    let old_leader = st.iter().find(|s| s.role == "leader").unwrap().node;
+    // Minority to kill: the leader plus the highest-id other replicas.
+    let minority = (replicas as usize - 1) / 2;
+    let mut victims = vec![NodeId(old_leader)];
+    victims.extend(
+        (0..replicas)
+            .rev()
+            .map(NodeId)
+            .filter(|n| n.0 != old_leader)
+            .take(minority - 1),
+    );
+
+    let obj = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(home), None).unwrap();
+    let prober = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(away), None).unwrap();
+
+    // Serialized add stream: any gap or repeat in the returned sequence is
+    // a lost or doubly-delivered RMI.
+    let stop = Arc::new(AtomicBool::new(false));
+    let adder = {
+        let stop = Arc::clone(&stop);
+        let obj = obj.handle();
+        let reg = d.register_app_on(away).unwrap();
+        std::thread::spawn(move || {
+            let me = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(away), None).unwrap();
+            let mut prev = 0i64;
+            let mut adds = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let v = me
+                    .sinvoke("add_to", &[Value::Handle(obj), Value::I64(1)])
+                    .expect("add_to must never fail across the replica kill");
+                let got = v.as_i64().expect("add returns the running count");
+                assert_eq!(
+                    got,
+                    prev + 1,
+                    "lost or double-delivered add: {prev} -> {got}"
+                );
+                prev = got;
+                adds += 1;
+            }
+            me.free().unwrap();
+            reg.unregister().unwrap();
+            (prev, adds)
+        })
+    };
+
+    // Migration ping-pong with directory-resolved probes; kill the minority
+    // part-way through and keep going.
+    let mut kill_at_virt = 0.0_f64;
+    let mut dst = away;
+    for round in 0..8 {
+        let landed = obj.migrate(MigrateTarget::ToPhys(dst), None).unwrap();
+        assert_eq!(landed, dst, "migration landed on the wrong node");
+        let v = prober
+            .sinvoke("add_to", &[Value::Handle(obj.handle()), Value::I64(0)])
+            .unwrap();
+        assert!(v.as_i64().is_some(), "probe misrouted: {v:?}");
+        if round == 2 {
+            kill_at_virt = d.clock().now();
+            for v in &victims {
+                d.kill_node(*v);
+            }
+        }
+        dst = if dst == away { home } else { away };
+    }
+
+    // Bounded re-election: exactly one leader among the survivors, within
+    // the heartbeat budget of virtual time since the kill.
+    wait_until(
+        || {
+            let st = d.directory_status();
+            st.len() == replicas as usize - victims.len()
+                && st.iter().filter(|s| s.role == "leader").count() == 1
+        },
+        "re-election among surviving replicas",
+    );
+    let elapsed = d.clock().now() - kill_at_virt;
+    assert!(
+        elapsed <= REELECTION_HEARTBEATS * heartbeat,
+        "re-election took {elapsed:.1} virt s (> {REELECTION_HEARTBEATS} heartbeats of {heartbeat:.1} s)"
+    );
+    let st = d.directory_status();
+    let new_leader = st.iter().find(|s| s.role == "leader").unwrap().node;
+    assert!(
+        victims.iter().all(|v| v.0 != new_leader),
+        "a killed replica claims leadership: {st:?}"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    let (last, adds) = adder.join().expect("adder thread must not panic");
+    assert!(adds > 0, "the invocation stream never ran");
+    let total = obj.sinvoke("get", &[]).unwrap();
+    assert_eq!(total, Value::I64(last));
+    assert_eq!(last as u64, adds, "exactly-once violated");
+
+    // Post-failover commits still happen: the survivors applied the final
+    // placements (counter + prober + the adder's freed helper).
+    wait_until(
+        || d.directory_status().iter().all(|s| s.locations >= 2),
+        "surviving replicas to apply post-failover placements",
+    );
+
+    obj.free().unwrap();
+    prober.free().unwrap();
+    reg.unregister().unwrap();
+    d.shutdown();
+}
+
+#[test]
+fn kill_minority_of_three_replicas_mid_workload() {
+    kill_minority_mid_workload(3);
+}
+
+#[test]
+fn kill_minority_of_five_replicas_mid_workload() {
+    kill_minority_mid_workload(5);
+}

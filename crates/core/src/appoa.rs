@@ -53,6 +53,17 @@ impl AppShared {
         AgentAddr::app_oa(self.home, self.id)
     }
 
+    /// Write-through of a placement change to the replicated directory.
+    ///
+    /// Best-effort by design: the local-objects-table stays the origin
+    /// authority and `resolve_location` falls back to it whenever the
+    /// directory cannot answer, so a failed write-through (quorum loss)
+    /// degrades to the legacy path instead of wedging the operation. The
+    /// `dir.writethrough_errors` counter records the misses.
+    fn dir_writethrough(&self, node: &NodeShared, cmd: jsym_dir::DirCommand) {
+        let _ = crate::dir::propose(node, &cmd);
+    }
+
     pub(crate) fn node_shared(&self) -> Result<Arc<NodeShared>> {
         self.node.upgrade().ok_or(JsError::ShuttingDown)
     }
@@ -121,6 +132,13 @@ impl AppShared {
                 class: class.to_owned(),
             },
         );
+        self.dir_writethrough(
+            &node,
+            jsym_dir::DirCommand::SetLocation {
+                object: obj.0,
+                node: target.0,
+            },
+        );
         Ok(obj)
     }
 
@@ -155,6 +173,13 @@ impl AppShared {
                 class: class.to_owned(),
             },
         );
+        self.dir_writethrough(
+            &node,
+            jsym_dir::DirCommand::SetLocation {
+                object: obj.0,
+                node: target.0,
+            },
+        );
         Ok(obj)
     }
 
@@ -184,19 +209,28 @@ impl AppShared {
                 origin: self.addr(),
             },
         )?;
-        let mut objects = self.objects.lock();
-        match objects.get_mut(&obj) {
-            Some(entry) => entry.location = target,
-            None => {
-                objects.insert(
-                    obj,
-                    AppObjEntry {
-                        location: target,
-                        class: class.to_owned(),
-                    },
-                );
+        {
+            let mut objects = self.objects.lock();
+            match objects.get_mut(&obj) {
+                Some(entry) => entry.location = target,
+                None => {
+                    objects.insert(
+                        obj,
+                        AppObjEntry {
+                            location: target,
+                            class: class.to_owned(),
+                        },
+                    );
+                }
             }
         }
+        self.dir_writethrough(
+            &node,
+            jsym_dir::DirCommand::SetLocation {
+                object: obj.0,
+                node: target.0,
+            },
+        );
         Ok(())
     }
 
@@ -427,6 +461,13 @@ impl AppShared {
                     if let Some(e) = self.objects.lock().get_mut(&obj) {
                         e.location = new_loc;
                     }
+                    self.dir_writethrough(
+                        &node,
+                        jsym_dir::DirCommand::SetLocation {
+                            object: obj.0,
+                            node: new_loc.0,
+                        },
+                    );
                     let now = obs_now(&node);
                     step.finish(now);
                     // Table updated: the AppOA acknowledges the new location
@@ -499,6 +540,10 @@ impl AppShared {
             .ok_or(JsError::NoSuchObject(obj))?;
         // One-sided: freeing exists to reduce book-keeping, not to block.
         let _ = node.send(AgentAddr::pub_oa(entry.location), Msg::FreeObject { obj });
+        self.dir_writethrough(
+            &node,
+            jsym_dir::DirCommand::RemoveLocation { object: obj.0 },
+        );
         Ok(())
     }
 
@@ -523,6 +568,10 @@ impl AppShared {
         let drained: Vec<(ObjectId, AppObjEntry)> = self.objects.lock().drain().collect();
         for (obj, entry) in drained {
             let _ = node.send(AgentAddr::pub_oa(entry.location), Msg::FreeObject { obj });
+            self.dir_writethrough(
+                &node,
+                jsym_dir::DirCommand::RemoveLocation { object: obj.0 },
+            );
         }
         node.apps.write().remove(&self.id);
         Ok(())
@@ -589,5 +638,6 @@ pub(crate) fn agent_kind_label(kind: AgentKind) -> String {
     match kind {
         AgentKind::Pub => "pub".to_owned(),
         AgentKind::App(a) => format!("{a}"),
+        AgentKind::Dir => "dir".to_owned(),
     }
 }

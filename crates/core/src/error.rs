@@ -52,6 +52,12 @@ pub enum JsError {
     PlacementFailed(String),
     /// The deployment is shutting down.
     ShuttingDown,
+    /// The directory replica addressed is not the leader; carries the
+    /// replica's best guess at who is.
+    DirRedirect {
+        /// Physical id of the suspected leader, if the replica knows one.
+        hint: Option<u32>,
+    },
 }
 
 impl fmt::Display for JsError {
@@ -77,6 +83,12 @@ impl fmt::Display for JsError {
             JsError::AppUnregistered => write!(f, "application has unregistered"),
             JsError::PlacementFailed(m) => write!(f, "placement failed: {m}"),
             JsError::ShuttingDown => write!(f, "deployment is shutting down"),
+            JsError::DirRedirect { hint: Some(n) } => {
+                write!(f, "not the directory leader (try node {n})")
+            }
+            JsError::DirRedirect { hint: None } => {
+                write!(f, "not the directory leader (leader unknown)")
+            }
         }
     }
 }

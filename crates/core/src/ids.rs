@@ -52,6 +52,9 @@ pub enum AgentKind {
     Pub,
     /// An application object agent hosted on the node.
     App(AppId),
+    /// The node's directory replica (present only on replica nodes when
+    /// [`crate::JsShell::directory_replicas`] is non-zero).
+    Dir,
 }
 
 /// Full address of an agent: node + agent kind.
@@ -77,6 +80,14 @@ impl AgentAddr {
         AgentAddr {
             node,
             agent: AgentKind::App(app),
+        }
+    }
+
+    /// Address of the directory replica on `node`.
+    pub fn dir(node: NodeId) -> Self {
+        AgentAddr {
+            node,
+            agent: AgentKind::Dir,
         }
     }
 }

@@ -51,6 +51,7 @@ mod calltable;
 mod class;
 mod codebase;
 mod cost;
+mod dir;
 mod error;
 mod events;
 mod ids;
@@ -72,6 +73,7 @@ pub use calltable::ResultHandle;
 pub use class::{snapshot_state, ClassRegistry, InvokeCtx, JsClass};
 pub use codebase::JsCodebase;
 pub use cost::CostModel;
+pub use dir::DirectoryStatus;
 pub use error::JsError;
 pub use events::{EventLog, RuntimeEvent};
 pub use ids::{AgentAddr, AgentKind, AppId, ObjectHandle, ObjectId};

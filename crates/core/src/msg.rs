@@ -146,6 +146,26 @@ pub(crate) enum Msg {
         method: Sym,
         args: Args,
     },
+    // ---------------------------------------------------------- DIRECTORY
+    /// Replica-to-replica consensus traffic: one encoded
+    /// [`jsym_dir::DirMsg`] (votes, appends, snapshots). One-sided — acks
+    /// travel as further `DirConsensus` packets, not `Reply`s.
+    DirConsensus { data: Vec<u8> },
+    /// Client proposal of an encoded [`jsym_dir::DirCommand`] to a replica.
+    /// Replies `Null` once majority-committed, or `DirRedirect`.
+    DirPropose {
+        req: ReqId,
+        reply_to: AgentAddr,
+        cmd: Vec<u8>,
+    },
+    /// Client read of an object's placement from the directory leader
+    /// (read-index read). Replies `I64(node)`, `NoSuchObject`, or
+    /// `DirRedirect`.
+    DirRead {
+        req: ReqId,
+        reply_to: AgentAddr,
+        object: u64,
+    },
 }
 
 impl Msg {
@@ -186,6 +206,9 @@ impl Msg {
                 args,
                 ..
             } => HDR + 16 + class.as_str().len() + method.as_str().len() + args_wire_size(args),
+            Msg::DirConsensus { data } => HDR + data.len(),
+            Msg::DirPropose { cmd, .. } => HDR + cmd.len(),
+            Msg::DirRead { .. } => HDR + 8,
         }
     }
 

@@ -169,6 +169,12 @@ pub(crate) fn monitor_round(shared: &Arc<NodeShared>, vda: &jsym_vda::VdaRegistr
     let snap = shared.machine.snapshot();
     *shared.na.latest.lock() = Some(snap.clone());
     shared.na.history.lock().push(snap.clone());
+    if shared.obs.is_enabled() {
+        shared
+            .obs
+            .gauge("pool.transient_workers", Some(shared.phys.0), "")
+            .set(shared.workers.transient_spawns() as f64);
+    }
 
     // 2. Work out this node's monitoring relationships.
     let view = vda.monitor_view(shared.phys);
@@ -277,6 +283,15 @@ pub(crate) fn monitor_round(shared: &Arc<NodeShared>, vda: &jsym_vda::VdaRegistr
                 .finish(t);
         }
         vda.handle_phys_failure(peer);
+        // Record the failure in the replicated directory too, so surviving
+        // replicas agree on the failed set. Off the NA thread: a directory
+        // election in progress must not stall monitoring rounds.
+        if shared.dir.is_some() {
+            let s = Arc::clone(shared);
+            crate::runtime::spawn_worker(shared, "dir-mark-failed", move || {
+                let _ = crate::dir::propose(&s, &jsym_dir::DirCommand::MarkFailed { node: peer.0 });
+            });
+        }
     }
 
     span.finish(crate::runtime::obs_now(shared));

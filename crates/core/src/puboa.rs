@@ -209,7 +209,11 @@ pub(crate) fn handle(shared: &Arc<NodeShared>, src: NodeId, msg: Msg) {
             }
         }
         // Routed elsewhere by the dispatcher.
-        Msg::Reply { .. } | Msg::WhereIs { .. } => {}
+        Msg::Reply { .. }
+        | Msg::WhereIs { .. }
+        | Msg::DirConsensus { .. }
+        | Msg::DirPropose { .. }
+        | Msg::DirRead { .. } => {}
     }
     let _ = src;
 }

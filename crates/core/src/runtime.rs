@@ -165,6 +165,12 @@ pub(crate) struct NodeShared {
     pub events: crate::EventLog,
     /// Deployment-wide observability scope (metrics + span tracer).
     pub obs: jsym_obs::ObsRegistry,
+    /// Client view of the replicated directory (`None` = legacy
+    /// single-authority resolution).
+    pub dir: Option<Arc<crate::dir::DirCluster>>,
+    /// The directory replica hosted on this node, if it is one of the first
+    /// `directory_replicas` machines.
+    pub dir_host: Option<Arc<crate::dir::DirHost>>,
     pub shutdown: AtomicBool,
 }
 
@@ -235,7 +241,8 @@ impl NodeShared {
     }
 
     /// Resolves the current location of a foreign handle, consulting the
-    /// origin AppOA when the cache has no answer (paper Figure 4).
+    /// replicated directory (when enabled) or the origin AppOA when the
+    /// cache has no answer (paper Figure 4).
     pub fn resolve_location(&self, handle: ObjectHandle) -> Result<NodeId> {
         // Hosted right here?
         if self.objects.lock().contains_key(&handle.id) {
@@ -243,6 +250,20 @@ impl NodeShared {
         }
         if let Some(&loc) = self.location_cache.lock().get(&handle.id) {
             return Ok(loc);
+        }
+        // Replicated directory first: a linearizable leader read. A missing
+        // entry is authoritative (the write-through precedes the handle
+        // becoming visible); any other failure — election in progress,
+        // quorum loss — falls back to the legacy origin-authority path.
+        if self.dir.is_some() {
+            match crate::dir::read_location(self, handle.id) {
+                Ok(loc) => {
+                    self.location_cache.lock().insert(handle.id, loc);
+                    return Ok(loc);
+                }
+                Err(e @ JsError::NoSuchObject(_)) => return Err(e),
+                Err(_) => {}
+            }
         }
         // Ask the origin AppOA. If it is homed on this very node, answer
         // from its table directly (AppOA↔PubOA on one node interact by
@@ -370,6 +391,9 @@ fn msg_tag(msg: &Msg) -> &'static str {
         Msg::SysReport { .. } => "sys-report",
         Msg::Heartbeat { .. } => "heartbeat",
         Msg::StaticInvoke { .. } => "static-invoke",
+        Msg::DirConsensus { .. } => "dir-consensus",
+        Msg::DirPropose { .. } => "dir-propose",
+        Msg::DirRead { .. } => "dir-read",
     }
 }
 
@@ -408,6 +432,13 @@ pub(crate) fn dispatch(shared: &Arc<NodeShared>, env: Envelope) {
         msg => match packet.to {
             AgentKind::Pub => puboa::handle(shared, src, msg),
             AgentKind::App(app) => appoa::handle_app_msg(shared, app, msg),
+            AgentKind::Dir => {
+                if let Some(host) = shared.dir_host.clone() {
+                    host.handle(shared, src, msg);
+                }
+                // Directory traffic to a non-replica node is dropped; the
+                // client treats the ensuing timeout as "try another replica".
+            }
         },
     }
 }

@@ -74,6 +74,7 @@ pub struct JsShell {
     delivery_shards: usize,
     param_plane: bool,
     automigrate_dirty_set: bool,
+    directory_replicas: u32,
 }
 
 impl JsShell {
@@ -97,6 +98,7 @@ impl JsShell {
             delivery_shards: jsym_net::NetworkConfig::default().delivery_shards,
             param_plane: true,
             automigrate_dirty_set: true,
+            directory_replicas: 0,
         }
     }
 
@@ -219,6 +221,20 @@ impl JsShell {
         self
     }
 
+    /// Hosts the replicated object/manager directory on the first `n`
+    /// machines (`0` — the default — keeps the legacy single-authority
+    /// resolution through each object's origin AppOA).
+    ///
+    /// With replication on, placement changes are written through to a
+    /// leader-based replicated log with majority commit, and location
+    /// resolution reads from the directory leader; the directory survives
+    /// any minority of replica failures (DESIGN.md §10). Use an odd `n`
+    /// (3 or 5) so a majority exists after failures.
+    pub fn directory_replicas(mut self, n: u32) -> Self {
+        self.directory_replicas = n;
+        self
+    }
+
     /// Boots the deployment: spawns every node runtime and the NAS.
     pub fn boot(self) -> Deployment {
         let clock = SimClock::new(self.time_scale);
@@ -256,6 +272,15 @@ impl JsShell {
         let store = self.store.clone().unwrap_or_default();
         let events = crate::EventLog::with_tracer(4096, obs.tracer().clone());
 
+        // The replicated directory lives on the first n machines (machines
+        // get ids 0..n in boot order). Clamped: every replica needs a host.
+        let dir = match self.directory_replicas.min(self.machines.len() as u32) {
+            0 => None,
+            n => Some(Arc::new(crate::dir::DirCluster::new(
+                (0..n).map(NodeId).collect(),
+            ))),
+        };
+
         let inner = Arc::new(DeploymentInner {
             clock: clock.clone(),
             network: network.clone(),
@@ -272,6 +297,7 @@ impl JsShell {
             automigration: AtomicBool::new(self.automigration),
             automigrate_dirty: AtomicBool::new(self.automigrate_dirty_set),
             automigrate_rounds: AtomicU64::new(0),
+            dir,
             shutdown: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
         });
@@ -288,6 +314,20 @@ impl JsShell {
                 .name("jsym-automigrate".into())
                 .spawn(move || automigrate::run(weak, period))
                 .expect("spawn automigrate thread");
+            inner.threads.lock().push(handle);
+        }
+
+        // Mirror vda manager-role transitions into the replicated directory:
+        // every `ManagerChanged` (including backup takeover on failure)
+        // becomes a majority-committed `SetRole`, so role assignments are a
+        // directory transition visible to any surviving replica.
+        if inner.dir.is_some() {
+            let weak = Arc::downgrade(&inner);
+            let rx = vda.subscribe();
+            let handle = std::thread::Builder::new()
+                .name("jsym-dir-roles".into())
+                .spawn(move || run_role_mirror(weak, rx))
+                .expect("spawn dir role mirror");
             inner.threads.lock().push(handle);
         }
 
@@ -338,6 +378,8 @@ pub(crate) struct DeploymentInner {
     pub automigration: AtomicBool,
     pub automigrate_dirty: AtomicBool,
     pub automigrate_rounds: AtomicU64,
+    /// Client view of the replicated directory (`None` = legacy resolution).
+    pub dir: Option<Arc<crate::dir::DirCluster>>,
     pub shutdown: AtomicBool,
     pub threads: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -383,6 +425,16 @@ impl Deployment {
             .write()
             .set_node_class(phys, config.link);
         let rx = inner.network.register(phys);
+        let dir = inner.dir.clone();
+        let dir_host = match &dir {
+            Some(c) if c.replicas.contains(&phys) => Some(Arc::new(crate::dir::DirHost::new(
+                phys,
+                &c.replicas,
+                inner.clock.scale(),
+                inner.clock.now(),
+            ))),
+            _ => None,
+        };
         let shared = Arc::new(NodeShared {
             phys,
             machine,
@@ -410,6 +462,8 @@ impl Deployment {
             events: inner.events.clone(),
             obs: inner.obs.clone(),
             workers: runtime::WorkerPool::new(&format!("{phys}"), 3),
+            dir,
+            dir_host,
             shutdown: AtomicBool::new(false),
         });
         // Local deliveries (loopback fast path and same-node slow path)
@@ -448,6 +502,15 @@ impl Deployment {
                     .name(format!("jsym-{phys}-na"))
                     .spawn(move || na::run_na(sh, vda))
                     .expect("spawn NA"),
+            );
+        }
+        if shared.dir_host.is_some() {
+            let sh = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("jsym-{phys}-dir"))
+                    .spawn(move || crate::dir::run_dir_ticker(sh))
+                    .expect("spawn dir ticker"),
             );
         }
         inner
@@ -636,6 +699,25 @@ impl Deployment {
         self.inner.vda.plane_stats()
     }
 
+    /// Whether this deployment runs the replicated directory.
+    pub fn directory_enabled(&self) -> bool {
+        self.inner.dir.is_some()
+    }
+
+    /// Point-in-time status of every live directory replica, ascending by
+    /// node id. Empty when the directory is disabled; killed replicas are
+    /// omitted (their runtime is gone).
+    pub fn directory_status(&self) -> Vec<crate::DirectoryStatus> {
+        let nodes = self.inner.nodes.read();
+        let mut out: Vec<crate::DirectoryStatus> = nodes
+            .values()
+            .filter(|h| !h.shared.shutdown.load(Ordering::Relaxed))
+            .filter_map(|h| h.shared.dir_host.as_ref().map(|host| host.status()))
+            .collect();
+        out.sort_by_key(|s| s.node);
+        out
+    }
+
     // ------------------------------------------------------------ telemetry
 
     /// Runtime counters of one node.
@@ -749,6 +831,56 @@ impl Deployment {
             let _ = t.join();
         }
         self.inner.network.shutdown();
+    }
+}
+
+/// Body of the `jsym-dir-roles` thread: forwards every vda manager change
+/// to the directory as a `SetRole` proposal through any live node runtime.
+fn run_role_mirror(
+    weak: std::sync::Weak<DeploymentInner>,
+    rx: crossbeam::channel::Receiver<jsym_vda::VdaEvent>,
+) {
+    use crossbeam::channel::RecvTimeoutError;
+    loop {
+        let ev = match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(ev) => ev,
+            Err(RecvTimeoutError::Timeout) => {
+                match weak.upgrade() {
+                    Some(inner) if !inner.shutdown.load(Ordering::Relaxed) => continue,
+                    _ => return,
+                };
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let jsym_vda::VdaEvent::ManagerChanged {
+            scope, new_manager, ..
+        } = ev
+        else {
+            continue;
+        };
+        let Some(inner) = weak.upgrade() else { return };
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let manager = new_manager.map(|nk| inner.vda.node_handle(nk).phys().0);
+        let cmd = jsym_dir::DirCommand::SetRole {
+            scope: crate::dir::scope_key(scope),
+            manager,
+            backup: None,
+        };
+        // Propose through any node runtime that is still up; a directory
+        // quorum behind it handles replica deaths.
+        let shared = inner
+            .nodes
+            .read()
+            .values()
+            .filter(|h| !h.shared.shutdown.load(Ordering::Relaxed))
+            .map(|h| Arc::clone(&h.shared))
+            .min_by_key(|s| s.phys);
+        drop(inner);
+        if let Some(s) = shared {
+            let _ = crate::dir::propose(&s, &cmd);
+        }
     }
 }
 

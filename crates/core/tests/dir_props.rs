@@ -1,0 +1,207 @@
+//! The replicated directory's differential guarantee (DESIGN.md §10): on a
+//! fault-free run, every operation — creation, invocation, nested
+//! invocation through first-order handles, migration, freeing — produces
+//! byte-for-byte the same results whether locations resolve through the
+//! legacy origin-authority path (`directory_replicas(0)`) or the replicated
+//! directory (`directory_replicas(3)`).
+
+use jsym_core::testkit::{register_test_classes, shell_with_idle_machines};
+use jsym_core::{JsObj, MigrateTarget, Placement, Value};
+use jsym_net::NodeId;
+use proptest::prelude::*;
+
+/// One step of a randomized object program. Indices are taken modulo the
+/// set of live objects at execution time.
+#[derive(Clone, Debug)]
+enum Op {
+    Create {
+        node: u8,
+    },
+    Add {
+        obj: u8,
+        delta: i64,
+    },
+    Get {
+        obj: u8,
+    },
+    WhereRuns {
+        obj: u8,
+    },
+    MoveTo {
+        obj: u8,
+        node: u8,
+    },
+    /// `a.add_to(handle(b), delta)` — a nested invocation resolved on a's
+    /// host via `resolve_location`, the path the directory replaces.
+    NestedAdd {
+        a: u8,
+        b: u8,
+        delta: i64,
+    },
+    Free {
+        obj: u8,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4).prop_map(|node| Op::Create { node }),
+        (any::<u8>(), -50i64..50).prop_map(|(obj, delta)| Op::Add { obj, delta }),
+        any::<u8>().prop_map(|obj| Op::Get { obj }),
+        any::<u8>().prop_map(|obj| Op::WhereRuns { obj }),
+        (any::<u8>(), 0u8..4).prop_map(|(obj, node)| Op::MoveTo { obj, node }),
+        (any::<u8>(), any::<u8>(), -9i64..9).prop_map(|(a, b, delta)| Op::NestedAdd {
+            a,
+            b,
+            delta
+        }),
+        any::<u8>().prop_map(|obj| Op::Free { obj }),
+    ]
+}
+
+/// Runs `ops` on a fresh 4-machine deployment and returns the transcript of
+/// every step's observable outcome.
+fn run_program(ops: &[Op], replicas: u32) -> Vec<String> {
+    let deployment = shell_with_idle_machines(4)
+        .directory_replicas(replicas)
+        .boot();
+    register_test_classes(&deployment);
+    let reg = deployment.register_app().unwrap();
+    let mut live: Vec<JsObj> = Vec::new();
+    let mut transcript = Vec::new();
+    for op in ops {
+        let outcome = match op {
+            Op::Create { node } => {
+                let obj = JsObj::create(
+                    &reg,
+                    "Counter",
+                    &[],
+                    Placement::OnPhys(NodeId(*node as u32)),
+                    None,
+                )
+                .unwrap();
+                live.push(obj);
+                format!("created on {node}")
+            }
+            Op::Add { obj, delta } => match pick(&live, *obj) {
+                Some(o) => fmt(o.sinvoke("add", &[Value::I64(*delta)])),
+                None => "no object".into(),
+            },
+            Op::Get { obj } => match pick(&live, *obj) {
+                Some(o) => fmt(o.sinvoke("get", &[])),
+                None => "no object".into(),
+            },
+            Op::WhereRuns { obj } => match pick(&live, *obj) {
+                Some(o) => fmt(o.sinvoke("node_name", &[])),
+                None => "no object".into(),
+            },
+            Op::MoveTo { obj, node } => match pick(&live, *obj) {
+                Some(o) => fmt(o
+                    .migrate(MigrateTarget::ToPhys(NodeId(*node as u32)), None)
+                    .map(|n| Value::I64(n.0 as i64))),
+                None => "no object".into(),
+            },
+            Op::NestedAdd { a, b, delta } => match (pick(&live, *a), pick(&live, *b)) {
+                (Some(oa), Some(ob)) => {
+                    fmt(oa.sinvoke("add_to", &[Value::Handle(ob.handle()), Value::I64(*delta)]))
+                }
+                _ => "no object".into(),
+            },
+            Op::Free { obj } => {
+                if live.is_empty() {
+                    "no object".into()
+                } else {
+                    let idx = *obj as usize % live.len();
+                    let o = live.remove(idx);
+                    fmt(o.free().map(|_| Value::Null))
+                }
+            }
+        };
+        transcript.push(outcome);
+    }
+    reg.unregister().unwrap();
+    deployment.shutdown();
+    transcript
+}
+
+fn pick(live: &[JsObj], idx: u8) -> Option<&JsObj> {
+    if live.is_empty() {
+        None
+    } else {
+        live.get(idx as usize % live.len())
+    }
+}
+
+fn fmt(r: jsym_core::Result<Value>) -> String {
+    match r {
+        Ok(v) => format!("{v:?}"),
+        Err(e) => format!("err: {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        max_shrink_iters: 32,
+        .. ProptestConfig::default()
+    })]
+
+    /// Replicated and legacy resolution agree byte-for-byte on fault-free
+    /// runs: identical transcripts, including every `node_name` placement
+    /// observation.
+    #[test]
+    fn replicated_directory_matches_legacy_resolution(
+        ops in proptest::collection::vec(op_strategy(), 1..24)
+    ) {
+        let legacy = run_program(&ops, 0);
+        let replicated = run_program(&ops, 3);
+        prop_assert_eq!(legacy, replicated);
+    }
+}
+
+#[test]
+fn directory_smoke_resolves_and_reports_a_leader() {
+    let deployment = shell_with_idle_machines(4).directory_replicas(3).boot();
+    register_test_classes(&deployment);
+    assert!(deployment.directory_enabled());
+    let reg = deployment.register_app().unwrap();
+
+    let obj = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(2)), None).unwrap();
+    assert_eq!(obj.sinvoke("add", &[Value::I64(5)]).unwrap(), Value::I64(5));
+    assert_eq!(
+        obj.sinvoke("node_name", &[]).unwrap(),
+        Value::Str("m2".into())
+    );
+
+    // Migrate and observe the new placement through the directory.
+    let dst = obj.migrate(MigrateTarget::ToPhys(NodeId(1)), None).unwrap();
+    assert_eq!(dst, NodeId(1));
+    assert_eq!(
+        obj.sinvoke("node_name", &[]).unwrap(),
+        Value::Str("m1".into())
+    );
+
+    // A nested call forces a foreign resolve on the peer's host node.
+    let other = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(3)), None).unwrap();
+    assert_eq!(
+        other
+            .sinvoke("add_to", &[Value::Handle(obj.handle()), Value::I64(2)])
+            .unwrap(),
+        Value::I64(7)
+    );
+
+    // Exactly one leader; every replica applied the same committed log.
+    let status = deployment.directory_status();
+    assert_eq!(status.len(), 3);
+    let leaders: Vec<_> = status.iter().filter(|s| s.role == "leader").collect();
+    assert_eq!(leaders.len(), 1, "status: {status:?}");
+    assert!(
+        status.iter().all(|s| s.locations >= 2),
+        "status: {status:?}"
+    );
+
+    obj.free().unwrap();
+    other.free().unwrap();
+    reg.unregister().unwrap();
+    deployment.shutdown();
+}

@@ -1,0 +1,145 @@
+//! Manager failover racing an in-flight migration (ISSUE 6 satellite).
+//!
+//! While a counter object ping-pongs between two surviving machines and a
+//! stream of invocations is in flight, the cluster manager is killed and
+//! its backup promoted — with the replicated directory enabled, so the
+//! `SetLocation` write-throughs race the failover's `MarkFailed`/`SetRole`
+//! proposals. The test asserts end-to-end integrity:
+//!
+//! * no RMI is misrouted — every invocation lands on the object (nested
+//!   probes resolve through the directory and never error);
+//! * no message is double-delivered — each `add(1)` returns exactly the
+//!   previous value + 1, and the final count equals the number of adds.
+
+use jsym_core::testkit::{register_test_classes, shell_with_idle_machines};
+use jsym_core::{JsObj, MigrateTarget, Placement, Value};
+use jsym_net::NodeId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    for _ in 0..800 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+#[test]
+fn failover_races_migration_without_misroute_or_double_delivery() {
+    let d = shell_with_idle_machines(5)
+        .time_scale(1e-4)
+        .monitor_period(2.0)
+        .failure_timeout(50.0)
+        .directory_replicas(3)
+        .boot();
+    register_test_classes(&d);
+    let cluster = d.vda().request_cluster(5, None).unwrap();
+    let manager = cluster.manager().unwrap();
+    let backup = cluster.backup_manager().unwrap();
+    let victim = manager.phys();
+
+    // Pick an app home and two migration endpoints that all survive.
+    let survivors: Vec<NodeId> = (0..5).map(NodeId).filter(|&n| n != victim).collect();
+    let home = survivors[0];
+    let (a, b) = (survivors[1], survivors[2]);
+    let reg = d.register_app_on(home).unwrap();
+
+    wait_until(
+        || {
+            (0..5).all(|i| {
+                d.node_stats(NodeId(i))
+                    .is_some_and(|s| s.monitor_rounds >= 2)
+            })
+        },
+        "monitoring to start everywhere",
+    );
+
+    let obj = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(a), None).unwrap();
+    // The prober lives on the home node and reaches `obj` through its
+    // first-order handle — the resolve path the directory serves.
+    let prober = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(home), None).unwrap();
+
+    // Invocation stream: serialized adds of exactly 1. Shared-nothing with
+    // the migration loop below, so any gap or repeat in the returned
+    // sequence is a delivery bug, not test-side racing.
+    let stop = Arc::new(AtomicBool::new(false));
+    let adder = {
+        let stop = Arc::clone(&stop);
+        let obj = obj.handle();
+        let reg = d.register_app_on(home).unwrap();
+        std::thread::spawn(move || {
+            // A second registration shares nothing with the main one except
+            // the runtime; its nested calls resolve via the directory.
+            let me = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(home), None).unwrap();
+            let mut prev = 0i64;
+            let mut adds = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let v = me
+                    .sinvoke("add_to", &[Value::Handle(obj), Value::I64(1)])
+                    .expect("add_to must never fail across failover");
+                let got = v.as_i64().expect("add returns the running count");
+                assert_eq!(
+                    got,
+                    prev + 1,
+                    "double delivery or lost update: {prev} -> {got}"
+                );
+                prev = got;
+                adds += 1;
+            }
+            me.free().unwrap();
+            reg.unregister().unwrap();
+            (prev, adds)
+        })
+    };
+
+    // Migration loop racing the failover: ping-pong a<->b, killing the
+    // manager part-way through.
+    let mut dst = b;
+    for round in 0..10 {
+        let landed = obj.migrate(MigrateTarget::ToPhys(dst), None).unwrap();
+        assert_eq!(landed, dst, "migration landed on the wrong node");
+        // Probe through the directory-resolved path: must reach the object
+        // wherever it is now.
+        let v = prober
+            .sinvoke("add_to", &[Value::Handle(obj.handle()), Value::I64(0)])
+            .unwrap();
+        assert!(v.as_i64().is_some(), "probe misrouted: {v:?}");
+        if round == 3 {
+            d.kill_node(victim);
+        }
+        dst = if dst == b { a } else { b };
+    }
+
+    wait_until(|| d.vda().is_failed(victim), "manager failure detection");
+    wait_until(
+        || cluster.manager().is_some_and(|m| m == backup),
+        "backup promotion",
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    let (last, adds) = adder.join().expect("adder thread must not panic");
+    assert!(adds > 0, "the invocation stream never ran");
+    // Exactly-once end to end: the final count equals the adds performed.
+    let total = obj.sinvoke("get", &[]).unwrap();
+    assert_eq!(total, Value::I64(last));
+    assert_eq!(last as u64, adds);
+
+    // The directory survived the minority kill: one leader among survivors,
+    // and the role transition for the cluster was committed.
+    wait_until(
+        || {
+            let st = d.directory_status();
+            st.iter().filter(|s| s.role == "leader").count() == 1 && st.iter().any(|s| s.roles >= 1)
+        },
+        "directory leader and committed role transition",
+    );
+
+    obj.free().unwrap();
+    prober.free().unwrap();
+    reg.unregister().unwrap();
+    d.shutdown();
+}

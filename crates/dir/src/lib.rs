@@ -1,0 +1,34 @@
+//! jsym-dir: a replicated object/manager directory with quorum failover.
+//!
+//! JavaSymphony's object registry and manager roles are single-authority in
+//! the paper's prototype: the origin AppOA owns object→node placement and
+//! the NA promotes one static backup on manager death. This crate removes
+//! that single point of failure with a small replicated directory — two
+//! replicated maps (object→node placement, manager-role assignments) behind
+//! a leader-based replicated log with majority commit, heartbeat-driven
+//! re-election, snapshot/compaction, and read-index leader reads.
+//!
+//! The consensus core is deliberately *pure*: a [`DirReplica`] is a state
+//! machine driven entirely by [`DirReplica::tick`] (virtual-clock time) and
+//! [`DirReplica::receive`] (messages from peers). It owns no threads, no
+//! sockets and no clocks; outbound messages are returned to the host, which
+//! ships them over the simulated delivery plane where they are charged
+//! modeled wire bytes like any other traffic — so partitions and faults
+//! apply to consensus traffic too. Election timeouts are staggered
+//! deterministically by replica rank instead of randomized, which keeps
+//! whole-deployment runs reproducible under the virtual clock.
+//!
+//! The crate is dependency-free; messages and snapshots are encoded with a
+//! small hand-rolled binary codec ([`codec`]) so the host can charge real
+//! byte counts without a serialization framework.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod replica;
+pub mod state;
+
+pub use replica::{
+    DirConfig, DirEvent, DirMsg, DirReplica, DirReplicaStatus, LogEntry, NotLeader, Role,
+};
+pub use state::{DirCommand, DirState, RoleEntry};

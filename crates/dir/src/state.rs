@@ -1,0 +1,326 @@
+//! The replicated state machine: two maps and a failed set.
+//!
+//! Every replica applies the same committed log prefix to an identical
+//! [`DirState`]. Commands are deliberately idempotent — re-applying a
+//! duplicate `MarkFailed` or an identical `SetRole` is a no-op — because
+//! independent failure detectors may propose the same transition more than
+//! once.
+
+use crate::codec::{DecodeError, Reader, Writer};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A command appended to the replicated log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DirCommand {
+    /// Record (or move) an object's hosting node.
+    SetLocation {
+        /// Object id (the runtime's `ObjectId.0`).
+        object: u64,
+        /// Hosting physical node (the runtime's `NodeId.0`).
+        node: u32,
+    },
+    /// Forget an object (freed or unregistered).
+    RemoveLocation {
+        /// Object id.
+        object: u64,
+    },
+    /// Record a manager-role assignment for a virtual-architecture scope.
+    SetRole {
+        /// Scope key (an opaque id for a cluster/site/domain).
+        scope: u64,
+        /// The manager, if any live candidate exists.
+        manager: Option<u32>,
+        /// The standby that takes over on manager death.
+        backup: Option<u32>,
+    },
+    /// Record that a physical node has been declared failed.
+    MarkFailed {
+        /// The failed physical node.
+        node: u32,
+    },
+    /// No-op entry a fresh leader appends to commit prior-term entries.
+    Noop,
+}
+
+const TAG_SET_LOCATION: u8 = 1;
+const TAG_REMOVE_LOCATION: u8 = 2;
+const TAG_SET_ROLE: u8 = 3;
+const TAG_MARK_FAILED: u8 = 4;
+const TAG_NOOP: u8 = 5;
+
+fn opt_node(w: &mut Writer, v: Option<u32>) {
+    match v {
+        Some(n) => {
+            w.u8(1);
+            w.u32(n);
+        }
+        None => w.u8(0),
+    }
+}
+
+fn read_opt_node(r: &mut Reader<'_>) -> Result<Option<u32>, DecodeError> {
+    Ok(match r.u8()? {
+        0 => None,
+        _ => Some(r.u32()?),
+    })
+}
+
+impl DirCommand {
+    /// Encodes into `w`.
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            DirCommand::SetLocation { object, node } => {
+                w.u8(TAG_SET_LOCATION);
+                w.u64(*object);
+                w.u32(*node);
+            }
+            DirCommand::RemoveLocation { object } => {
+                w.u8(TAG_REMOVE_LOCATION);
+                w.u64(*object);
+            }
+            DirCommand::SetRole {
+                scope,
+                manager,
+                backup,
+            } => {
+                w.u8(TAG_SET_ROLE);
+                w.u64(*scope);
+                opt_node(w, *manager);
+                opt_node(w, *backup);
+            }
+            DirCommand::MarkFailed { node } => {
+                w.u8(TAG_MARK_FAILED);
+                w.u32(*node);
+            }
+            DirCommand::Noop => w.u8(TAG_NOOP),
+        }
+    }
+
+    /// Decodes one command from `r`.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.u8()? {
+            TAG_SET_LOCATION => DirCommand::SetLocation {
+                object: r.u64()?,
+                node: r.u32()?,
+            },
+            TAG_REMOVE_LOCATION => DirCommand::RemoveLocation { object: r.u64()? },
+            TAG_SET_ROLE => DirCommand::SetRole {
+                scope: r.u64()?,
+                manager: read_opt_node(r)?,
+                backup: read_opt_node(r)?,
+            },
+            TAG_MARK_FAILED => DirCommand::MarkFailed { node: r.u32()? },
+            TAG_NOOP => DirCommand::Noop,
+            _ => return Err(DecodeError),
+        })
+    }
+
+    /// Convenience: encodes to a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.finish()
+    }
+
+    /// Convenience: decodes from a whole buffer.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, DecodeError> {
+        DirCommand::decode(&mut Reader::new(buf))
+    }
+}
+
+/// A manager-role assignment for one scope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct RoleEntry {
+    /// The scope's manager.
+    pub manager: Option<u32>,
+    /// The scope's standby.
+    pub backup: Option<u32>,
+}
+
+/// The directory's replicated state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DirState {
+    locations: BTreeMap<u64, u32>,
+    roles: BTreeMap<u64, RoleEntry>,
+    failed: BTreeSet<u32>,
+}
+
+impl DirState {
+    /// Empty state.
+    pub fn new() -> Self {
+        DirState::default()
+    }
+
+    /// Applies one committed command. Idempotent for every command kind.
+    pub fn apply(&mut self, cmd: &DirCommand) {
+        match cmd {
+            DirCommand::SetLocation { object, node } => {
+                self.locations.insert(*object, *node);
+            }
+            DirCommand::RemoveLocation { object } => {
+                self.locations.remove(object);
+            }
+            DirCommand::SetRole {
+                scope,
+                manager,
+                backup,
+            } => {
+                self.roles.insert(
+                    *scope,
+                    RoleEntry {
+                        manager: *manager,
+                        backup: *backup,
+                    },
+                );
+            }
+            DirCommand::MarkFailed { node } => {
+                self.failed.insert(*node);
+            }
+            DirCommand::Noop => {}
+        }
+    }
+
+    /// The hosting node recorded for `object`.
+    pub fn location_of(&self, object: u64) -> Option<u32> {
+        self.locations.get(&object).copied()
+    }
+
+    /// The role entry recorded for `scope`.
+    pub fn role_of(&self, scope: u64) -> Option<RoleEntry> {
+        self.roles.get(&scope).copied()
+    }
+
+    /// Whether `node` has been declared failed.
+    pub fn is_failed(&self, node: u32) -> bool {
+        self.failed.contains(&node)
+    }
+
+    /// Number of recorded object locations.
+    pub fn location_count(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Number of recorded role scopes.
+    pub fn role_count(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Iterates over `(object, node)` placements.
+    pub fn locations(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.locations.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Snapshot encoding (used for log compaction and lagging followers).
+    pub fn encode(&self, w: &mut Writer) {
+        w.u32(self.locations.len() as u32);
+        for (object, node) in &self.locations {
+            w.u64(*object);
+            w.u32(*node);
+        }
+        w.u32(self.roles.len() as u32);
+        for (scope, entry) in &self.roles {
+            w.u64(*scope);
+            opt_node(w, entry.manager);
+            opt_node(w, entry.backup);
+        }
+        w.u32(self.failed.len() as u32);
+        for node in &self.failed {
+            w.u32(*node);
+        }
+    }
+
+    /// Decodes a snapshot produced by [`DirState::encode`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let mut s = DirState::new();
+        for _ in 0..r.u32()? {
+            let object = r.u64()?;
+            let node = r.u32()?;
+            s.locations.insert(object, node);
+        }
+        for _ in 0..r.u32()? {
+            let scope = r.u64()?;
+            let manager = read_opt_node(r)?;
+            let backup = read_opt_node(r)?;
+            s.roles.insert(scope, RoleEntry { manager, backup });
+        }
+        for _ in 0..r.u32()? {
+            let node = r.u32()?;
+            s.failed.insert(node);
+        }
+        Ok(s)
+    }
+
+    /// Convenience: encodes to a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.finish()
+    }
+
+    /// Convenience: decodes from a whole buffer.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, DecodeError> {
+        DirState::decode(&mut Reader::new(buf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_round_trip() {
+        let cmds = [
+            DirCommand::SetLocation {
+                object: 42,
+                node: 3,
+            },
+            DirCommand::RemoveLocation { object: 42 },
+            DirCommand::SetRole {
+                scope: 7,
+                manager: Some(1),
+                backup: None,
+            },
+            DirCommand::MarkFailed { node: 2 },
+            DirCommand::Noop,
+        ];
+        for cmd in &cmds {
+            let back = DirCommand::from_bytes(&cmd.to_bytes()).unwrap();
+            assert_eq!(*cmd, back);
+        }
+    }
+
+    #[test]
+    fn apply_is_idempotent() {
+        let mut s = DirState::new();
+        let cmd = DirCommand::SetLocation { object: 1, node: 2 };
+        s.apply(&cmd);
+        let once = s.clone();
+        s.apply(&cmd);
+        assert_eq!(s, once);
+        s.apply(&DirCommand::MarkFailed { node: 2 });
+        let once = s.clone();
+        s.apply(&DirCommand::MarkFailed { node: 2 });
+        assert_eq!(s, once);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut s = DirState::new();
+        for i in 0..100u64 {
+            s.apply(&DirCommand::SetLocation {
+                object: i,
+                node: (i % 7) as u32,
+            });
+        }
+        s.apply(&DirCommand::SetRole {
+            scope: 1,
+            manager: Some(0),
+            backup: Some(3),
+        });
+        s.apply(&DirCommand::MarkFailed { node: 6 });
+        let back = DirState::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(back.location_of(13), Some(6));
+        assert!(back.is_failed(6));
+    }
+}

@@ -258,7 +258,12 @@ pub fn validate_spans(spans: &[SpanRecord]) -> Result<(), String> {
         return Err("duplicate span ids".into());
     }
     for s in spans {
-        if !(s.end >= s.start) {
+        // NaN endpoints count as inverted too, hence partial_cmp.
+        let ordered = s
+            .end
+            .partial_cmp(&s.start)
+            .is_some_and(|o| o != std::cmp::Ordering::Less);
+        if !ordered {
             return Err(format!(
                 "span {} [{} .. {}] is inverted",
                 s.name, s.start, s.end

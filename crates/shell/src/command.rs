@@ -126,6 +126,9 @@ pub enum Command {
     },
     /// `stats` — network and per-node runtime counters.
     Stats,
+    /// `directory` — replicated-directory replica status (DESIGN.md §10):
+    /// leader, term, commit/applied lag and state sizes per replica.
+    Directory,
     /// `metrics [json]` — observability registry: counters, gauges,
     /// histograms and per-endpoint traffic; `json` emits the machine-
     /// readable export instead.
@@ -382,6 +385,7 @@ impl Command {
                 _ => Err(ParseError::Usage("params [--cached]")),
             },
             "stats" => Ok(Command::Stats),
+            "directory" | "dir" => Ok(Command::Directory),
             "metrics" => match rest.as_slice() {
                 [] => Ok(Command::Metrics { json: false }),
                 ["json"] => Ok(Command::Metrics { json: true }),
@@ -428,6 +432,7 @@ commands:
   params [--cached]                      key parameters per machine / plane stats
   period <secs> / timeout <secs>         tune monitoring / failure detection
   stats / objects / log [n]              counters / object table / events
+  directory                              replicated-directory leader, term, replica lag
   metrics [json]                         observability metrics (summary or JSON)
   trace [name-prefix]                    recorded spans as a tree (e.g. `trace migrate`)
   quit";
@@ -443,6 +448,8 @@ mod tests {
         assert_eq!(Command::parse("  LS  ").unwrap(), Command::Nodes);
         assert_eq!(Command::parse("quit").unwrap(), Command::Quit);
         assert_eq!(Command::parse("stats").unwrap(), Command::Stats);
+        assert_eq!(Command::parse("directory").unwrap(), Command::Directory);
+        assert_eq!(Command::parse("dir").unwrap(), Command::Directory);
     }
 
     #[test]

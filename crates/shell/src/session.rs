@@ -356,6 +356,59 @@ impl ShellSession {
                 }
                 Ok(out)
             }
+            Command::Directory => {
+                let status = self.deployment.directory_status();
+                if status.is_empty() {
+                    return Ok(
+                        "replicated directory disabled (boot with directory_replicas >= 1)"
+                            .to_owned(),
+                    );
+                }
+                let max_commit = status.iter().map(|s| s.commit).max().unwrap_or(0);
+                let mut out = match status.iter().find(|s| s.role == "leader") {
+                    Some(l) => format!(
+                        "leader: node {} (term {}, commit {})\n",
+                        l.node, l.term, l.commit
+                    ),
+                    None => "leader: none (election in progress)\n".to_owned(),
+                };
+                let _ = writeln!(
+                    out,
+                    "heartbeat {:.3}s, election timeout {:.3}s (virtual)",
+                    status[0].heartbeat_interval, status[0].election_timeout
+                );
+                let _ = writeln!(
+                    out,
+                    "{:<5} {:<10} {:>5} {:>7} {:>8} {:>4} {:>4} {:>9} {:>10} {:>6}",
+                    "node",
+                    "role",
+                    "term",
+                    "commit",
+                    "applied",
+                    "lag",
+                    "log",
+                    "snapshot",
+                    "locations",
+                    "roles"
+                );
+                for s in &status {
+                    let _ = writeln!(
+                        out,
+                        "{:<5} {:<10} {:>5} {:>7} {:>8} {:>4} {:>4} {:>9} {:>10} {:>6}",
+                        s.node,
+                        s.role,
+                        s.term,
+                        s.commit,
+                        s.applied,
+                        max_commit - s.commit,
+                        s.log_entries,
+                        s.snapshot_index,
+                        s.locations,
+                        s.roles
+                    );
+                }
+                Ok(out)
+            }
             Command::Metrics { json } => {
                 if json {
                     return Ok(self.deployment.obs().to_json());
@@ -626,6 +679,62 @@ mod obs_tests {
         let full = s.run_line("trace");
         assert!(full.contains("rmi.create"), "{full}");
         assert!(s.run_line("trace nosuchspan").contains("no spans matching"));
+    }
+}
+
+#[cfg(test)]
+mod directory_tests {
+    use super::*;
+    use jsym_core::testkit::{register_test_classes, shell_with_idle_machines};
+
+    #[test]
+    fn directory_command_reports_leader_term_and_replica_lag() {
+        let d = shell_with_idle_machines(3).directory_replicas(3).boot();
+        register_test_classes(&d);
+        let mut s = ShellSession::new(d).unwrap();
+        s.run_line("create Counter m1");
+        s.run_line("invoke c1 add 2");
+        // Elections are asynchronous; wait for a stable leader to report.
+        let mut out = String::new();
+        for _ in 0..400 {
+            out = s.run_line("directory");
+            if out.contains("leader: node") {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(out.contains("leader: node"), "{out}");
+        assert!(out.contains("term"), "{out}");
+        assert!(out.contains("lag"), "{out}");
+        assert!(out.contains("follower"), "{out}");
+        assert!(out.contains("heartbeat"), "{out}");
+    }
+
+    #[test]
+    fn directory_command_reports_disabled_without_replicas() {
+        let d = shell_with_idle_machines(2).boot();
+        register_test_classes(&d);
+        let mut s = ShellSession::new(d).unwrap();
+        let out = s.run_line("directory");
+        assert!(out.contains("disabled"), "{out}");
+    }
+
+    #[test]
+    fn metrics_command_exports_transient_worker_gauge() {
+        let d = shell_with_idle_machines(2).boot();
+        register_test_classes(&d);
+        let mut s = ShellSession::new(d).unwrap();
+        // The NAS monitor publishes the gauge once per round; the fixture's
+        // virtual period is microseconds of real time, so poll briefly.
+        let mut metrics = String::new();
+        for _ in 0..400 {
+            metrics = s.run_line("metrics");
+            if metrics.contains("pool.transient_workers") {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(metrics.contains("pool.transient_workers"), "{metrics}");
     }
 }
 
