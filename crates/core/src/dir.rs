@@ -12,8 +12,10 @@
 //! single-authority path: the origin AppOA answers `WhereIs`. With it on,
 //! AppOAs *write through* every placement change to the directory and
 //! [`crate::runtime::NodeShared::resolve_location`] consults the directory
-//! leader instead of the origin — falling back to the origin authority only
-//! when the directory cannot answer (e.g. during an election). Both paths
+//! leader instead of the origin — falling back to the origin authority
+//! whenever the directory cannot produce a location, whether it cannot
+//! answer (e.g. during an election) or has no entry (the write-through is
+//! best-effort and may never have landed). Both paths
 //! resolve to the same node on fault-free runs; the differential proptest in
 //! `tests/dir_props.rs` asserts that byte-for-byte.
 
@@ -301,7 +303,13 @@ impl DirHost {
                     }
                 }
                 DirEvent::ReadReady { seq } => {
-                    if let Some((req, to, object)) = self.reads.lock().remove(&seq) {
+                    // Take the entry out in its own statement: an `if let`
+                    // on `self.reads.lock()` would hold the reads guard for
+                    // the whole body while it takes `self.replica.lock()`,
+                    // inverting the replica→reads order used by
+                    // `handle(Msg::DirRead)` and deadlocking the shards.
+                    let entry = self.reads.lock().remove(&seq);
+                    if let Some((req, to, object)) = entry {
                         let result = self
                             .replica
                             .lock()
@@ -465,7 +473,9 @@ pub(crate) fn propose(shared: &NodeShared, cmd: &DirCommand) -> Result<()> {
 }
 
 /// Reads an object's placement from the directory leader (linearizable
-/// read-index read). `Err(NoSuchObject)` is authoritative and not retried.
+/// read-index read). `Err(NoSuchObject)` is returned without retrying, but
+/// it is *not* authoritative — the write-through is best-effort, so callers
+/// fall back to the origin-authority path on any error.
 pub(crate) fn read_location(shared: &NodeShared, obj: ObjectId) -> Result<NodeId> {
     let Some(cluster) = shared.dir.as_ref() else {
         return Err(JsError::NoSuchObject(obj));

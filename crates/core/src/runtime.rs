@@ -251,18 +251,16 @@ impl NodeShared {
         if let Some(&loc) = self.location_cache.lock().get(&handle.id) {
             return Ok(loc);
         }
-        // Replicated directory first: a linearizable leader read. A missing
-        // entry is authoritative (the write-through precedes the handle
-        // becoming visible); any other failure — election in progress,
-        // quorum loss — falls back to the legacy origin-authority path.
+        // Replicated directory first: a linearizable leader read. Only a
+        // successful hit is authoritative — the write-through is
+        // best-effort, so a missing entry may just mean the placement never
+        // landed (e.g. quorum was down at create/migrate time). Any miss or
+        // failure — NoSuchObject, election in progress, quorum loss — falls
+        // back to the legacy origin-authority path.
         if self.dir.is_some() {
-            match crate::dir::read_location(self, handle.id) {
-                Ok(loc) => {
-                    self.location_cache.lock().insert(handle.id, loc);
-                    return Ok(loc);
-                }
-                Err(e @ JsError::NoSuchObject(_)) => return Err(e),
-                Err(_) => {}
+            if let Ok(loc) = crate::dir::read_location(self, handle.id) {
+                self.location_cache.lock().insert(handle.id, loc);
+                return Ok(loc);
             }
         }
         // Ask the origin AppOA. If it is homed on this very node, answer

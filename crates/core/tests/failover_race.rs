@@ -30,10 +30,16 @@ fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
 
 #[test]
 fn failover_races_migration_without_misroute_or_double_delivery() {
+    // At this time scale one virtual second is 0.1 ms real, so the failure
+    // timeout must stay well above ordinary thread-scheduling noise: 500
+    // virtual seconds is 50 ms real. Anything much tighter (e.g. 50 → 5 ms)
+    // lets a descheduled NA thread on a *surviving* node miss its heartbeat
+    // window during the post-kill directory re-election burst, get falsely
+    // declared failed, and permanently shrink the cluster under test.
     let d = shell_with_idle_machines(5)
         .time_scale(1e-4)
         .monitor_period(2.0)
-        .failure_timeout(50.0)
+        .failure_timeout(500.0)
         .directory_replicas(3)
         .boot();
     register_test_classes(&d);

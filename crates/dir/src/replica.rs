@@ -678,9 +678,15 @@ impl DirReplica {
 
     fn step_down(&mut self, term: u64, now: f64) {
         let was_leader = self.role == Role::Leader;
+        // One vote per term (Raft §5.2): only a term *increase* clears the
+        // vote. A same-term step-down — e.g. a candidate hearing the term's
+        // elected leader — must keep it, or this replica could grant a
+        // second vote in the same term and elect two leaders.
+        if term > self.term {
+            self.voted_for = None;
+        }
         self.term = term;
         self.role = Role::Follower;
-        self.voted_for = None;
         self.votes.clear();
         self.last_leader_contact = now;
         if was_leader {
@@ -847,8 +853,23 @@ impl DirReplica {
             return Vec::new();
         }
         if success {
-            self.match_index.insert(from, match_index);
-            self.next_index.insert(from, match_index + 1);
+            // A heartbeat ack echoes the heartbeat's prev_index, which may
+            // sit below an earlier replication ack; keep both indices
+            // monotonic so acked entries are never re-sent.
+            let matched = self
+                .match_index
+                .get(&from)
+                .copied()
+                .unwrap_or(0)
+                .max(match_index);
+            self.match_index.insert(from, matched);
+            let next = self
+                .next_index
+                .get(&from)
+                .copied()
+                .unwrap_or(1)
+                .max(matched + 1);
+            self.next_index.insert(from, next);
             let prev_probe = self.probe_acks.get(&from).copied().unwrap_or(0);
             self.probe_acks.insert(from, prev_probe.max(probe));
             self.advance_commit();
@@ -937,7 +958,12 @@ impl DirReplica {
         }
         self.last_leader_contact = now;
         self.set_leader(Some(from));
-        if last_index > self.snapshot_index {
+        // A delayed snapshot at or below our commit point must be ignored:
+        // installing it would clear entries already acked toward a majority
+        // and regress commit/applied, risking loss of a committed entry.
+        // (`commit >= snapshot_index` always, so this also covers overlap
+        // with the current snapshot.)
+        if last_index > self.commit {
             if let Ok(state) = DirState::from_bytes(&data) {
                 self.state = state;
                 self.snapshot_index = last_index;
@@ -951,7 +977,9 @@ impl DirReplica {
             from,
             DirMsg::SnapshotAck {
                 term: self.term,
-                match_index: self.snapshot_index,
+                // Everything up to our commit is durably held here even when
+                // a stale snapshot was rejected above.
+                match_index: self.snapshot_index.max(self.commit),
             },
         )]
     }
@@ -960,9 +988,23 @@ impl DirReplica {
         if self.role != Role::Leader || term != self.term {
             return Vec::new();
         }
-        self.match_index.insert(from, match_index);
-        self.next_index.insert(from, match_index + 1);
-        if match_index < self.last_index() {
+        // Monotonic, like append acks: a reordered stale ack must not
+        // regress the follower's progress markers.
+        let matched = self
+            .match_index
+            .get(&from)
+            .copied()
+            .unwrap_or(0)
+            .max(match_index);
+        self.match_index.insert(from, matched);
+        let next = self
+            .next_index
+            .get(&from)
+            .copied()
+            .unwrap_or(1)
+            .max(matched + 1);
+        self.next_index.insert(from, next);
+        if matched < self.last_index() {
             return vec![(from, self.append_for(from))];
         }
         Vec::new()
@@ -1332,6 +1374,153 @@ mod tests {
         assert!(
             committed || dropped,
             "pending proposal must resolve either way: {events:?}"
+        );
+    }
+
+    #[test]
+    fn same_term_step_down_keeps_the_vote() {
+        // Replica 1 stands for election in term 1 (voting for itself),
+        // then hears the term-1 leader and steps down. One vote per term:
+        // it must not grant a second term-1 vote to a rival candidate.
+        let ids = [0, 1, 2];
+        let mut r = DirReplica::new(1, &ids, DirConfig::default(), 0.0);
+        let now = r.my_election_timeout() + 0.1;
+        let out = r.tick(now);
+        assert_eq!(r.role(), Role::Candidate);
+        assert_eq!(out.len(), 2, "candidate solicits both peers");
+        r.receive(
+            0,
+            DirMsg::Append {
+                term: 1,
+                prev_index: 0,
+                prev_term: 0,
+                entries: Vec::new(),
+                commit: 0,
+                probe: 1,
+            },
+            now,
+        );
+        assert_eq!(r.role(), Role::Follower);
+        let out = r.receive(
+            2,
+            DirMsg::RequestVote {
+                term: 1,
+                last_log_index: 5,
+                last_log_term: 1,
+            },
+            now,
+        );
+        assert_eq!(
+            out,
+            vec![(
+                2,
+                DirMsg::Vote {
+                    term: 1,
+                    granted: false,
+                }
+            )],
+            "already voted for itself in term 1"
+        );
+    }
+
+    #[test]
+    fn stale_snapshot_does_not_regress_commit() {
+        let ids = [0, 1];
+        let mut r = DirReplica::new(1, &ids, DirConfig::default(), 0.0);
+        let entries: Vec<LogEntry> = (0..3)
+            .map(|i| LogEntry {
+                term: 1,
+                cmd: DirCommand::SetLocation { object: i, node: 0 },
+            })
+            .collect();
+        r.receive(
+            0,
+            DirMsg::Append {
+                term: 1,
+                prev_index: 0,
+                prev_term: 0,
+                entries,
+                commit: 3,
+                probe: 1,
+            },
+            0.1,
+        );
+        assert_eq!(r.commit_index(), 3);
+        assert_eq!(r.applied_index(), 3);
+        // A delayed snapshot below the commit point must be ignored: it
+        // would clear acked entries and roll back the applied state.
+        let out = r.receive(
+            0,
+            DirMsg::Snapshot {
+                term: 1,
+                last_index: 2,
+                last_term: 1,
+                data: DirState::new().to_bytes(),
+            },
+            0.2,
+        );
+        assert_eq!(r.commit_index(), 3);
+        assert_eq!(r.applied_index(), 3);
+        assert_eq!(r.state().location_of(2), Some(0));
+        // The ack still reports the commit point, not the stale snapshot.
+        assert_eq!(
+            out,
+            vec![(
+                0,
+                DirMsg::SnapshotAck {
+                    term: 1,
+                    match_index: 3,
+                }
+            )]
+        );
+    }
+
+    #[test]
+    fn heartbeat_ack_does_not_regress_follower_progress() {
+        let ids = [0, 1, 2];
+        let mut r = DirReplica::new(0, &ids, DirConfig::default(), 0.0);
+        let now = r.my_election_timeout() + 0.1;
+        r.tick(now);
+        r.receive(
+            1,
+            DirMsg::Vote {
+                term: 1,
+                granted: true,
+            },
+            now,
+        );
+        assert_eq!(r.role(), Role::Leader);
+        for i in 0..4 {
+            r.propose(DirCommand::SetLocation { object: i, node: 1 }, now)
+                .unwrap();
+        }
+        let last = r.last_index();
+        r.receive(
+            1,
+            DirMsg::AppendAck {
+                term: 1,
+                success: true,
+                match_index: last,
+                probe: 1,
+            },
+            now,
+        );
+        assert_eq!(r.commit_index(), last);
+        // A reordered heartbeat ack echoing an older prev_index must not
+        // pull next_index back and re-send entries the follower has.
+        let out = r.receive(
+            1,
+            DirMsg::AppendAck {
+                term: 1,
+                success: true,
+                match_index: 1,
+                probe: 2,
+            },
+            now,
+        );
+        assert!(
+            out.is_empty(),
+            "stale ack must not re-send acked entries: {out:?}"
         );
     }
 
