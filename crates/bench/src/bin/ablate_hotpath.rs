@@ -130,6 +130,59 @@ fn main() {
         "wide-area link between sites",
     );
 
+    let bc = jsym_net::BatchConfig::default();
+    run(
+        "lan100_batched",
+        {
+            let d = shell_with_idle_machines(2)
+                .time_scale(1e-6)
+                .cost_model(CostModel::free())
+                .rmi_batching(bc.flush_window, bc.max_bytes)
+                .boot();
+            register_test_classes(&d);
+            d
+        },
+        NodeId(1),
+        CALLS,
+        "same cluster, coalescing stage armed (sync pings batch alone: window latency added, bytes unchanged)",
+    );
+    run(
+        "wan_batched",
+        {
+            let far = {
+                let mut m = MachineConfig::idle("far", 50.0);
+                m.link = LinkClass::Wan;
+                m
+            };
+            let d = JsShell::new()
+                .add_machine(MachineConfig::idle("near", 50.0))
+                .add_machine(far)
+                .time_scale(1e-6)
+                .monitor_period(1.0)
+                .failure_timeout(1e9)
+                .cost_model(CostModel::free())
+                .rmi_batching(bc.flush_window, bc.max_bytes)
+                .boot();
+            register_test_classes(&d);
+            d
+        },
+        NodeId(1),
+        500,
+        "wide-area link, coalescing stage armed",
+    );
+
+    // Batching must never change the charged wire bytes of a call.
+    for (plain, batched) in [("lan100", "lan100_batched"), ("wan", "wan_batched")] {
+        let p = rows.iter().find(|r| r.scenario == plain).unwrap();
+        let b = rows.iter().find(|r| r.scenario == batched).unwrap();
+        assert!(
+            (p.bytes_per_call - b.bytes_per_call).abs() < 1e-9,
+            "batching changed charged wire bytes on {plain}: {} vs {}",
+            p.bytes_per_call,
+            b.bytes_per_call
+        );
+    }
+
     // The parity the proptests enforce, restated as an artifact: bytes per
     // call must match between the two loopback rows.
     let fast = rows.iter().find(|r| r.scenario == "loopback_fast").unwrap();

@@ -10,19 +10,19 @@
 //!   cargo run --release -p jsym-bench --bin fig5 -- --quick # smoke sweep
 
 use jsym_bench::{write_json, write_raw_json};
-use jsym_cluster::fig5::{run_fig5_instrumented, Fig5Config, Fig5Row};
+use jsym_cluster::fig5::{run_fig5_instrumented, Fig5Config, Fig5Kernel, Fig5Row};
 
 fn print_header() {
     println!(
-        "{:>5} {:>6} {:>6} {:>10} {:>8} {:>11} {:>9}",
-        "N", "nodes", "load", "time[s]", "speedup", "efficiency", "messages"
+        "{:>5} {:>6} {:>6} {:>12} {:>10} {:>8} {:>11} {:>9}",
+        "N", "nodes", "load", "kernel", "time[s]", "speedup", "efficiency", "messages"
     );
 }
 
 fn print_row(r: &Fig5Row) {
     println!(
-        "{:>5} {:>6} {:>6} {:>10.2} {:>8.2} {:>11.2} {:>9}",
-        r.n, r.nodes, r.load, r.seconds, r.speedup, r.efficiency, r.messages
+        "{:>5} {:>6} {:>6} {:>12} {:>10.2} {:>8.2} {:>11.2} {:>9}",
+        r.n, r.nodes, r.load, r.kernel, r.seconds, r.speedup, r.efficiency, r.messages
     );
 }
 
@@ -36,11 +36,34 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    // Default to the DistCol collective kernel with RMI batching (the
+    // committed curves); `--kernel master_slave` reproduces the historical
+    // unbatched task farm.
     let mut cfg = if quick {
-        Fig5Config::smoke()
+        let mut cfg = Fig5Config::smoke();
+        cfg.kernel = Fig5Kernel::Collective;
+        cfg.batching = true;
+        cfg
     } else {
-        Fig5Config::paper()
+        Fig5Config::paper_collective()
     };
+    if let Some(kernel) = parse_flag::<String>(&args, "--kernel") {
+        match kernel.as_str() {
+            "master_slave" => {
+                cfg.kernel = Fig5Kernel::MasterSlave;
+                cfg.batching = false;
+                cfg.sizes.retain(|&n| n < 2000); // impractically slow there
+            }
+            "collective" => {
+                cfg.kernel = Fig5Kernel::Collective;
+                cfg.batching = true;
+            }
+            other => {
+                eprintln!("unknown --kernel {other} (use master_slave|collective)");
+                std::process::exit(2);
+            }
+        }
+    }
     // Researcher knobs: --seed N, --scale S (real s per virtual s),
     // --size N (restrict to one problem size).
     if let Some(seed) = parse_flag::<u64>(&args, "--seed") {
@@ -53,7 +76,7 @@ fn main() {
         cfg.sizes = vec![size];
     }
     eprintln!(
-        "Figure 5 sweep: N ∈ {:?}, nodes ∈ {:?}, loads {:?} (time scale {}, ~minutes of wall time)",
+        "Figure 5 sweep: N ∈ {:?}, nodes ∈ {:?}, loads {:?} (base time scale {}, per-size ×[0.5, 8] for fidelity; ~minutes of wall time)",
         cfg.sizes,
         cfg.node_counts,
         cfg.loads.iter().map(|l| l.label()).collect::<Vec<_>>(),
@@ -87,12 +110,12 @@ fn main() {
     }
     match jsym_bench::write_csv(
         "fig5",
-        "n,nodes,load,seconds,speedup,efficiency,messages",
+        "n,nodes,load,kernel,seconds,speedup,efficiency,messages",
         &rows,
         |r| {
             format!(
-                "{},{},{},{:.4},{:.4},{:.4},{}",
-                r.n, r.nodes, r.load, r.seconds, r.speedup, r.efficiency, r.messages
+                "{},{},{},{},{:.4},{:.4},{:.4},{}",
+                r.n, r.nodes, r.load, r.kernel, r.seconds, r.speedup, r.efficiency, r.messages
             )
         },
     ) {

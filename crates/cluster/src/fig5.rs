@@ -2,9 +2,32 @@
 //! performance for different problem sizes, node counts and system loads.
 
 use crate::catalog::{aggregate_mflops, testbed_machines, LoadKind, TESTBED};
-use crate::matmul::{register_matmul_classes, run_master_slave, run_sequential, MatmulConfig};
+use crate::matmul::{
+    register_matmul_classes, run_collective, run_master_slave, run_sequential, MatmulConfig,
+};
 use jsym_core::JsShell;
 use serde::{Deserialize, Serialize};
+
+/// Which multiplication kernel a sweep cell runs (one-node cells are always
+/// the sequential no-JavaSymphony baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fig5Kernel {
+    /// The paper's polling master/slave task farm (Figure 6).
+    MasterSlave,
+    /// The `DistCol` collective kernel: weighted static row chunks, one
+    /// teamed `multiply` fan-out, no polling loop.
+    Collective,
+}
+
+impl Fig5Kernel {
+    /// Label used in result rows and artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig5Kernel::MasterSlave => "master_slave",
+            Fig5Kernel::Collective => "collective",
+        }
+    }
+}
 
 /// Sweep configuration for the Figure 5 reproduction.
 #[derive(Clone, Debug)]
@@ -21,11 +44,16 @@ pub struct Fig5Config {
     pub seed: u64,
     /// Whether slaves compute actual values (slower; for tests).
     pub verify: bool,
+    /// The multiplication kernel for multi-node cells.
+    pub kernel: Fig5Kernel,
+    /// Whether the deployment coalesces same-destination RMI traffic
+    /// (`JsShell::rmi_batching` with default window/size).
+    pub batching: bool,
 }
 
 impl Fig5Config {
     /// The full paper-scale sweep: N ∈ {200,400,600,800,1000},
-    /// nodes ∈ 1..=13, day and night.
+    /// nodes ∈ 1..=13, day and night, master/slave kernel.
     pub fn paper() -> Self {
         Fig5Config {
             sizes: vec![200, 400, 600, 800, 1000],
@@ -34,7 +62,35 @@ impl Fig5Config {
             time_scale: 5e-2,
             seed: 20001204, // the CLUSTER 2000 conference date
             verify: false,
+            kernel: Fig5Kernel::MasterSlave,
+            batching: false,
         }
+    }
+
+    /// The collective-kernel sweep: the paper sizes plus N = 2000 (which the
+    /// task farm's per-task round trips made impractically slow), RMI
+    /// batching on.
+    pub fn paper_collective() -> Self {
+        let mut cfg = Fig5Config::paper();
+        cfg.sizes.push(2000);
+        cfg.kernel = Fig5Kernel::Collective;
+        cfg.batching = true;
+        cfg
+    }
+
+    /// Real seconds per virtual second for one problem size: the base
+    /// [`time_scale`](Fig5Config::time_scale) stretched for small N and
+    /// compressed for the largest.
+    ///
+    /// Virtual results are scale-invariant in the cost model; the scale only
+    /// sets how much real wall time buys one virtual second, i.e. how much
+    /// of the host's real scheduling noise bleeds into a measurement
+    /// (bleed ≈ real overhead ÷ scale). Small-N cells last a fraction of a
+    /// virtual second, so they can afford a much larger scale for precision
+    /// at negligible wall cost, while N=2000 cells run hundreds of virtual
+    /// seconds dominated by modeled compute and tolerate a smaller one.
+    pub fn scale_for(&self, n: usize) -> f64 {
+        self.time_scale * (1500.0 / n.max(1) as f64).clamp(0.5, 8.0)
     }
 
     /// A laptop-second smoke sweep used by the integration tests.
@@ -46,6 +102,8 @@ impl Fig5Config {
             time_scale: 2e-2,
             seed: 7,
             verify: false,
+            kernel: Fig5Kernel::MasterSlave,
+            batching: false,
         }
     }
 }
@@ -68,6 +126,9 @@ pub struct Fig5Row {
     pub efficiency: f64,
     /// RMI-layer messages sent during the run (0 for sequential).
     pub messages: u64,
+    /// Kernel label ("master_slave"/"collective"; "sequential" for one-node
+    /// cells).
+    pub kernel: String,
 }
 
 /// One cell's measurements plus the deployment's observability export.
@@ -111,6 +172,8 @@ pub fn run_cell_with_messages(
 }
 
 /// As [`run_cell_with_messages`], also capturing the deployment's metrics.
+/// Runs the historical master/slave kernel without batching; see
+/// [`run_cell_opts`] for kernel and batching control.
 pub fn run_cell_full(
     n: usize,
     nodes: usize,
@@ -119,12 +182,40 @@ pub fn run_cell_full(
     seed: u64,
     verify: bool,
 ) -> CellRun {
+    run_cell_opts(
+        n,
+        nodes,
+        load,
+        time_scale,
+        seed,
+        verify,
+        Fig5Kernel::MasterSlave,
+        false,
+    )
+}
+
+/// Runs one sweep cell with an explicit kernel and RMI-batching setting.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell_opts(
+    n: usize,
+    nodes: usize,
+    load: LoadKind,
+    time_scale: f64,
+    seed: u64,
+    verify: bool,
+    kernel: Fig5Kernel,
+    batching: bool,
+) -> CellRun {
     assert!((1..=TESTBED.len()).contains(&nodes));
-    let shell = JsShell::new()
+    let mut shell = JsShell::new()
         .time_scale(time_scale)
         .monitor_period(5.0)
         .failure_timeout(1e9)
         .add_machines(testbed_machines(nodes, load, seed));
+    if batching {
+        let bc = jsym_net::BatchConfig::default();
+        shell = shell.rmi_batching(bc.flush_window, bc.max_bytes);
+    }
     let deployment = shell.boot();
     register_matmul_classes(&deployment);
 
@@ -142,7 +233,18 @@ pub fn run_cell_full(
             .expect("testbed has enough machines");
         let mut cfg = MatmulConfig::new(n);
         cfg.verify = verify;
-        let report = run_master_slave(&deployment, &cluster, &cfg).expect("matmul run");
+        // Small problems are latency-bound: one chunk per node halves the
+        // fan-out round trips; larger ones keep two so same-destination
+        // requests stay in flight for the coalescing stage and imbalance
+        // from load drift stays amortised.
+        if n <= 400 {
+            cfg.chunks_per_node = 1;
+        }
+        let report = match kernel {
+            Fig5Kernel::MasterSlave => run_master_slave(&deployment, &cluster, &cfg),
+            Fig5Kernel::Collective => run_collective(&deployment, &cluster, &cfg),
+        }
+        .expect("matmul run");
         if verify {
             assert_eq!(report.correct, Some(true), "distributed product wrong");
         }
@@ -179,7 +281,16 @@ pub fn run_fig5_instrumented(
         for &n in &cfg.sizes {
             let mut baseline = None;
             for &nodes in &cfg.node_counts {
-                let run = run_cell_full(n, nodes, load, cfg.time_scale, cfg.seed, cfg.verify);
+                let run = run_cell_opts(
+                    n,
+                    nodes,
+                    load,
+                    cfg.scale_for(n),
+                    cfg.seed,
+                    cfg.verify,
+                    cfg.kernel,
+                    cfg.batching,
+                );
                 if nodes == 1 {
                     baseline = Some(run.seconds);
                 }
@@ -193,6 +304,11 @@ pub fn run_fig5_instrumented(
                     speedup: base / run.seconds,
                     efficiency: ideal / run.seconds,
                     messages: run.messages,
+                    kernel: if nodes == 1 {
+                        "sequential".to_owned()
+                    } else {
+                        cfg.kernel.label().to_owned()
+                    },
                 };
                 progress(&row, &run.obs_json);
                 rows.push(row);
@@ -212,6 +328,34 @@ mod tests {
         assert_eq!(cfg.sizes.len(), 5);
         assert_eq!(cfg.node_counts, (1..=13).collect::<Vec<_>>());
         assert_eq!(cfg.loads.len(), 2);
+        assert_eq!(cfg.kernel, Fig5Kernel::MasterSlave);
+        assert!(!cfg.batching);
+    }
+
+    #[test]
+    fn collective_config_adds_n2000_and_batching() {
+        let cfg = Fig5Config::paper_collective();
+        assert!(cfg.sizes.contains(&2000));
+        assert_eq!(cfg.kernel, Fig5Kernel::Collective);
+        assert!(cfg.batching);
+        assert_eq!(Fig5Kernel::Collective.label(), "collective");
+    }
+
+    #[test]
+    fn collective_cell_verifies_the_product_under_batching() {
+        // verify=true makes run_cell_opts assert the sampled product inside.
+        let run = run_cell_opts(
+            120,
+            3,
+            LoadKind::Dedicated,
+            1e-1,
+            0,
+            true,
+            Fig5Kernel::Collective,
+            true,
+        );
+        assert!(run.messages > 0);
+        assert!(run.seconds > 0.0);
     }
 
     #[test]
@@ -256,6 +400,8 @@ mod sweep_tests {
             time_scale: 1e-2,
             seed: 1,
             verify: false,
+            kernel: Fig5Kernel::MasterSlave,
+            batching: false,
         };
         let mut seen = 0;
         let rows = run_fig5(&cfg, |_| seen += 1);

@@ -8,7 +8,8 @@
 //! neighbours as ghosts (one-sided), then step every worker and reduce the
 //! residual — exercising all three invocation modes per iteration.
 
-use jsym_core::{snapshot_state, Deployment, InvokeCtx, JsClass, JsError, JsObj, Placement, Value};
+use jsym_col::{ChunkSpec, DistCol};
+use jsym_core::{snapshot_state, Deployment, InvokeCtx, JsClass, JsError, Value};
 use jsym_vda::Cluster;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -185,6 +186,13 @@ pub struct JacobiReport {
 
 /// Runs `iterations` of Jacobi on an `n × n` grid partitioned over the
 /// cluster's nodes (row blocks in node order).
+///
+/// The row distribution is a [`DistCol`] of `JacobiWorker` chunks — each
+/// chunk covers its block's rows, so the collection's location tables record
+/// where every grid row lives — with the bulk-synchronous step and residual
+/// reduction expressed as chunk collectives. Ghost-row exchange stays an
+/// explicit per-neighbour protocol (it is deliberately *not* a collective:
+/// only adjacent chunks talk).
 pub fn run_jacobi(
     deployment: &Deployment,
     cluster: &Cluster,
@@ -202,76 +210,61 @@ pub fn run_jacobi(
         let _ = reg.unregister();
     })?;
 
-    // Row blocks, top to bottom, one worker per node.
+    // Row blocks, top to bottom, one worker chunk per node; the chunk
+    // element count is the block's row count.
     let base = n / workers_n;
     let extra = n % workers_n;
-    let mut workers: Vec<JsObj> = Vec::with_capacity(workers_n);
+    let mut specs = Vec::with_capacity(workers_n);
     for w in 0..workers_n {
         let rows = base + usize::from(w < extra);
-        let node = cluster.get_node(w)?;
-        let worker = JsObj::create(
-            &reg,
-            "JacobiWorker",
-            &[
+        specs.push(ChunkSpec::with_args(
+            cluster.get_node(w)?.phys(),
+            rows,
+            vec![
                 Value::I64(rows as i64),
                 Value::I64(n as i64),
                 Value::Bool(w == 0),
                 Value::Bool(w == workers_n - 1),
                 Value::Bool(verify),
             ],
-            Placement::OnNode(&node),
-            None,
-        )?;
-        workers.push(worker);
+        ));
     }
+    let workers = DistCol::<f32>::create(&reg, "JacobiWorker", &specs)?;
 
     let clock = deployment.clock().clone();
     let t0 = clock.now();
     let mut residual = f64::INFINITY;
     for _ in 0..iterations {
         // 1. Pull boundary rows in parallel (asynchronous invocation).
-        let tops: Vec<_> = workers
-            .iter()
-            .map(|w| w.ainvoke("boundary", &[Value::I64(0)]))
-            .collect::<jsym_core::Result<_>>()?;
-        let bottoms: Vec<_> = workers
-            .iter()
-            .map(|w| w.ainvoke("boundary", &[Value::I64(1)]))
-            .collect::<jsym_core::Result<_>>()?;
-        let tops: Vec<Value> = tops
-            .iter()
-            .map(|h| h.get_result())
-            .collect::<jsym_core::Result<_>>()?;
-        let bottoms: Vec<Value> = bottoms
-            .iter()
-            .map(|h| h.get_result())
-            .collect::<jsym_core::Result<_>>()?;
+        let tops = workers.map_chunks("boundary", &[Value::I64(0)])?;
+        let bottoms = workers.map_chunks("boundary", &[Value::I64(1)])?;
         // 2. Push ghosts to neighbours (one-sided — per-object FIFO makes
         //    the subsequent synchronous step see them).
         for w in 0..workers_n {
             if w > 0 {
-                workers[w].oinvoke("set_ghost", &[Value::I64(0), bottoms[w - 1].clone()])?;
+                workers
+                    .chunk_obj(w)
+                    .oinvoke("set_ghost", &[Value::I64(0), bottoms[w - 1].clone()])?;
             }
             if w + 1 < workers_n {
-                workers[w].oinvoke("set_ghost", &[Value::I64(1), tops[w + 1].clone()])?;
+                workers
+                    .chunk_obj(w)
+                    .oinvoke("set_ghost", &[Value::I64(1), tops[w + 1].clone()])?;
             }
         }
         // 3. Step everyone in parallel; reduce the residual.
-        let steps: Vec<_> = workers
+        let steps = workers.map_chunks("step", &[])?;
+        residual = steps
             .iter()
-            .map(|w| w.ainvoke("step", &[]))
-            .collect::<jsym_core::Result<_>>()?;
-        residual = 0.0;
-        for h in &steps {
-            residual = residual.max(h.get_result()?.as_f64().unwrap_or(0.0));
-        }
+            .fold(0.0, |acc, v| acc.max(v.as_f64().unwrap_or(0.0)));
     }
     let virt_seconds = clock.now() - t0;
 
     let grid = if collect {
         let mut grid = Vec::with_capacity(n * n);
-        for (w, worker) in workers.iter().enumerate() {
-            let rows = base + usize::from(w < extra);
+        for w in 0..workers.chunk_count() {
+            let rows = workers.chunk_range(w).len();
+            let worker = workers.chunk_obj(w);
             for r in 0..rows {
                 let row = worker.sinvoke("row", &[Value::I64(r as i64)])?;
                 grid.extend_from_slice(row.as_floats().expect("row is floats"));
@@ -282,9 +275,7 @@ pub fn run_jacobi(
         None
     };
 
-    for w in &workers {
-        let _ = w.free();
-    }
+    let _ = workers.free();
     reg.unregister()?;
     Ok(JacobiReport {
         iterations,

@@ -1,6 +1,8 @@
 //! The paper's evaluation workload: master/slave matrix multiplication
-//! (§6, Figure 6), plus the sequential baseline used for one-node points.
+//! (§6, Figure 6), plus the sequential baseline used for one-node points and
+//! a `DistCol`-based collective variant of the same multiplication.
 
+use jsym_col::{partition_weighted, DistCol};
 use jsym_core::{snapshot_state, Deployment, InvokeCtx, JsClass, JsError, JsObj, Placement, Value};
 use jsym_sysmon::SimMachine;
 use jsym_vda::Cluster;
@@ -143,6 +145,10 @@ pub struct MatmulConfig {
     pub verify: bool,
     /// Master poll interval in virtual seconds (the paper's WHILE loop).
     pub poll_interval: f64,
+    /// Chunks per node for [`run_collective`]. Two keeps same-destination
+    /// requests in flight for the batching stage; one minimises per-call
+    /// latency when the fan-out itself dominates (small N).
+    pub chunks_per_node: usize,
 }
 
 impl MatmulConfig {
@@ -155,6 +161,7 @@ impl MatmulConfig {
             rows_per_task: n.div_ceil(26).max(1),
             verify: true,
             poll_interval: 0.01,
+            chunks_per_node: COLLECTIVE_CHUNKS_PER_NODE,
         }
     }
 
@@ -265,18 +272,7 @@ pub fn run_master_slave(
     let mut handles: Vec<Option<jsym_core::ResultHandle>> = (0..nr_nodes).map(|_| None).collect();
     let mut merged = 0usize;
 
-    let merge = |result: Value, c: &mut [f32]| -> jsym_core::Result<()> {
-        let list = result
-            .as_list()
-            .ok_or_else(|| JsError::MethodFailed("bad multiply result".into()))?;
-        let first_row = list[0].as_i64().unwrap_or(0) as usize;
-        let block = list[1]
-            .as_floats()
-            .ok_or_else(|| JsError::MethodFailed("bad multiply block".into()))?;
-        let rows = block.len() / n;
-        c[first_row * n..(first_row + rows) * n].copy_from_slice(block);
-        Ok(())
-    };
+    let merge = |result: Value, c: &mut [f32]| merge_block(result, c, n);
 
     // distribute tasks (sets of rows of matrix A) to nodes of cluster
     while merged < nr_tasks {
@@ -334,6 +330,164 @@ pub fn run_master_slave(
         virt_seconds,
         setup_seconds,
         tasks: nr_tasks,
+        nodes: nr_nodes,
+        correct,
+        messages: deployment.net_stats().msgs_sent - msgs_before,
+    })
+}
+
+/// Merges one `multiply` result (`[first_row, C-block]`) into C.
+fn merge_block(result: Value, c: &mut [f32], n: usize) -> jsym_core::Result<()> {
+    let list = result
+        .as_list()
+        .ok_or_else(|| JsError::MethodFailed("bad multiply result".into()))?;
+    let first_row = list[0].as_i64().unwrap_or(0) as usize;
+    let block = list[1]
+        .as_floats()
+        .ok_or_else(|| JsError::MethodFailed("bad multiply block".into()))?;
+    let rows = block.len() / n;
+    c[first_row * n..(first_row + rows) * n].copy_from_slice(block);
+    Ok(())
+}
+
+/// Chunks per node used by [`run_collective`]: splitting each node's row
+/// share in two keeps more than one same-destination request in flight per
+/// round, which is what the RMI batching stage coalesces.
+pub const COLLECTIVE_CHUNKS_PER_NODE: usize = 2;
+
+/// The same multiplication expressed on a [`DistCol`]: rows of A are
+/// partitioned statically across the cluster proportionally to the speed
+/// each node can actually deliver — peak Mflop/s discounted by the
+/// background load the sysmon reports, and, on the master, by the
+/// serialization workload of the fan-out itself (the paper's task farm
+/// reaches a similar steady-state split dynamically). The whole
+/// multiplication is one teamed `multiply` fan-out — no polling loop,
+/// every request in flight at once, so same-destination traffic coalesces
+/// when `JsShell::rmi_batching` is on.
+///
+/// Setup (codebase distribution, chunk creation, replication of B into
+/// every chunk object) is reported separately, exactly as in
+/// [`run_master_slave`].
+pub fn run_collective(
+    deployment: &Deployment,
+    cluster: &Cluster,
+    cfg: &MatmulConfig,
+) -> jsym_core::Result<MatmulReport> {
+    let n = cfg.n;
+    let clock = deployment.clock().clone();
+    let msgs_before = deployment.net_stats().msgs_sent;
+
+    let reg = deployment.register_app()?;
+    let t_setup = clock.now();
+
+    let cb = reg.codebase();
+    cb.add(MATRIX_ARTIFACT, MATRIX_ARTIFACT_BYTES);
+    cb.load_cluster(cluster).inspect_err(|_e| {
+        let _ = reg.unregister();
+    })?;
+
+    let a: Arc<Vec<f32>> = Arc::new((0..n * n).map(|idx| a_elem(idx / n, idx % n)).collect());
+    let b: Arc<Vec<f32>> = Arc::new((0..n * n).map(|idx| b_elem(idx / n, idx % n)).collect());
+    let mut c = vec![0.0f32; n * n];
+
+    // Static weighted partition: rows proportional to the Mflop/s each node
+    // can actually deliver — peak speed discounted by the background load the
+    // sysmon has observed recently. On a dedicated (night) testbed this is
+    // within noise of a plain peak split; under office-hours load it keeps a
+    // busy workstation from gating the whole fan-out.
+    let nr_nodes = cluster.nr_nodes();
+    let now = clock.now();
+    let mut weights = Vec::with_capacity(nr_nodes);
+    for i in 0..nr_nodes {
+        let phys = cluster.get_node(i)?.phys();
+        let mflops = deployment
+            .pool()
+            .machine(phys)
+            .map(|m| {
+                // Current sample plus two short lags: tracks the load the
+                // multiply is about to run under without chasing jitter.
+                let busy: f64 = [0.0, 5.0, 10.0]
+                    .iter()
+                    .map(|lag| m.user_cpu((now - lag).max(0.0)))
+                    .sum::<f64>()
+                    / 3.0;
+                m.spec().peak_mflops * (1.0 - busy).max(0.03)
+            })
+            .unwrap_or(1.0);
+        weights.push((phys, mflops));
+    }
+
+    // The master's CPU also marshals every chunk's arguments and unmarshals
+    // every result — (marshal + unmarshal) flops per byte over the ~4N²
+    // bytes of A fanned out and the ~4N² bytes of C gathered back. Charge
+    // that serialization workload against the master's weight so the
+    // partition doesn't overcommit the one CPU the whole fan-out funnels
+    // through; for small N it can push the master's share to zero rows,
+    // while for large N it fades (serialization is O(N) per row, compute
+    // O(N²)).
+    let master = reg.local_phys();
+    let total_eff: f64 = weights.iter().map(|&(_, w)| w).sum();
+    if total_eff > 0.0 {
+        let cost = deployment.cost_model();
+        let wire_bytes = 4.0 * (n * n) as f64;
+        let marshal_flops =
+            (cost.marshal_flops_per_byte + cost.unmarshal_flops_per_byte) * wire_bytes;
+        // Estimated multiply duration if compute were the only work, in
+        // seconds; weights are in Mflop/s.
+        let t_est = 2.0 * (n as f64).powi(3) / (total_eff * 1e6);
+        let discount_mflops = marshal_flops / t_est / 1e6;
+        if let Some(w) = weights.iter_mut().find(|(phys, _)| *phys == master) {
+            w.1 = (w.1 - discount_mflops).max(0.0);
+        }
+    }
+    let specs = partition_weighted(n, &weights, cfg.chunks_per_node.max(1));
+    let dist = DistCol::<f32>::create(&reg, "Matrix", &specs)?;
+
+    // Replicate B into every chunk object via one-sided init, then barrier
+    // on `ready` (per-object FIFO makes the sync call a happens-after).
+    let init_args = [
+        Value::I64(n as i64),
+        Value::I64(n as i64),
+        Value::F32Vec(Arc::clone(&b)),
+        Value::Bool(cfg.verify),
+    ];
+    for i in 0..dist.chunk_count() {
+        dist.chunk_obj(i).oinvoke("init", &init_args)?;
+    }
+    for i in 0..dist.chunk_count() {
+        if dist.chunk_obj(i).sinvoke("ready", &[])? != Value::Bool(true) {
+            return Err(JsError::MethodFailed("init not applied".into()));
+        }
+    }
+    let t_start = clock.now();
+    let setup_seconds = t_start - t_setup;
+
+    // One `multiply` per chunk, all issued before any reply is awaited.
+    let results = dist.map_chunks_with("multiply", |_i, start, len| {
+        vec![
+            Value::I64(start as i64),
+            Value::F32Vec(Arc::new(a[start * n..(start + len) * n].to_vec())),
+        ]
+    })?;
+    for result in results {
+        merge_block(result, &mut c, n)?;
+    }
+    let virt_seconds = clock.now() - t_start;
+
+    let correct = if cfg.verify {
+        Some(verify_sample(&a, &b, &c, n))
+    } else {
+        None
+    };
+
+    let tasks = dist.chunk_count();
+    let _ = dist.free();
+    reg.unregister()?;
+
+    Ok(MatmulReport {
+        virt_seconds,
+        setup_seconds,
+        tasks,
         nodes: nr_nodes,
         correct,
         messages: deployment.net_stats().msgs_sent - msgs_before,

@@ -3,8 +3,8 @@
 
 use jsym_cluster::catalog::{testbed_machines, LoadKind};
 use jsym_cluster::matmul::{
-    register_matmul_classes, run_master_slave, run_sequential, MatmulConfig, MATRIX_ARTIFACT,
-    MATRIX_ARTIFACT_BYTES,
+    register_matmul_classes, run_collective, run_master_slave, run_sequential, MatmulConfig,
+    COLLECTIVE_CHUNKS_PER_NODE, MATRIX_ARTIFACT, MATRIX_ARTIFACT_BYTES,
 };
 use jsym_cluster::pipeline::{
     register_pipeline_classes, PIPELINE_ARTIFACT, PIPELINE_ARTIFACT_BYTES,
@@ -35,6 +35,49 @@ fn distributed_product_is_correct() {
     assert_eq!(report.nodes, 3);
     assert!(report.messages > 0);
     assert!(report.setup_seconds > 0.0);
+    d.shutdown();
+}
+
+#[test]
+fn collective_product_is_correct() {
+    let d = testbed(3, LoadKind::Dedicated, 1e-4);
+    let cluster = d.vda().request_cluster(3, None).unwrap();
+    let report = run_collective(&d, &cluster, &MatmulConfig::new(60)).unwrap();
+    assert_eq!(report.correct, Some(true));
+    assert_eq!(report.nodes, 3);
+    // The master's serialization workload may cost it its own chunk at this
+    // tiny N; every other node carries `chunks_per_node` chunks.
+    assert!(
+        report.tasks >= 2 * COLLECTIVE_CHUNKS_PER_NODE
+            && report.tasks <= 3 * COLLECTIVE_CHUNKS_PER_NODE,
+        "unexpected chunk count {}",
+        report.tasks
+    );
+    assert!(report.messages > 0);
+    assert!(report.setup_seconds > 0.0);
+    d.shutdown();
+}
+
+#[test]
+fn collective_product_is_correct_with_batching() {
+    let bc = jsym_net::BatchConfig::default();
+    let d = JsShell::new()
+        .time_scale(1e-4)
+        .monitor_period(50.0)
+        .failure_timeout(1e9)
+        .rmi_batching(bc.flush_window, bc.max_bytes)
+        .add_machines(testbed_machines(4, LoadKind::Dedicated, 3))
+        .boot();
+    register_matmul_classes(&d);
+    let cluster = d.vda().request_cluster(4, None).unwrap();
+    let report = run_collective(&d, &cluster, &MatmulConfig::new(52)).unwrap();
+    assert_eq!(report.correct, Some(true));
+    // The teamed fan-out really exercised the coalescing stage.
+    let snap = d.obs().snapshot();
+    assert!(
+        snap.metrics.counter_total("net.batch.coalesced") > 0,
+        "no messages were coalesced"
+    );
     d.shutdown();
 }
 

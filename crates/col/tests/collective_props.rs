@@ -1,0 +1,75 @@
+//! Property tests for `DistCol` collectives: whatever the partition looks
+//! like, `scatter`/`gather`/`reduce` must agree with naive per-element
+//! loops over the same data. Runs with the coalescing stage armed so the
+//! collectives are exercised on the batched plane they are built for.
+
+use jsym_col::{partition_weighted, register_col_classes, DistCol, ReduceOp};
+use jsym_core::{CostModel, Deployment, JsShell, MachineConfig};
+use jsym_net::NodeId;
+use proptest::prelude::*;
+
+fn boot(nodes: usize) -> Deployment {
+    let mut shell = JsShell::new()
+        .time_scale(1e-6)
+        .monitor_period(1e9)
+        .failure_timeout(1e9)
+        .cost_model(CostModel::free())
+        .rmi_batching(1.0, 256 * 1024);
+    for i in 0..nodes {
+        shell = shell.add_machine(MachineConfig::idle(&format!("m{i}"), 50.0));
+    }
+    let d = shell.boot();
+    register_col_classes(&d);
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case boots a deployment; keep the count low
+        .. ProptestConfig::default()
+    })]
+
+    /// scatter → gather is the identity, and reduce equals the serial fold,
+    /// for any total length, node count, weighting and chunking. i64 keeps
+    /// the comparison exact.
+    #[test]
+    fn collectives_match_naive_loops(
+        total in 0usize..240,
+        nodes in 2usize..5,
+        chunks_per_node in 1usize..4,
+        weights in proptest::collection::vec(1u8..10, 4..5),
+        op in prop_oneof![Just(ReduceOp::Sum), Just(ReduceOp::Max), Just(ReduceOp::Min)],
+        seed in 0i64..1000,
+    ) {
+        let d = boot(nodes);
+        let reg = d.register_app().unwrap();
+        let weighted: Vec<(NodeId, f64)> = (0..nodes)
+            .map(|i| (NodeId(i as u32), weights[i] as f64))
+            .collect();
+        let specs = partition_weighted(total, &weighted, chunks_per_node);
+        let col = DistCol::<i64>::create_default(&reg, &specs).unwrap();
+        prop_assert_eq!(col.len(), total);
+
+        // Deterministic pseudo-random payload; values vary in sign so Max
+        // and Min are both non-trivial.
+        let data: Vec<i64> = (0..total)
+            .map(|i| (i as i64 * 37 + seed) % 211 - 105)
+            .collect();
+        col.scatter(&data).unwrap();
+
+        let back = col.gather().unwrap();
+        prop_assert_eq!(&back, &data);
+
+        let got = col.reduce(op).unwrap();
+        let want = match op {
+            ReduceOp::Sum => data.iter().copied().reduce(|a, b| a + b),
+            ReduceOp::Max => data.iter().copied().reduce(i64::max),
+            ReduceOp::Min => data.iter().copied().reduce(i64::min),
+        };
+        prop_assert_eq!(got, want);
+
+        col.free().unwrap();
+        reg.unregister().unwrap();
+        d.shutdown();
+    }
+}

@@ -579,27 +579,61 @@ impl AppShared {
 }
 
 /// Handles AppOA-addressed messages (runs inline on the receiver thread —
-/// these are all table lookups).
+/// table lookups answer inline; directory-routed lookups move to a worker).
 pub(crate) fn handle_app_msg(shared: &Arc<NodeShared>, app: AppId, msg: Msg) {
     let Some(app_shared) = shared.apps.read().get(&app).cloned() else {
-        // Unknown app: answer calls with an error so the caller unblocks.
+        // Unknown app: the directory may still know the placement (e.g. the
+        // origin restarted and lost its tables); otherwise answer with an
+        // error so the caller unblocks.
         if let Msg::WhereIs { req, reply_to, obj } = msg {
-            shared.send_reply(reply_to, req, Err(JsError::NoSuchObject(obj)));
+            answer_where_is(shared, None, req, reply_to, obj);
         }
         return;
     };
     match msg {
         Msg::WhereIs { req, reply_to, obj } => {
-            let result = app_shared
-                .location_of(obj)
-                .map(|n| Value::I64(n.0 as i64))
-                .ok_or(JsError::NoSuchObject(obj));
-            shared.send_reply(reply_to, req, result);
+            let table = app_shared.location_of(obj);
+            answer_where_is(shared, table, req, reply_to, obj);
         }
         _ => {
             // AppOAs accept no other requests.
         }
     }
+}
+
+/// Answers a `WhereIs`: through the replicated directory when it is enabled
+/// (a linearizable leader read), keeping the origin's local-objects-table as
+/// the authority fallback whenever the directory cannot produce a location.
+///
+/// The directory-routed path runs on a worker thread — the read blocks on
+/// consensus replies that the receiver thread (our caller) must keep
+/// dispatching, so answering inline would deadlock the node.
+fn answer_where_is(
+    shared: &Arc<NodeShared>,
+    table: Option<NodeId>,
+    req: ReqId,
+    reply_to: AgentAddr,
+    obj: ObjectId,
+) {
+    let table_reply = move |loc: Option<NodeId>| {
+        loc.map(|n| Value::I64(n.0 as i64))
+            .ok_or(JsError::NoSuchObject(obj))
+    };
+    if shared.dir.is_none() {
+        shared.send_reply(reply_to, req, table_reply(table));
+        return;
+    }
+    let sh = Arc::clone(shared);
+    crate::runtime::spawn_worker(shared, "where-is", move || {
+        let (result, source) = match crate::dir::read_location(&sh, obj) {
+            Ok(n) => (Ok(Value::I64(n.0 as i64)), "directory"),
+            Err(_) => (table_reply(table), "origin"),
+        };
+        if sh.obs.is_enabled() {
+            sh.obs.counter("dir.whereis", Some(sh.phys.0), source).inc();
+        }
+        sh.send_reply(reply_to, req, result);
+    });
 }
 
 // ---------------------------------------------------------------- placement

@@ -75,6 +75,7 @@ pub struct JsShell {
     param_plane: bool,
     automigrate_dirty_set: bool,
     directory_replicas: u32,
+    rmi_batching: Option<jsym_net::BatchConfig>,
 }
 
 impl JsShell {
@@ -99,6 +100,7 @@ impl JsShell {
             param_plane: true,
             automigrate_dirty_set: true,
             directory_replicas: 0,
+            rmi_batching: None,
         }
     }
 
@@ -235,6 +237,21 @@ impl JsShell {
         self
     }
 
+    /// Enables RMI batching: cross-node messages with the same source and
+    /// destination that fall inside one `flush_window` (virtual seconds) are
+    /// coalesced into a single transfer paying the link latency once plus
+    /// the summed payload bytes, flushed early when the batch reaches
+    /// `max_bytes`. Per-message delivery semantics, ordering and `NetStats`
+    /// attribution are preserved exactly (DESIGN.md §12); node-local traffic
+    /// keeps the loopback fast path. Off by default.
+    pub fn rmi_batching(mut self, flush_window: f64, max_bytes: usize) -> Self {
+        self.rmi_batching = Some(jsym_net::BatchConfig {
+            flush_window: flush_window.max(0.0),
+            max_bytes: max_bytes.max(1),
+        });
+        self
+    }
+
     /// Boots the deployment: spawns every node runtime and the NAS.
     pub fn boot(self) -> Deployment {
         let clock = SimClock::new(self.time_scale);
@@ -256,6 +273,7 @@ impl JsShell {
                     shared_segments: self.shared_segments.clone(),
                     loopback_fast_path: self.loopback_fast_path,
                     delivery_shards: self.delivery_shards,
+                    batching: self.rmi_batching.clone(),
                     ..jsym_net::NetworkConfig::default()
                 },
                 obs.clone(),

@@ -33,6 +33,6 @@ mod stats;
 pub use clock::{sleep_until, SimClock, TimeScale, VirtDur, VirtTime};
 pub use id::NodeId;
 pub use link::{LinkClass, Topology};
-pub use message::{Envelope, Payload};
-pub use network::{LocalHook, Network, NetworkConfig, SendError};
+pub use message::{Batch, Envelope, Payload, BATCH_TAG};
+pub use network::{BatchConfig, LocalHook, Network, NetworkConfig, SendError};
 pub use stats::{EndpointStatsSnapshot, NetStats, NetStatsSnapshot};

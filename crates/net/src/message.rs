@@ -78,6 +78,23 @@ pub struct Envelope {
     pub payload: Payload,
 }
 
+/// Payload tag marking a coalesced [`Batch`]; reserved for the batching
+/// stage — delivery unpacks payloads with this tag back into their member
+/// envelopes before they reach an endpoint.
+pub const BATCH_TAG: &str = "net.batch";
+
+/// Several same-`(src, dst)` envelopes coalesced by the batching stage into
+/// one wire transfer (see `NetworkConfig::batching`).
+///
+/// The wrapper's declared wire size is the *sum* of the members' sizes and
+/// pays the link latency once; delivery unpacks it and hands each member to
+/// the endpoint individually, in send order, so receivers never observe the
+/// wrapper.
+pub struct Batch {
+    /// The coalesced envelopes, in send order.
+    pub envs: Vec<Envelope>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

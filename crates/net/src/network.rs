@@ -1,5 +1,6 @@
 //! The simulated network itself.
 
+use crate::message::{Batch, BATCH_TAG};
 use crate::queue::DelayQueue;
 use crate::{
     EndpointStatsSnapshot, Envelope, LinkClass, NetStats, NetStatsSnapshot, NodeId, Payload,
@@ -10,8 +11,8 @@ use jsym_obs::{bounds, ObsRegistry};
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Why a send was rejected.
@@ -64,6 +65,11 @@ pub struct NetworkConfig {
     /// and the cross-thread hand-off. Requires a [`Network::set_local_hook`]
     /// for the node; nodes without a hook always use the queued path.
     pub loopback_fast_path: bool,
+    /// Coalesce same-`(src, dst)` messages into [`Batch`]es with one modeled
+    /// wire charge per batch (`None` = per-message charging, the default).
+    /// Node-local traffic is never batched — the loopback plane keeps its
+    /// own fast path.
+    pub batching: Option<BatchConfig>,
 }
 
 impl Default for NetworkConfig {
@@ -73,6 +79,27 @@ impl Default for NetworkConfig {
             shared_segments: Vec::new(),
             delivery_shards: 4,
             loopback_fast_path: true,
+            batching: None,
+        }
+    }
+}
+
+/// Tunables for the coalescing stage (see [`NetworkConfig::batching`]).
+#[derive(Clone, Debug)]
+pub struct BatchConfig {
+    /// Virtual seconds a freshly opened batch waits for followers before it
+    /// is flushed onto the wire.
+    pub flush_window: f64,
+    /// Flush immediately once a batch's summed payload reaches this many
+    /// bytes, without waiting out the window.
+    pub max_bytes: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            flush_window: 5e-4,
+            max_bytes: 256 * 1024,
         }
     }
 }
@@ -190,6 +217,38 @@ impl Routing {
     }
 
     fn deliver(&self, env: Envelope) {
+        // A coalesced batch arrives as one wire transfer but is unpacked
+        // here, on the delivery side, so endpoints only ever observe the
+        // member envelopes — individually, in send order, each re-checked
+        // and counted exactly as it would have been unbatched.
+        if env.payload.tag() == BATCH_TAG {
+            let Envelope {
+                src,
+                dst,
+                sent_at,
+                payload,
+            } = env;
+            match payload.downcast::<Batch>() {
+                Ok(batch) => {
+                    for inner in batch.envs {
+                        self.deliver_one(inner);
+                    }
+                }
+                // A caller-crafted payload that merely reuses the tag: fall
+                // through and deliver it like any other message.
+                Err(payload) => self.deliver_one(Envelope {
+                    src,
+                    dst,
+                    sent_at,
+                    payload,
+                }),
+            }
+            return;
+        }
+        self.deliver_one(env);
+    }
+
+    fn deliver_one(&self, env: Envelope) {
         // Conditions are re-checked at delivery time: a node killed while a
         // message is in flight must not receive it.
         if !self.fault_free() && self.is_blocked(env.src, env.dst) {
@@ -219,12 +278,226 @@ impl Routing {
         match sender {
             Some(tx) => {
                 let (dst, bytes) = (env.dst, env.payload.wire_bytes());
-                match tx.send(env) {
-                    Ok(()) => self.stats.record_delivery(dst, bytes),
-                    Err(e) => self.drop_env(&e.0),
+                // Count before handing off, mirroring the hook path above: a
+                // caller woken by the receiving endpoint must never observe
+                // stats that lag its own message. An endpoint that vanishes
+                // between the count and the send is compensated as a drop.
+                self.stats.record_delivery(dst, bytes);
+                if let Err(e) = tx.send(env) {
+                    self.stats.uncount_delivery(dst, e.0.payload.wire_bytes());
+                    self.drop_env(&e.0);
                 }
             }
             None => self.drop_env(&env),
+        }
+    }
+}
+
+/// Internal payload tag for a batch-flush timer riding the delay queue.
+const FLUSH_TAG: &str = "net.batch.flush";
+
+/// Timer payload armed when a batch opens; matched against the batch's
+/// epoch at fire time so a timer whose batch already overflowed (and whose
+/// pair may have a successor batch open) is a no-op.
+struct FlushToken {
+    epoch: u64,
+}
+
+/// One open (not yet flushed) batch for a directed pair.
+struct PendingBatch {
+    /// Members in send order.
+    envs: Vec<Envelope>,
+    /// Summed payload wire bytes.
+    bytes: usize,
+    /// Identity of this batch instance (see [`FlushToken`]).
+    epoch: u64,
+}
+
+/// The send-side coalescing stage (see [`NetworkConfig::batching`]).
+///
+/// [`Network::send`] parks non-local envelopes here instead of scheduling
+/// them directly: the first envelope of a `(src, dst)` pair opens a batch
+/// and arms a flush timer one `flush_window` out, followers join until the
+/// timer fires or `max_bytes` overflows the batch, and the flush reserves
+/// the pair's FIFO slot and schedules one [`Batch`] envelope charged the
+/// link latency once plus the summed payload bytes. Delivery unpacks the
+/// wrapper back into its members (see [`Routing::deliver`]), so per-message
+/// semantics, ordering and [`NetStats`] attribution are exactly those of
+/// the unbatched plane.
+///
+/// Lock order: `pending` → `pair_last` → `segment_last` → queue shard. The
+/// pending lock is held through the FIFO reservation *and* the queue push,
+/// so two flushes of the same pair (a window timer racing a `max_bytes`
+/// overflow of the successor batch) cannot reserve out of order.
+struct BatchStage {
+    clock: SimClock,
+    topo: Arc<RwLock<Topology>>,
+    routing: Arc<Routing>,
+    pair_last: Arc<parking_lot::Mutex<HashMap<(NodeId, NodeId), PairState>>>,
+    segment_last: Arc<parking_lot::Mutex<HashMap<LinkClass, f64>>>,
+    shared_segments: Vec<LinkClass>,
+    /// Back-reference to the delivery plane, set right after the plane is
+    /// started (its deliver closure needs the stage first).
+    queue: OnceLock<Arc<DelayQueue>>,
+    /// Open batches per directed pair.
+    pending: parking_lot::Mutex<HashMap<(NodeId, NodeId), PendingBatch>>,
+    epochs: AtomicU64,
+    config: BatchConfig,
+}
+
+impl BatchStage {
+    /// Parks `env` on its pair's open batch, opening one (plus its flush
+    /// timer) if none is open and flushing eagerly on `max_bytes` overflow.
+    fn enqueue(&self, env: Envelope) {
+        let pair = (env.src, env.dst);
+        let bytes = env.payload.wire_bytes();
+        let obs_on = self.routing.obs.is_enabled();
+        let mut pending = self.pending.lock();
+        match pending.remove(&pair) {
+            Some(mut batch) => {
+                batch.envs.push(env);
+                batch.bytes += bytes;
+                if obs_on {
+                    self.routing
+                        .obs
+                        .counter("net.batch.coalesced", Some(pair.0 .0), "")
+                        .inc();
+                }
+                if batch.bytes >= self.config.max_bytes {
+                    self.transmit(&mut pending, pair, batch, "bytes");
+                } else {
+                    pending.insert(pair, batch);
+                }
+            }
+            None if bytes >= self.config.max_bytes => {
+                // Oversized lone message: nothing could ever join it, so
+                // skip the window (and the timer) entirely.
+                let batch = PendingBatch {
+                    envs: vec![env],
+                    bytes,
+                    epoch: self.epochs.fetch_add(1, Ordering::Relaxed),
+                };
+                self.transmit(&mut pending, pair, batch, "bytes");
+            }
+            None => {
+                let now = self.clock.now();
+                let epoch = self.epochs.fetch_add(1, Ordering::Relaxed);
+                pending.insert(
+                    pair,
+                    PendingBatch {
+                        envs: vec![env],
+                        bytes,
+                        epoch,
+                    },
+                );
+                let due = self.clock.real_deadline(now + self.config.flush_window);
+                if let Some(q) = self.queue.get() {
+                    q.push(
+                        due,
+                        Envelope {
+                            src: pair.0,
+                            dst: pair.1,
+                            sent_at: now,
+                            payload: Payload::new(FLUSH_TAG, 0, FlushToken { epoch }),
+                        },
+                    );
+                }
+            }
+        }
+        if obs_on {
+            self.routing
+                .obs
+                .gauge("net.batch.pending", None, "")
+                .set(pending.len() as f64);
+        }
+    }
+
+    /// Window-timer fire: flushes the pair's batch if it is still the one
+    /// the timer was armed for.
+    fn flush_due(&self, pair: (NodeId, NodeId), epoch: u64) {
+        let mut pending = self.pending.lock();
+        match pending.remove(&pair) {
+            Some(batch) if batch.epoch == epoch => {
+                self.transmit(&mut pending, pair, batch, "window");
+                if self.routing.obs.is_enabled() {
+                    self.routing
+                        .obs
+                        .gauge("net.batch.pending", None, "")
+                        .set(pending.len() as f64);
+                }
+            }
+            // A successor batch opened after ours overflowed: not ours.
+            Some(batch) => {
+                pending.insert(pair, batch);
+            }
+            None => {}
+        }
+    }
+
+    /// Reserves the pair's FIFO slot for one batched transfer (latency once,
+    /// summed bytes) and schedules it. The `_pending` guard proves the
+    /// caller holds the pending lock — see the lock-order note on the type.
+    fn transmit(
+        &self,
+        _pending: &mut HashMap<(NodeId, NodeId), PendingBatch>,
+        pair: (NodeId, NodeId),
+        batch: PendingBatch,
+        reason: &'static str,
+    ) {
+        let (src, dst) = pair;
+        let now = self.clock.now();
+        let (link, latency, tx_time) = {
+            let topo = self.topo.read();
+            let link = topo.link_between(src, dst);
+            (link, link.latency(), link.transfer_time(batch.bytes))
+        };
+        // Same reservation discipline as the unbatched path in
+        // `Network::send`, applied once for the whole batch.
+        let due = {
+            let mut pairs = self.pair_last.lock();
+            let st = pairs.entry(pair).or_default();
+            let mut start = (now + latency).max(st.arrival);
+            let shared = self.shared_segments.contains(&link);
+            if shared {
+                let seg = self.segment_last.lock();
+                if let Some(&busy_until) = seg.get(&link) {
+                    start = start.max(busy_until);
+                }
+            }
+            let arrival = start + tx_time;
+            st.arrival = arrival;
+            if shared {
+                self.segment_last.lock().insert(link, arrival);
+            }
+            self.clock.real_deadline(arrival)
+        };
+        let n = batch.envs.len();
+        if self.routing.obs.is_enabled() {
+            let obs = &self.routing.obs;
+            obs.counter("net.batch.flushed", Some(src.0), reason).inc();
+            obs.counter("net.batch.msgs", Some(src.0), "").add(n as u64);
+            if n > 1 {
+                // Modeled wire capacity freed: every coalesced follower
+                // skips one link-latency charge, i.e. `latency × bandwidth`
+                // bytes the link can now carry instead.
+                let saved = (n - 1) as f64 * latency * link.bandwidth();
+                obs.counter("net.batch.bytes_saved", Some(src.0), "")
+                    .add(saved as u64);
+            }
+        }
+        let env = if n == 1 {
+            // A lone message needs no wrapper; it is charged identically.
+            batch.envs.into_iter().next().expect("n == 1")
+        } else {
+            Envelope {
+                src,
+                dst,
+                sent_at: now,
+                payload: Payload::new(BATCH_TAG, batch.bytes, Batch { envs: batch.envs }),
+            }
+        };
+        if let Some(q) = self.queue.get() {
+            q.push(due, env);
         }
     }
 }
@@ -248,6 +521,8 @@ pub struct Network {
     /// Last scheduled arrival per shared segment (see
     /// [`NetworkConfig::shared_segments`]).
     segment_last: Arc<parking_lot::Mutex<HashMap<crate::LinkClass, f64>>>,
+    /// The coalescing stage, when [`NetworkConfig::batching`] is set.
+    batching: Option<Arc<BatchStage>>,
     config: NetworkConfig,
 }
 
@@ -282,11 +557,39 @@ impl Network {
         });
         let pair_last: Arc<parking_lot::Mutex<HashMap<(NodeId, NodeId), PairState>>> =
             Arc::new(parking_lot::Mutex::new(HashMap::new()));
+        let segment_last: Arc<parking_lot::Mutex<HashMap<crate::LinkClass, f64>>> =
+            Arc::new(parking_lot::Mutex::new(HashMap::new()));
+        let topo = Arc::new(RwLock::new(topo));
+        let batching = config.batching.clone().map(|bc| {
+            Arc::new(BatchStage {
+                clock: clock.clone(),
+                topo: Arc::clone(&topo),
+                routing: Arc::clone(&routing),
+                pair_last: Arc::clone(&pair_last),
+                segment_last: Arc::clone(&segment_last),
+                shared_segments: config.shared_segments.clone(),
+                queue: OnceLock::new(),
+                pending: parking_lot::Mutex::new(HashMap::new()),
+                epochs: AtomicU64::new(0),
+                config: bc,
+            })
+        });
         let deliver_routing = Arc::clone(&routing);
         let deliver_pairs = Arc::clone(&pair_last);
-        let queue = DelayQueue::start(
+        let flush_stage = batching.clone();
+        let queue = Arc::new(DelayQueue::start(
             config.delivery_shards,
             Arc::new(move |env: Envelope| {
+                // Batch-flush timers never reach an endpoint; they re-enter
+                // the coalescing stage, which schedules the batch proper.
+                if env.payload.tag() == FLUSH_TAG {
+                    if let (Some(stage), Some(tok)) =
+                        (&flush_stage, env.payload.downcast_ref::<FlushToken>())
+                    {
+                        stage.flush_due((env.src, env.dst), tok.epoch);
+                    }
+                    return;
+                }
                 // The queued count underpins the fast path's FIFO guarantee:
                 // decrement only after deliver() returns, i.e. after a local
                 // hook has fully dispatched the message.
@@ -298,14 +601,18 @@ impl Network {
                     }
                 }
             }),
-        );
+        ));
+        if let Some(stage) = &batching {
+            let _ = stage.queue.set(Arc::clone(&queue));
+        }
         Network {
             clock,
-            topo: Arc::new(RwLock::new(topo)),
+            topo,
             routing,
-            queue: Arc::new(queue),
+            queue,
             pair_last,
-            segment_last: Arc::new(parking_lot::Mutex::new(HashMap::new())),
+            segment_last,
+            batching,
             config,
         }
     }
@@ -411,6 +718,17 @@ impl Network {
             sent_at: now,
             payload,
         };
+        // Coalescing stage: non-local sends park on their pair's open batch
+        // instead of reserving the wire per message. The send is already
+        // accepted and counted at this point; delivery-time re-checks (and
+        // per-member stats) happen when the batch is unpacked. Node-local
+        // traffic stays on the loopback plane below.
+        if src != dst {
+            if let Some(stage) = &self.batching {
+                stage.enqueue(env);
+                return Ok(());
+            }
+        }
         // Per-ordered-pair FIFO with serialized transmission: Java RMI
         // multiplexes one TCP connection per agent pair, so a later (small)
         // message can neither overtake an earlier (large) one nor start
@@ -472,7 +790,10 @@ impl Network {
                 if !self.routing.fault_free() && self.routing.is_blocked(src, dst) {
                     self.routing.drop_env(&env);
                 } else {
-                    (ep.hook)(env);
+                    // Count before dispatching, mirroring the queued hook
+                    // path: a caller woken by the hook (e.g. the sync reply
+                    // this delivery completes) must never observe stats that
+                    // lag its own message.
                     self.routing.stats.record_delivery(dst, bytes);
                     if self.routing.obs.is_enabled() {
                         self.routing
@@ -480,6 +801,7 @@ impl Network {
                             .counter("net.loopback", Some(dst.0), "")
                             .inc();
                     }
+                    (ep.hook)(env);
                 }
             }
             None => self.queue.push(due, env),
@@ -543,6 +865,11 @@ impl Network {
     /// Per-endpoint traffic snapshots, sorted by node id.
     pub fn endpoint_stats(&self) -> Vec<EndpointStatsSnapshot> {
         self.routing.stats.per_endpoint()
+    }
+
+    /// The coalescing-stage tunables, or `None` when batching is disabled.
+    pub fn batching_config(&self) -> Option<BatchConfig> {
+        self.config.batching.clone()
     }
 
     /// Stops the delivery plane, discarding in-flight messages. Further
@@ -1109,5 +1436,221 @@ mod shared_segment_tests {
         f.recv_timeout(Duration::from_secs(5)).unwrap();
         assert!(t0.elapsed() < Duration::from_millis(2));
         b.recv_timeout(Duration::from_secs(10)).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod batched_tests {
+    use super::*;
+    use crate::{LinkClass, TimeScale};
+    use std::time::Duration;
+
+    /// At the 1e-5 scale a tight send loop spans whole virtual seconds, so
+    /// coalescing tests use windows of tens of virtual seconds (hundreds of
+    /// real microseconds) to be sure every send joins the open batch.
+    fn batched_net(batch: BatchConfig, obs: jsym_obs::ObsRegistry) -> Network {
+        let mut topo = Topology::new();
+        topo.set_default_class(LinkClass::Lan100);
+        Network::with_obs(
+            SimClock::new(TimeScale::new(1e-5)),
+            topo,
+            NetworkConfig {
+                batching: Some(batch),
+                ..NetworkConfig::default()
+            },
+            obs,
+        )
+    }
+
+    #[test]
+    fn coalesced_batch_delivers_members_individually_in_order() {
+        let obs = jsym_obs::ObsRegistry::new();
+        let net = batched_net(
+            BatchConfig {
+                flush_window: 50.0,
+                max_bytes: 1 << 20,
+            },
+            obs.clone(),
+        );
+        let _a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        for i in 0..8u32 {
+            net.send(NodeId(0), NodeId(1), Payload::new("seq", 100, i))
+                .unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..8 {
+            let env = b.recv_timeout(Duration::from_secs(5)).unwrap();
+            // Receivers observe the member envelopes, never the wrapper.
+            assert_eq!(env.payload.tag(), "seq");
+            assert_eq!(env.payload.wire_bytes(), 100);
+            got.push(*env.payload.downcast::<u32>().unwrap());
+        }
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        let stats = net.stats();
+        assert_eq!(stats.msgs_sent, 8);
+        assert_eq!(stats.msgs_delivered, 8);
+        assert_eq!(stats.bytes_sent, 800);
+        let snap = obs.snapshot();
+        assert_eq!(snap.metrics.counter_total("net.batch.coalesced"), 7);
+        assert_eq!(snap.metrics.counter_total("net.batch.flushed"), 1);
+        assert_eq!(snap.metrics.counter_total("net.batch.msgs"), 8);
+        assert!(snap.metrics.counter_total("net.batch.bytes_saved") > 0);
+    }
+
+    #[test]
+    fn max_bytes_overflow_flushes_without_waiting_the_window() {
+        let obs = jsym_obs::ObsRegistry::new();
+        // The window is hours of real time: only the overflow path can
+        // deliver within the recv timeout.
+        let net = batched_net(
+            BatchConfig {
+                flush_window: 1e9,
+                max_bytes: 256,
+            },
+            obs.clone(),
+        );
+        let _a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        for i in 0..3u32 {
+            net.send(NodeId(0), NodeId(1), Payload::new("seq", 100, i))
+                .unwrap();
+        }
+        for i in 0..3u32 {
+            let env = b.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(*env.payload.downcast::<u32>().unwrap(), i);
+        }
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.metrics.counters[&jsym_obs::MetricKey::new("net.batch.flushed", Some(0), "bytes")],
+            1
+        );
+    }
+
+    #[test]
+    fn oversized_lone_message_skips_the_window() {
+        let net = batched_net(
+            BatchConfig {
+                flush_window: 1e9,
+                max_bytes: 256,
+            },
+            jsym_obs::ObsRegistry::disabled(),
+        );
+        let _a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        net.send(NodeId(0), NodeId(1), Payload::new("big", 4096, 9u32))
+            .unwrap();
+        let env = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(*env.payload.downcast::<u32>().unwrap(), 9);
+    }
+
+    #[test]
+    fn window_timer_flushes_an_idle_batch() {
+        let net = batched_net(
+            BatchConfig {
+                // ~200 µs real at this scale.
+                flush_window: 20.0,
+                max_bytes: 1 << 20,
+            },
+            jsym_obs::ObsRegistry::disabled(),
+        );
+        let _a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        net.send(NodeId(0), NodeId(1), Payload::new("one", 64, 1u32))
+            .unwrap();
+        // No further sends: only the timer can flush this batch.
+        let env = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(*env.payload.downcast::<u32>().unwrap(), 1);
+    }
+
+    #[test]
+    fn batched_and_unbatched_totals_and_transcripts_match() {
+        let run = |batch: Option<BatchConfig>| {
+            let mut topo = Topology::new();
+            topo.set_default_class(LinkClass::Lan100);
+            let net = Network::with_config(
+                SimClock::new(TimeScale::new(1e-5)),
+                topo,
+                NetworkConfig {
+                    batching: batch,
+                    ..NetworkConfig::default()
+                },
+            );
+            let a = net.register(NodeId(0));
+            let b = net.register(NodeId(1));
+            for i in 0..6u32 {
+                net.send(
+                    NodeId(0),
+                    NodeId(1),
+                    Payload::new("fwd", 50 + i as usize, i),
+                )
+                .unwrap();
+                net.send(NodeId(1), NodeId(0), Payload::new("bwd", 10, 100 + i))
+                    .unwrap();
+            }
+            let mut fwd = Vec::new();
+            let mut bwd = Vec::new();
+            for _ in 0..6 {
+                fwd.push(
+                    *b.recv_timeout(Duration::from_secs(5))
+                        .unwrap()
+                        .payload
+                        .downcast::<u32>()
+                        .unwrap(),
+                );
+                bwd.push(
+                    *a.recv_timeout(Duration::from_secs(5))
+                        .unwrap()
+                        .payload
+                        .downcast::<u32>()
+                        .unwrap(),
+                );
+            }
+            let stats = net.stats();
+            (
+                fwd,
+                bwd,
+                stats.msgs_sent,
+                stats.bytes_sent,
+                stats.msgs_delivered,
+            )
+        };
+        assert_eq!(
+            run(Some(BatchConfig {
+                flush_window: 50.0,
+                max_bytes: 1 << 20,
+            })),
+            run(None)
+        );
+    }
+
+    #[test]
+    fn killed_destination_drops_batch_members_at_delivery() {
+        let net = batched_net(
+            BatchConfig {
+                // ~1 ms real: long enough to kill the node first.
+                flush_window: 100.0,
+                max_bytes: 1 << 20,
+            },
+            jsym_obs::ObsRegistry::disabled(),
+        );
+        let _a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        net.send(NodeId(0), NodeId(1), Payload::new("x", 100, 1u32))
+            .unwrap();
+        net.send(NodeId(0), NodeId(1), Payload::new("x", 100, 2u32))
+            .unwrap();
+        net.kill_node(NodeId(1));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while net.stats().msgs_dropped < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "members not dropped: {:?}",
+                net.stats()
+            );
+            std::thread::yield_now();
+        }
+        assert!(b.try_recv().is_err());
+        assert_eq!(net.stats().msgs_delivered, 0);
     }
 }

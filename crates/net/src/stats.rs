@@ -64,6 +64,18 @@ impl NetStats {
         });
     }
 
+    /// Reverses one [`record_delivery`](Self::record_delivery): the delivery
+    /// was counted optimistically (before the cross-thread hand-off, so a
+    /// woken receiver never observes stats lagging its own message) and the
+    /// hand-off then failed.
+    pub fn uncount_delivery(&self, dst: NodeId, bytes: usize) {
+        self.msgs_delivered.fetch_sub(1, Ordering::Relaxed);
+        self.with_endpoint(dst, |c| {
+            c.delivered_msgs.fetch_sub(1, Ordering::Relaxed);
+            c.delivered_bytes.fetch_sub(bytes as u64, Ordering::Relaxed);
+        });
+    }
+
     /// Records a message dropped in flight (dead node, partition, closed
     /// endpoint). Attributed to both endpoints.
     pub fn record_drop(&self, src: NodeId, dst: NodeId, bytes: usize) {

@@ -129,6 +129,9 @@ pub enum Command {
     /// `directory` — replicated-directory replica status (DESIGN.md §10):
     /// leader, term, commit/applied lag and state sizes per replica.
     Directory,
+    /// `batch` — RMI coalescing stage: configuration, flush counters by
+    /// reason, mean batch size and modeled wire capacity freed.
+    Batch,
     /// `metrics [json]` — observability registry: counters, gauges,
     /// histograms and per-endpoint traffic; `json` emits the machine-
     /// readable export instead.
@@ -386,6 +389,7 @@ impl Command {
             },
             "stats" => Ok(Command::Stats),
             "directory" | "dir" => Ok(Command::Directory),
+            "batch" => Ok(Command::Batch),
             "metrics" => match rest.as_slice() {
                 [] => Ok(Command::Metrics { json: false }),
                 ["json"] => Ok(Command::Metrics { json: true }),
@@ -433,6 +437,7 @@ commands:
   period <secs> / timeout <secs>         tune monitoring / failure detection
   stats / objects / log [n]              counters / object table / events
   directory                              replicated-directory leader, term, replica lag
+  batch                                  RMI coalescing-stage config and counters
   metrics [json]                         observability metrics (summary or JSON)
   trace [name-prefix]                    recorded spans as a tree (e.g. `trace migrate`)
   quit";
@@ -450,6 +455,7 @@ mod tests {
         assert_eq!(Command::parse("stats").unwrap(), Command::Stats);
         assert_eq!(Command::parse("directory").unwrap(), Command::Directory);
         assert_eq!(Command::parse("dir").unwrap(), Command::Directory);
+        assert_eq!(Command::parse("batch").unwrap(), Command::Batch);
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! The `jsym-shell` REPL: administer a simulated JavaSymphony deployment.
 //!
 //! ```text
-//! jsym-shell [nodes] [day|night|dedicated] [time-scale]
+//! jsym-shell [nodes] [day|night|dedicated] [time-scale] [--batch]
 //! ```
 //!
 //! Boots the CLUSTER 2000 testbed (first `nodes` machines, default 6) under
 //! the chosen load regime and reads commands from stdin; `help` lists them.
+//! `--batch` arms the send-side RMI coalescing stage (fig5's defaults), so
+//! the `batch` command has live counters to show.
 
 use jsym_cluster::catalog::{testbed_machines, LoadKind};
 use jsym_cluster::jacobi::register_jacobi_classes;
@@ -17,7 +19,9 @@ use jsym_shell::ShellSession;
 use std::io::{BufRead, Write};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let batching = args.iter().any(|a| a == "--batch");
+    args.retain(|a| a != "--batch");
     let nodes: usize = args
         .first()
         .and_then(|s| s.parse().ok())
@@ -30,20 +34,24 @@ fn main() {
     };
     let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1e-3);
 
-    let deployment = JsShell::new()
+    let mut shell = JsShell::new()
         .time_scale(scale)
         .monitor_period(5.0)
         .failure_timeout(30.0)
-        .add_machines(testbed_machines(nodes, load, 2026))
-        .boot();
+        .add_machines(testbed_machines(nodes, load, 2026));
+    if batching {
+        shell = shell.rmi_batching(5e-4, 256 * 1024);
+    }
+    let deployment = shell.boot();
     register_test_classes(&deployment);
     register_matmul_classes(&deployment);
     register_pipeline_classes(&deployment);
     register_jacobi_classes(&deployment);
 
     println!(
-        "jsym-shell: {nodes} testbed machines under {} load (1 virtual s = {scale} real s)",
-        load.label()
+        "jsym-shell: {nodes} testbed machines under {} load (1 virtual s = {scale} real s{})",
+        load.label(),
+        if batching { ", RMI batching on" } else { "" }
     );
     println!("classes: Counter, Blob (blob.jar), Matrix, Stage, JacobiWorker; `help` for commands");
 

@@ -409,6 +409,58 @@ impl ShellSession {
                 }
                 Ok(out)
             }
+            Command::Batch => {
+                let snap = self.deployment.obs().snapshot();
+                let mut out = match self.deployment.network().batching_config() {
+                    Some(bc) => format!(
+                        "rmi batching: on (flush window {:.2e} s virtual, max batch {} bytes)\n",
+                        bc.flush_window, bc.max_bytes
+                    ),
+                    None => {
+                        "rmi batching: off (boot with JsShell::rmi_batching to enable)\n".to_owned()
+                    }
+                };
+                let coalesced = snap.metrics.counter_total("net.batch.coalesced");
+                let flushed = snap.metrics.counter_total("net.batch.flushed");
+                let msgs = snap.metrics.counter_total("net.batch.msgs");
+                let saved = snap.metrics.counter_total("net.batch.bytes_saved");
+                // Flushes broken down by why the batch closed.
+                let by_reason = |reason: &str| {
+                    snap.metrics
+                        .counters
+                        .iter()
+                        .filter(|(k, _)| k.name == "net.batch.flushed" && k.component == reason)
+                        .map(|(_, v)| v)
+                        .sum::<u64>()
+                };
+                let _ = writeln!(
+                    out,
+                    "flushes: {flushed} ({} window, {} bytes-overflow), {msgs} messages carried",
+                    by_reason("window"),
+                    by_reason("bytes"),
+                );
+                let mean = if flushed > 0 {
+                    msgs as f64 / flushed as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "coalesced followers: {coalesced}; mean batch size: {mean:.2}"
+                );
+                let _ = writeln!(out, "modeled wire capacity freed: {saved} bytes");
+                let open: f64 = snap
+                    .metrics
+                    .gauges
+                    .iter()
+                    .filter(|(k, _)| k.name == "net.batch.pending")
+                    .map(|(_, v)| v)
+                    // Not `.sum()`: its f64 identity is -0.0, which would
+                    // render as "-0" when no gauge exists yet.
+                    .fold(0.0, |a, v| a + v);
+                let _ = writeln!(out, "open batches now: {open:.0}");
+                Ok(out)
+            }
             Command::Metrics { json } => {
                 if json {
                     return Ok(self.deployment.obs().to_json());
@@ -654,6 +706,50 @@ mod obs_tests {
         let json = s.run_line("metrics json");
         assert!(json.contains("\"schema\": \"jsym-obs/v1\""), "{json}");
         assert!(json.contains("\"counters\": ["), "{json}");
+    }
+
+    #[test]
+    fn batch_command_reports_config_and_counters() {
+        let bc = jsym_net::BatchConfig::default();
+        let d = shell_with_idle_machines(2)
+            .rmi_batching(10.0, bc.max_bytes)
+            .boot();
+        register_test_classes(&d);
+        let mut s = ShellSession::new(d).unwrap();
+        s.run_line("create Counter m1");
+        for _ in 0..10 {
+            s.run_line("oinvoke c1 add 1");
+        }
+        s.run_line("invoke c1 get");
+        let out = s.run_line("batch");
+        assert!(out.contains("rmi batching: on"), "{out}");
+        assert!(out.contains("flushes:"), "{out}");
+        assert!(out.contains("coalesced followers:"), "{out}");
+        assert!(out.contains("open batches now:"), "{out}");
+        // The one-sided burst shares windows with its own follow-ups, so
+        // at least one follower must have coalesced.
+        let followers: u64 = out
+            .lines()
+            .find(|l| l.starts_with("coalesced followers:"))
+            .and_then(|l| {
+                l.trim_start_matches("coalesced followers:")
+                    .split(';')
+                    .next()?
+                    .trim()
+                    .parse()
+                    .ok()
+            })
+            .unwrap();
+        assert!(followers > 0, "{out}");
+    }
+
+    #[test]
+    fn batch_command_reports_disabled_without_batching() {
+        let d = shell_with_idle_machines(2).boot();
+        register_test_classes(&d);
+        let mut s = ShellSession::new(d).unwrap();
+        let out = s.run_line("batch");
+        assert!(out.contains("rmi batching: off"), "{out}");
     }
 
     #[test]
