@@ -31,7 +31,10 @@ use serde::Serialize;
 struct Row {
     workload: String,
     batched: bool,
-    /// Coalescing window in virtual seconds (0 when unbatched).
+    /// Whether the flush window adapts to each pair's send cadence.
+    adaptive: bool,
+    /// Coalescing window in virtual seconds (0 when unbatched; the ceiling
+    /// when adaptive).
     flush_window: f64,
     /// Batch overflow threshold in bytes (0 when unbatched).
     max_bytes: usize,
@@ -51,7 +54,11 @@ fn deployment(nodes: usize, batching: Option<BatchConfig>, scale: f64) -> Deploy
         .failure_timeout(1e9)
         .add_machines(testbed_machines(nodes, LoadKind::Night, 11));
     if let Some(bc) = batching {
-        shell = shell.rmi_batching(bc.flush_window, bc.max_bytes);
+        shell = if bc.adaptive {
+            shell.rmi_batching_adaptive(bc.flush_window, bc.max_bytes)
+        } else {
+            shell.rmi_batching(bc.flush_window, bc.max_bytes)
+        };
     }
     shell.boot()
 }
@@ -121,8 +128,19 @@ fn main() {
                 configs.push(Some(BatchConfig {
                     flush_window: w,
                     max_bytes: s,
+                    adaptive: false,
                 }));
             }
+        }
+        // Adaptive flush: each window value becomes the per-pair ceiling;
+        // one cell per window at the largest overflow threshold.
+        let s = *sizes.last().unwrap();
+        for &w in windows {
+            configs.push(Some(BatchConfig {
+                flush_window: w,
+                max_bytes: s,
+                adaptive: true,
+            }));
         }
     }
 
@@ -146,9 +164,10 @@ fn main() {
     ];
 
     println!(
-        "{:>15} {:>8} {:>9} {:>9} {:>10} {:>9} {:>10} {:>8} {:>11} {:>10}",
+        "{:>15} {:>8} {:>9} {:>9} {:>9} {:>10} {:>9} {:>10} {:>8} {:>11} {:>10}",
         "workload",
         "batched",
+        "adaptive",
         "window",
         "max_kB",
         "virt[s]",
@@ -183,6 +202,7 @@ fn main() {
             let row = Row {
                 workload: (*name).to_owned(),
                 batched: cfg.is_some(),
+                adaptive: cfg.as_ref().is_some_and(|c| c.adaptive),
                 flush_window: cfg.as_ref().map_or(0.0, |c| c.flush_window),
                 max_bytes: cfg.as_ref().map_or(0, |c| c.max_bytes),
                 virt_seconds,
@@ -194,9 +214,10 @@ fn main() {
                 mean_batch_size: mean_batch,
             };
             println!(
-                "{:>15} {:>8} {:>9.1e} {:>9} {:>10.4} {:>9} {:>10} {:>8} {:>11.2} {:>10.1}",
+                "{:>15} {:>8} {:>9} {:>9.1e} {:>9} {:>10.4} {:>9} {:>10} {:>8} {:>11.2} {:>10.1}",
                 row.workload,
                 row.batched,
+                row.adaptive,
                 row.flush_window,
                 row.max_bytes / 1024,
                 row.virt_seconds,

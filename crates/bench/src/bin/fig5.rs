@@ -75,6 +75,11 @@ fn main() {
     if let Some(size) = parse_flag::<usize>(&args, "--size") {
         cfg.sizes = vec![size];
     }
+    // --executor N: run every cell on an N-worker work-stealing executor
+    // instead of the thread-per-node runtime (0 = thread-per-node).
+    if let Some(threads) = parse_flag::<usize>(&args, "--executor") {
+        cfg.executor = threads;
+    }
     eprintln!(
         "Figure 5 sweep: N ∈ {:?}, nodes ∈ {:?}, loads {:?} (base time scale {}, per-size ×[0.5, 8] for fidelity; ~minutes of wall time)",
         cfg.sizes,

@@ -49,6 +49,9 @@ pub struct Fig5Config {
     /// Whether the deployment coalesces same-destination RMI traffic
     /// (`JsShell::rmi_batching` with default window/size).
     pub batching: bool,
+    /// Worker threads for the work-stealing executor runtime
+    /// (`JsShell::executor`); 0 keeps the thread-per-node model.
+    pub executor: usize,
 }
 
 impl Fig5Config {
@@ -64,6 +67,7 @@ impl Fig5Config {
             verify: false,
             kernel: Fig5Kernel::MasterSlave,
             batching: false,
+            executor: 0,
         }
     }
 
@@ -104,6 +108,7 @@ impl Fig5Config {
             verify: false,
             kernel: Fig5Kernel::MasterSlave,
             batching: false,
+            executor: 0,
         }
     }
 }
@@ -191,10 +196,12 @@ pub fn run_cell_full(
         verify,
         Fig5Kernel::MasterSlave,
         false,
+        0,
     )
 }
 
-/// Runs one sweep cell with an explicit kernel and RMI-batching setting.
+/// Runs one sweep cell with an explicit kernel, RMI-batching setting and
+/// executor mode (`executor` worker threads; 0 = thread-per-node).
 #[allow(clippy::too_many_arguments)]
 pub fn run_cell_opts(
     n: usize,
@@ -205,6 +212,7 @@ pub fn run_cell_opts(
     verify: bool,
     kernel: Fig5Kernel,
     batching: bool,
+    executor: usize,
 ) -> CellRun {
     assert!((1..=TESTBED.len()).contains(&nodes));
     let mut shell = JsShell::new()
@@ -215,6 +223,9 @@ pub fn run_cell_opts(
     if batching {
         let bc = jsym_net::BatchConfig::default();
         shell = shell.rmi_batching(bc.flush_window, bc.max_bytes);
+    }
+    if executor > 0 {
+        shell = shell.executor(executor);
     }
     let deployment = shell.boot();
     register_matmul_classes(&deployment);
@@ -290,6 +301,7 @@ pub fn run_fig5_instrumented(
                     cfg.verify,
                     cfg.kernel,
                     cfg.batching,
+                    cfg.executor,
                 );
                 if nodes == 1 {
                     baseline = Some(run.seconds);
@@ -353,6 +365,7 @@ mod tests {
             true,
             Fig5Kernel::Collective,
             true,
+            0,
         );
         assert!(run.messages > 0);
         assert!(run.seconds > 0.0);
@@ -402,6 +415,7 @@ mod sweep_tests {
             verify: false,
             kernel: Fig5Kernel::MasterSlave,
             batching: false,
+            executor: 0,
         };
         let mut seen = 0;
         let rows = run_fig5(&cfg, |_| seen += 1);

@@ -581,6 +581,66 @@ impl<T: ColElem> DistCol<T> {
         }
     }
 
+    /// Re-balances the chunk placement against a new weight vector — the
+    /// `addnode`/`rmnode` companion: after the JS-Shell grows the
+    /// deployment, pass the enlarged node list and the collection spreads
+    /// onto the new capacity; before a shrink, pass a list without the
+    /// leaving node and the collection drains off it (so `remove_machine`
+    /// succeeds).
+    ///
+    /// Chunks themselves are not re-split: each chunk is assigned to the
+    /// node whose ideal contiguous span (per [`partition_weighted`] with
+    /// one chunk per node) contains the chunk's midpoint, and contiguous
+    /// runs with the same target move through one bulk [`DistCol::relocate`]
+    /// call each, so same-link state transfers keep coalescing. Returns the
+    /// number of chunks moved.
+    pub fn rebalance(&mut self, weights: &[(NodeId, f64)]) -> Result<usize> {
+        if self.len == 0 || weights.is_empty() || self.chunks.is_empty() {
+            return Ok(0);
+        }
+        // Ideal contiguous spans, one per node with a non-zero share, in
+        // the caller's node order.
+        let mut spans: Vec<(NodeId, Range<usize>)> = Vec::new();
+        let mut at = 0usize;
+        for spec in partition_weighted(self.len, weights, 1) {
+            spans.push((spec.node, at..at + spec.len));
+            at += spec.len;
+        }
+        // Target node per chunk: the span holding the chunk's midpoint.
+        let target_of = |start: usize, len: usize| -> NodeId {
+            let mid = start + len / 2;
+            spans
+                .iter()
+                .find(|(_, r)| r.contains(&mid))
+                .map(|&(n, _)| n)
+                .unwrap_or_else(|| spans.last().expect("spans nonempty").0)
+        };
+        // Group contiguous chunks with one target into single relocates.
+        let mut moved = 0usize;
+        let mut run: Option<(NodeId, Range<usize>)> = None;
+        let mut pending: Vec<(NodeId, Range<usize>)> = Vec::new();
+        for c in &self.chunks {
+            if c.len == 0 {
+                continue;
+            }
+            let target = target_of(c.start, c.len);
+            match &mut run {
+                Some((node, range)) if *node == target => range.end = c.start + c.len,
+                other => {
+                    if let Some(r) = other.take() {
+                        pending.push(r);
+                    }
+                    run = Some((target, c.start..c.start + c.len));
+                }
+            }
+        }
+        pending.extend(run);
+        for (node, range) in pending {
+            moved += self.relocate(range, node)?;
+        }
+        Ok(moved)
+    }
+
     /// Frees all chunk objects.
     pub fn free(self) -> Result<()> {
         let mut first_err = None;
@@ -733,6 +793,62 @@ mod tests {
 
         // Relocating the same range again is a no-op.
         assert_eq!(col.relocate(5..25, NodeId(2)).unwrap(), 0);
+        deployment.shutdown();
+    }
+
+    #[test]
+    fn rebalance_converges_after_addnode_and_drains_for_rmnode() {
+        let deployment = shell_with_idle_machines(2).boot();
+        register_col_classes(&deployment);
+        let reg = deployment.register_app().unwrap();
+
+        let data: Vec<i64> = (0..48).collect();
+        let n0 = NodeId(0);
+        let n1 = NodeId(1);
+        // Eight 6-element chunks over the two seed nodes.
+        let mut col =
+            DistCol::<i64>::create_default(&reg, &even_specs(&[n0, n1], data.len(), 4)).unwrap();
+        col.scatter(&data).unwrap();
+
+        // addnode: grow the deployment, then rebalance over equal weights.
+        let n2 = deployment.add_machine(jsym_core::MachineConfig::idle("m-grown", 50.0));
+        let weights = [(n0, 1.0), (n1, 1.0), (n2, 1.0)];
+        let moved = col.rebalance(&weights).unwrap();
+        assert!(moved > 0, "rebalance moved nothing onto the new node");
+
+        // Per-node element shares re-converge to the weight vector, within
+        // one chunk of the ideal (chunks are moved whole, never re-split).
+        let share_of = |col: &DistCol<i64>, node: NodeId| -> usize {
+            (0..col.chunk_count())
+                .filter(|&i| col.chunk_node(i) == node)
+                .map(|i| col.chunk_range(i).len())
+                .sum()
+        };
+        let ideal = data.len() / 3;
+        let max_chunk = (0..col.chunk_count())
+            .map(|i| col.chunk_range(i).len())
+            .max()
+            .unwrap();
+        for &(node, _) in &weights {
+            let share = share_of(&col, node);
+            assert!(
+                share.abs_diff(ideal) <= max_chunk,
+                "{node} holds {share} elements, ideal {ideal} ± {max_chunk}"
+            );
+        }
+        assert_eq!(col.gather().unwrap(), data);
+        // Already balanced: a second pass is a no-op.
+        assert_eq!(col.rebalance(&weights).unwrap(), 0);
+
+        // rmnode: rebalance without the leaving node drains it completely,
+        // after which the JS-Shell shrink succeeds.
+        col.rebalance(&[(n0, 1.0), (n1, 1.0)]).unwrap();
+        assert_eq!(share_of(&col, n2), 0);
+        assert_eq!(col.gather().unwrap(), data);
+        deployment.remove_machine(n2).unwrap();
+
+        col.free().unwrap();
+        reg.unregister().unwrap();
         deployment.shutdown();
     }
 

@@ -51,15 +51,23 @@ impl Slot {
     }
 
     /// Blocks until the slot is filled or `timeout` (real time) elapses.
+    ///
+    /// This is the one choke point where a runtime task parks waiting for a
+    /// reply, so it is where executor-mode capacity compensation happens:
+    /// `jsym_exec::blocking` tells the work-stealing pool this worker is
+    /// about to stall (a spare takes over) and is a free passthrough on
+    /// plain threads.
     pub(crate) fn wait(&self, timeout: Duration) -> Result<Value> {
-        let deadline = Instant::now() + timeout;
-        let mut st = self.inner.state.lock();
-        while st.is_none() {
-            if self.inner.cond.wait_until(&mut st, deadline).timed_out() {
-                return Err(JsError::Timeout);
+        jsym_exec::blocking(|| {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.inner.state.lock();
+            while st.is_none() {
+                if self.inner.cond.wait_until(&mut st, deadline).timed_out() {
+                    return Err(JsError::Timeout);
+                }
             }
-        }
-        st.as_ref().expect("filled").clone()
+            st.as_ref().expect("filled").clone()
+        })
     }
 
     /// Non-blocking read of the result, if present.

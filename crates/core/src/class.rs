@@ -60,8 +60,12 @@ impl<'a> InvokeCtx<'a> {
     }
 
     /// Executes `flops` of modeled work on the hosting node.
+    ///
+    /// Modeled work sleeps real time (scaled); on the work-stealing
+    /// executor that would pin a worker, so it is declared blocking and the
+    /// pool compensates with a spare. Plain-thread mode is a passthrough.
     pub fn compute(&self, flops: f64) {
-        self.machine.compute(flops);
+        jsym_exec::blocking(|| self.machine.compute(flops));
     }
 
     /// The node this method executes on.

@@ -413,6 +413,31 @@ pub(crate) fn run_dir_ticker(shared: Arc<NodeShared>) {
     }
 }
 
+/// Executor-mode replica ticker: a timer task that runs one `tick` per tick
+/// period and re-arms itself, replacing the per-replica thread (which polls
+/// twice per period but also gates `tick` to once per period).
+pub(crate) fn schedule_dir_ticker(shared: Arc<NodeShared>, exec: Arc<jsym_exec::Executor>) {
+    let Some(host) = shared.dir_host.clone() else {
+        return;
+    };
+    if shared.shutdown.load(Ordering::Relaxed) {
+        return;
+    }
+    let period = host.tick_period;
+    let at = shared.clock.real_deadline(shared.clock.now() + period);
+    let exec2 = Arc::clone(&exec);
+    exec.spawn_at(
+        at,
+        Box::new(move || {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            host.tick(&shared);
+            schedule_dir_ticker(shared, exec2);
+        }),
+    );
+}
+
 // ------------------------------------------------------------------- client
 
 /// Proposes a placement/role command to the directory, retrying through

@@ -86,6 +86,7 @@ pub use value::{Args, Value};
 
 /// Observability subsystem (re-exported from `jsym-obs`): metrics registry,
 /// span tracer, snapshots, JSON export.
+pub use jsym_exec::ExecStats;
 pub use jsym_obs as obs;
 
 /// Crate-wide result type.

@@ -155,6 +155,34 @@ pub(crate) fn run_na(shared: Arc<NodeShared>, vda: jsym_vda::VdaRegistry) {
     }
 }
 
+/// Executor-mode NA: instead of a dedicated thread sleeping in slices, each
+/// round is a timer task that runs `monitor_round` and re-arms itself one
+/// period ahead. The knob is re-read every round, so a JS-Shell period
+/// change takes effect from the next round on (an already-armed far-future
+/// deadline is not shortened — see DESIGN.md §13).
+pub(crate) fn schedule_monitor(
+    shared: Arc<NodeShared>,
+    vda: jsym_vda::VdaRegistry,
+    exec: Arc<jsym_exec::Executor>,
+) {
+    if shared.shutdown.load(Ordering::Relaxed) {
+        return;
+    }
+    let period = shared.na.knobs.monitor_period().max(1e-4);
+    let at = shared.clock.real_deadline(shared.clock.now() + period);
+    let exec2 = Arc::clone(&exec);
+    exec.spawn_at(
+        at,
+        Box::new(move || {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            monitor_round(&shared, &vda);
+            schedule_monitor(shared, vda, exec2);
+        }),
+    );
+}
+
 /// One monitoring round. Public within the crate so tests and benches can
 /// drive rounds deterministically.
 pub(crate) fn monitor_round(shared: &Arc<NodeShared>, vda: &jsym_vda::VdaRegistry) {
@@ -174,6 +202,10 @@ pub(crate) fn monitor_round(shared: &Arc<NodeShared>, vda: &jsym_vda::VdaRegistr
             .obs
             .gauge("pool.transient_workers", Some(shared.phys.0), "")
             .set(shared.workers.transient_spawns() as f64);
+        shared
+            .obs
+            .gauge("pool.overflow.active", Some(shared.phys.0), "")
+            .set(shared.workers.overflow_active() as f64);
     }
 
     // 2. Work out this node's monitoring relationships.

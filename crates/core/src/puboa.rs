@@ -220,6 +220,19 @@ pub(crate) fn handle(shared: &Arc<NodeShared>, src: NodeId, msg: Msg) {
 
 /// Resolves the per-node static context of `class`, creating it on first
 /// use. Selective classloading applies: the class's artifact must be here.
+/// Takes an object's instance lock. Uncontended locks stay on the fast
+/// path; a contended acquire can stall for a whole method execution
+/// (quiesce, §4.6), so it is declared blocking to the executor — a spare
+/// worker keeps the pool at capacity. Passthrough on plain threads.
+fn lock_instance(
+    instance: &parking_lot::Mutex<Box<dyn crate::JsClass>>,
+) -> parking_lot::MutexGuard<'_, Box<dyn crate::JsClass>> {
+    match instance.try_lock() {
+        Some(g) => g,
+        None => jsym_exec::blocking(|| instance.lock()),
+    }
+}
+
 fn static_entry(shared: &Arc<NodeShared>, class: Sym) -> Result<ObjEntry> {
     if let Some(entry) = shared.statics.lock().get(&class).cloned() {
         return Ok(entry);
@@ -247,7 +260,7 @@ fn execute_static(
     shared
         .machine
         .compute(shared.cost.invoke_callee(args_wire_size(args)));
-    let mut guard = instance.lock();
+    let mut guard = lock_instance(instance);
     let client = NodeClient {
         shared: Arc::clone(shared),
     };
@@ -338,7 +351,7 @@ fn execute(shared: &Arc<NodeShared>, obj: ObjectId, method: Sym, args: &[Value])
         .get(&obj)
         .cloned()
         .ok_or(JsError::ObjectMoved(obj))?;
-    let mut instance = entry.instance.lock();
+    let mut instance = lock_instance(&entry.instance);
     // Re-check under the instance lock: a migration may have removed the
     // entry while we waited. Executing now would mutate state that has
     // already been shipped elsewhere.
@@ -397,7 +410,7 @@ fn migrate_out(
         .parent(parent)
         .attr("obj", obj);
     let state = {
-        let instance = entry.instance.lock();
+        let instance = lock_instance(&entry.instance);
         instance.snapshot()
     };
     quiesce.finish(obs_now(shared));
@@ -496,7 +509,7 @@ fn store_object(shared: &Arc<NodeShared>, obj: ObjectId, key: Option<String>) ->
         .cloned()
         .ok_or(JsError::ObjectMoved(obj))?;
     let state = {
-        let instance = entry.instance.lock();
+        let instance = lock_instance(&entry.instance);
         if !shared.objects.lock().contains_key(&obj) {
             return Err(JsError::ObjectMoved(obj));
         }

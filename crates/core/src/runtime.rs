@@ -67,6 +67,11 @@ pub(crate) struct ObjExecutor {
     state: Mutex<ExecState>,
 }
 
+/// How many queued invocations one cooperative drain task executes before
+/// re-submitting itself, so a hot object cannot monopolize an executor
+/// worker while thousands of sibling tasks wait.
+const DRAIN_YIELD_BATCH: usize = 64;
+
 impl ObjExecutor {
     /// Enqueues a job, starting a drain task if none is running.
     pub(crate) fn submit(self: &Arc<Self>, shared: &Arc<NodeShared>, job: Job) {
@@ -82,11 +87,45 @@ impl ObjExecutor {
         };
         if start_drain {
             let exec = Arc::clone(self);
-            spawn_worker(shared, "obj-exec", move || exec.drain());
+            let sh = Arc::clone(shared);
+            spawn_worker(shared, "obj-exec", move || exec.drain(&sh));
         }
     }
 
-    fn drain(&self) {
+    fn drain(self: &Arc<Self>, shared: &Arc<NodeShared>) {
+        if !shared.workers.cooperative() {
+            // Threaded mode: the drain owns a (transient) thread, run dry.
+            self.drain_all();
+            return;
+        }
+        // Executor mode: the drain is one task among up to a million; yield
+        // the worker back after a bounded batch. `running` stays true across
+        // the yield, so submission order is preserved and no second drain
+        // can start.
+        let mut done = 0usize;
+        loop {
+            let job = {
+                let mut st = self.state.lock();
+                match st.queue.pop_front() {
+                    Some(j) => j,
+                    None => {
+                        st.running = false;
+                        return;
+                    }
+                }
+            };
+            job();
+            done += 1;
+            if done >= DRAIN_YIELD_BATCH {
+                let exec = Arc::clone(self);
+                let sh = Arc::clone(shared);
+                spawn_worker(shared, "obj-exec", move || exec.drain(&sh));
+                return;
+            }
+        }
+    }
+
+    fn drain_all(&self) {
         loop {
             let job = {
                 let mut st = self.state.lock();
@@ -160,7 +199,7 @@ pub(crate) struct NodeShared {
     /// Network-agent state (monitoring, heartbeats, failure detection).
     pub na: NaState,
     pub stats: StatCounters,
-    pub workers: WorkerPool,
+    pub workers: Workers,
     /// Deployment-wide structural event log.
     pub events: crate::EventLog,
     /// Deployment-wide observability scope (metrics + span tracer).
@@ -450,6 +489,43 @@ pub(crate) fn spawn_worker(
     shared.workers.submit(name, Box::new(f));
 }
 
+/// How a node runtime executes its potentially-blocking handler jobs:
+/// either a private per-node [`WorkerPool`] (the legacy thread-per-node
+/// model) or the deployment-wide work-stealing [`jsym_exec::Executor`]
+/// shared by every node (`JsShell::executor`).
+pub(crate) enum Workers {
+    Pool(WorkerPool),
+    Exec(Arc<jsym_exec::Executor>),
+}
+
+impl Workers {
+    pub(crate) fn submit(&self, name: &str, job: Job) {
+        match self {
+            Workers::Pool(p) => p.submit(name, job),
+            Workers::Exec(e) => e.spawn(job),
+        }
+    }
+
+    /// Whether jobs share a bounded worker set and must yield cooperatively.
+    pub(crate) fn cooperative(&self) -> bool {
+        matches!(self, Workers::Exec(_))
+    }
+
+    pub(crate) fn transient_spawns(&self) -> u64 {
+        match self {
+            Workers::Pool(p) => p.transient_spawns(),
+            Workers::Exec(_) => 0,
+        }
+    }
+
+    pub(crate) fn overflow_active(&self) -> u32 {
+        match self {
+            Workers::Pool(p) => p.overflow_active(),
+            Workers::Exec(_) => 0,
+        }
+    }
+}
+
 /// A small persistent thread pool per node runtime.
 ///
 /// Spawning an OS thread costs ~100 µs of real time; at the simulation's
@@ -462,16 +538,31 @@ pub(crate) fn spawn_worker(
 pub(crate) struct WorkerPool {
     label: String,
     tx: crossbeam::channel::Sender<Job>,
+    rx: crossbeam::channel::Receiver<Job>,
     resident: u32,
     active: Arc<AtomicU32>,
     /// Transient-thread fallbacks taken because every resident worker was
     /// busy; exposed via [`crate::NodeStats`] so bench runs can detect pool
     /// exhaustion.
     transient_spawns: AtomicU64,
+    /// Transient threads currently alive. Bounded by `max_overflow`:
+    /// submissions past the cap queue instead of spawning, so a burst of
+    /// blocked handlers cannot fork an unbounded thread herd.
+    overflow_active: Arc<AtomicU32>,
+    max_overflow: u32,
 }
+
+/// Default ceiling on concurrent transient threads per pool. Deep nested
+/// chains in the tests use a few tens; anything past this indicates the
+/// workload wants the executor, not more threads.
+const MAX_OVERFLOW: u32 = 128;
 
 impl WorkerPool {
     pub(crate) fn new(label: &str, resident: u32) -> Self {
+        Self::with_caps(label, resident, MAX_OVERFLOW)
+    }
+
+    pub(crate) fn with_caps(label: &str, resident: u32, max_overflow: u32) -> Self {
         let (tx, rx) = crossbeam::channel::unbounded::<Job>();
         let active = Arc::new(AtomicU32::new(0));
         for i in 0..resident {
@@ -491,9 +582,12 @@ impl WorkerPool {
         WorkerPool {
             label: label.to_owned(),
             tx,
+            rx,
             resident,
             active,
             transient_spawns: AtomicU64::new(0),
+            overflow_active: Arc::new(AtomicU32::new(0)),
+            max_overflow,
         }
     }
 
@@ -502,11 +596,25 @@ impl WorkerPool {
         // computations): overflow to a transient thread so progress is
         // never gated on pool capacity. The transient thread carries the
         // pool's label so `ps`/profilers can attribute it to its node.
-        if self.active.load(Ordering::Relaxed) >= self.resident {
+        if self.active.load(Ordering::Relaxed) >= self.resident && self.claim_overflow_slot() {
             self.transient_spawns.fetch_add(1, Ordering::Relaxed);
-            let _ = std::thread::Builder::new()
+            let ovf = Arc::clone(&self.overflow_active);
+            let rx = self.rx.clone();
+            let spawned = std::thread::Builder::new()
                 .name(format!("jsym-{}-ovf-{name}", self.label))
-                .spawn(job);
+                .spawn(move || {
+                    job();
+                    // Past-the-cap submissions queued instead of spawning;
+                    // drain them before retiring so they cannot starve
+                    // behind blocked residents.
+                    while let Ok(j) = rx.try_recv() {
+                        j();
+                    }
+                    ovf.fetch_sub(1, Ordering::Relaxed);
+                });
+            if spawned.is_err() {
+                self.overflow_active.fetch_sub(1, Ordering::Relaxed);
+            }
             return;
         }
         if let Err(e) = self.tx.send(job) {
@@ -515,9 +623,33 @@ impl WorkerPool {
         }
     }
 
+    /// Atomically reserves an overflow-thread slot; `false` at the cap.
+    fn claim_overflow_slot(&self) -> bool {
+        let mut cur = self.overflow_active.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max_overflow {
+                return false;
+            }
+            match self.overflow_active.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
     /// How often submissions overflowed to a transient thread.
     pub(crate) fn transient_spawns(&self) -> u64 {
         self.transient_spawns.load(Ordering::Relaxed)
+    }
+
+    /// Transient threads currently alive (`pool.overflow.active` gauge).
+    pub(crate) fn overflow_active(&self) -> u32 {
+        self.overflow_active.load(Ordering::Relaxed)
     }
 }
 
@@ -609,6 +741,66 @@ mod tests {
     }
 
     #[test]
+    fn overflow_threads_are_capped_and_excess_jobs_queue() {
+        let pool = WorkerPool::with_caps("tcap", 1, 1);
+        // Block the single resident.
+        let resident_gate = Arc::new(std::sync::Barrier::new(2));
+        let g = Arc::clone(&resident_gate);
+        pool.submit(
+            "blocker",
+            Box::new(move || {
+                g.wait();
+            }),
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        // First overflow submission takes the one transient slot and blocks.
+        let ovf_gate = Arc::new(std::sync::Barrier::new(2));
+        let g = Arc::clone(&ovf_gate);
+        pool.submit(
+            "ovf",
+            Box::new(move || {
+                g.wait();
+            }),
+        );
+        for _ in 0..200 {
+            if pool.overflow_active() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.overflow_active(), 1);
+        assert_eq!(pool.transient_spawns(), 1);
+        // Past the cap: this job queues instead of spawning another thread.
+        let done = Arc::new(AtomicU32::new(0));
+        let d = Arc::clone(&done);
+        pool.submit(
+            "queued",
+            Box::new(move || drop(d.fetch_add(1, Ordering::SeqCst))),
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(pool.transient_spawns(), 1, "no thread past the cap");
+        assert_eq!(done.load(Ordering::SeqCst), 0, "job queued, not run");
+        // Release the transient: before retiring it drains the queue, so
+        // the capped job runs even though the resident is still blocked.
+        ovf_gate.wait();
+        for _ in 0..200 {
+            if done.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 1, "queued job never drained");
+        for _ in 0..200 {
+            if pool.overflow_active() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.overflow_active(), 0, "transient never retired");
+        resident_gate.wait();
+    }
+
+    #[test]
     fn obj_executor_preserves_submission_order() {
         let pool = WorkerPool::new("t2", 2);
         // A stand-in NodeShared is heavyweight; exercise ObjExecutor through
@@ -638,7 +830,7 @@ mod tests {
             };
             if start {
                 let e = Arc::clone(&exec);
-                pool.submit("drain", Box::new(move || e.drain()));
+                pool.submit("drain", Box::new(move || e.drain_all()));
             }
         }
         for _ in 0..400 {

@@ -76,6 +76,7 @@ pub struct JsShell {
     automigrate_dirty_set: bool,
     directory_replicas: u32,
     rmi_batching: Option<jsym_net::BatchConfig>,
+    executor_threads: usize,
 }
 
 impl JsShell {
@@ -101,6 +102,7 @@ impl JsShell {
             automigrate_dirty_set: true,
             directory_replicas: 0,
             rmi_batching: None,
+            executor_threads: 0,
         }
     }
 
@@ -248,7 +250,36 @@ impl JsShell {
         self.rmi_batching = Some(jsym_net::BatchConfig {
             flush_window: flush_window.max(0.0),
             max_bytes: max_bytes.max(1),
+            adaptive: false,
         });
+        self
+    }
+
+    /// RMI batching with an adaptive flush window: each source/destination
+    /// pair tracks an EWMA of its inter-send gaps and flushes after about
+    /// two expected gaps, clamped to `[flush_window / 16, flush_window]`.
+    /// Chatty pairs stop paying the full window of added latency; sparse
+    /// pairs keep the configured ceiling. Semantics are otherwise identical
+    /// to [`JsShell::rmi_batching`].
+    pub fn rmi_batching_adaptive(mut self, flush_window: f64, max_bytes: usize) -> Self {
+        self.rmi_batching = Some(jsym_net::BatchConfig {
+            flush_window: flush_window.max(0.0),
+            max_bytes: max_bytes.max(1),
+            adaptive: true,
+        });
+        self
+    }
+
+    /// Runs every node on a deployment-wide work-stealing executor with
+    /// `threads` workers instead of spawning receiver/NA/worker threads per
+    /// node (`0` — the default — keeps the thread-per-node model). Node
+    /// mailboxes become delivery-hook tasks, NA monitor rounds and
+    /// directory replica ticks become self-re-arming timer tasks, and
+    /// blocking waits hand their worker to a spare, so one process can
+    /// simulate tens of thousands of nodes (DESIGN.md §13). Semantics are
+    /// identical to the threaded runtime.
+    pub fn executor(mut self, threads: usize) -> Self {
+        self.executor_threads = threads;
         self
     }
 
@@ -260,13 +291,32 @@ impl JsShell {
         } else {
             jsym_obs::ObsRegistry::disabled()
         };
+        let exec = if self.executor_threads > 0 {
+            Some(jsym_exec::Executor::with_obs(
+                self.executor_threads,
+                obs.clone(),
+            ))
+        } else {
+            None
+        };
         let mut topo = Topology::new();
         let network = {
             // Machines get ids 0..n in order; set link classes up front.
             for (i, m) in self.machines.iter().enumerate() {
                 topo.set_node_class(NodeId(i as u32), m.link);
             }
-            Network::with_obs(
+            // In executor mode the delivery plane runs as executor timer
+            // tasks and every delivery is hook-routed into the destination
+            // runtime (mailboxes have no receiver threads to drain them).
+            let spawner: Option<jsym_net::SpawnAt> = exec.as_ref().map(|e| {
+                let e = Arc::clone(e);
+                Arc::new(
+                    move |at: std::time::Instant, job: Box<dyn FnOnce() + Send + 'static>| {
+                        e.spawn_at(at, job)
+                    },
+                ) as jsym_net::SpawnAt
+            });
+            Network::with_obs_and_spawner(
                 clock.clone(),
                 topo,
                 jsym_net::NetworkConfig {
@@ -274,9 +324,11 @@ impl JsShell {
                     loopback_fast_path: self.loopback_fast_path,
                     delivery_shards: self.delivery_shards,
                     batching: self.rmi_batching.clone(),
+                    deliver_via_hook: exec.is_some(),
                     ..jsym_net::NetworkConfig::default()
                 },
                 obs.clone(),
+                spawner,
             )
         };
         let pool = ResourcePool::new();
@@ -316,6 +368,7 @@ impl JsShell {
             automigrate_dirty: AtomicBool::new(self.automigrate_dirty_set),
             automigrate_rounds: AtomicU64::new(0),
             dir,
+            exec,
             shutdown: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
         });
@@ -398,6 +451,8 @@ pub(crate) struct DeploymentInner {
     pub automigrate_rounds: AtomicU64,
     /// Client view of the replicated directory (`None` = legacy resolution).
     pub dir: Option<Arc<crate::dir::DirCluster>>,
+    /// The deployment-wide work-stealing executor (`None` = threaded mode).
+    pub exec: Option<Arc<jsym_exec::Executor>>,
     pub shutdown: AtomicBool,
     pub threads: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -442,7 +497,6 @@ impl Deployment {
             .topology()
             .write()
             .set_node_class(phys, config.link);
-        let rx = inner.network.register(phys);
         let dir = inner.dir.clone();
         let dir_host = match &dir {
             Some(c) if c.replicas.contains(&phys) => Some(Arc::new(crate::dir::DirHost::new(
@@ -479,7 +533,10 @@ impl Deployment {
             stats: StatCounters::default(),
             events: inner.events.clone(),
             obs: inner.obs.clone(),
-            workers: runtime::WorkerPool::new(&format!("{phys}"), 3),
+            workers: match &inner.exec {
+                Some(e) => runtime::Workers::Exec(Arc::clone(e)),
+                None => runtime::Workers::Pool(runtime::WorkerPool::new(&format!("{phys}"), 3)),
+            },
             dir,
             dir_host,
             shutdown: AtomicBool::new(false),
@@ -502,34 +559,49 @@ impl Deployment {
                 }),
             );
         }
+        // Register only after the hook is installed: in executor mode every
+        // delivery is hook-routed and the mailbox has no receiver thread, so
+        // nothing must ever be able to land in it.
+        let rx = inner.network.register(phys);
         let mut threads = Vec::new();
-        {
-            let sh = Arc::clone(&shared);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("jsym-{phys}-recv"))
-                    .spawn(move || runtime::run_receiver(sh, rx))
-                    .expect("spawn receiver"),
-            );
-        }
-        {
-            let sh = Arc::clone(&shared);
-            let vda = inner.vda.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("jsym-{phys}-na"))
-                    .spawn(move || na::run_na(sh, vda))
-                    .expect("spawn NA"),
-            );
-        }
-        if shared.dir_host.is_some() {
-            let sh = Arc::clone(&shared);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("jsym-{phys}-dir"))
-                    .spawn(move || crate::dir::run_dir_ticker(sh))
-                    .expect("spawn dir ticker"),
-            );
+        if let Some(exec) = &inner.exec {
+            // No per-node threads: deliveries dispatch through the hook on
+            // delivery-plane tasks; NA rounds and directory ticks are
+            // self-re-arming timer tasks on the shared executor.
+            drop(rx);
+            na::schedule_monitor(Arc::clone(&shared), inner.vda.clone(), Arc::clone(exec));
+            if shared.dir_host.is_some() {
+                crate::dir::schedule_dir_ticker(Arc::clone(&shared), Arc::clone(exec));
+            }
+        } else {
+            {
+                let sh = Arc::clone(&shared);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("jsym-{phys}-recv"))
+                        .spawn(move || runtime::run_receiver(sh, rx))
+                        .expect("spawn receiver"),
+                );
+            }
+            {
+                let sh = Arc::clone(&shared);
+                let vda = inner.vda.clone();
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("jsym-{phys}-na"))
+                        .spawn(move || na::run_na(sh, vda))
+                        .expect("spawn NA"),
+                );
+            }
+            if shared.dir_host.is_some() {
+                let sh = Arc::clone(&shared);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("jsym-{phys}-dir"))
+                        .spawn(move || crate::dir::run_dir_ticker(sh))
+                        .expect("spawn dir ticker"),
+                );
+            }
         }
         inner
             .nodes
@@ -849,6 +921,21 @@ impl Deployment {
             let _ = t.join();
         }
         self.inner.network.shutdown();
+        // Last: the executor joins its workers and drops every pending
+        // task (each holds an `Arc<NodeShared>` keeping its runtime alive).
+        if let Some(e) = &self.inner.exec {
+            e.shutdown();
+        }
+    }
+
+    /// Worker threads of the work-stealing executor (`0` = threaded mode).
+    pub fn executor_threads(&self) -> usize {
+        self.inner.exec.as_ref().map(|e| e.threads()).unwrap_or(0)
+    }
+
+    /// Point-in-time executor counters (`None` in threaded mode).
+    pub fn exec_stats(&self) -> Option<jsym_exec::ExecStats> {
+        self.inner.exec.as_ref().map(|e| e.stats())
     }
 }
 
@@ -912,6 +999,9 @@ impl Drop for DeploymentInner {
             handle.shared.shutdown.store(true, Ordering::Relaxed);
         }
         self.network.shutdown();
+        if let Some(e) = &self.exec {
+            e.shutdown();
+        }
     }
 }
 

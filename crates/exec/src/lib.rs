@@ -1,0 +1,674 @@
+//! A sized work-stealing executor: cores-many worker threads onto which node
+//! mailboxes, object executors, NA monitor rounds, and directory replica ticks
+//! are scheduled as cooperatively-yielding tasks.
+//!
+//! The runtime's legacy model spawns OS threads per node (receiver, NA loop,
+//! worker pool), which caps simulated cluster size at a few hundred nodes.
+//! This crate provides the alternative: a fixed pool of workers fed by a
+//! global injector + per-worker run queues with stealing, plus a single timer
+//! thread that releases [`Executor::spawn_at`] jobs at their real deadline.
+//! Queues are short-critical-section mutexed `VecDeque`s rather than lock-free
+//! Chase-Lev deques: jobs here are node mailbox drains and RMI dispatches that
+//! run for microseconds to milliseconds, so queue-op cost is noise and the
+//! lock-based scheme is trivially sound.
+//!
+//! # Blocking compensation
+//!
+//! Simulation tasks block: a synchronous RMI parks its worker until the reply
+//! lands, and replies are themselves produced by executor tasks. To stay
+//! deadlock-free, any wait that depends on *other executor tasks making
+//! progress* must be wrapped in [`blocking`]: it books the worker as blocked
+//! and, when the pool's runnable head-count would drop below its base size,
+//! spawns a spare worker to compensate. Spares retire once no worker is
+//! blocked. The capacity ledger is a single mutex so the invariant
+//! `live - blocked >= base` holds at every blocking entry; with `base >= 1`
+//! there is always at least one runnable worker, so nested synchronous call
+//! chains of any depth cannot wedge the pool.
+//!
+//! Bounded waits (simulated compute sleeps, retry backoffs) do not need
+//! compensation for safety, but long simulated computes also route through
+//! [`blocking`] so they do not serialise unrelated traffic behind a sleep.
+
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::cell::RefCell;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A unit of work scheduled onto the executor.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// The executor owning the current worker thread, if any.
+    static CURRENT: RefCell<Option<Arc<Inner>>> = const { RefCell::new(None) };
+}
+
+/// A mutexed FIFO run queue. Owners pop the front; thieves steal from the
+/// back so they grab the work the owner would reach last.
+#[derive(Default)]
+struct JobQueue {
+    q: Mutex<VecDeque<Job>>,
+}
+
+impl JobQueue {
+    fn push_back(&self, job: Job) {
+        self.q.lock().push_back(job);
+    }
+
+    fn pop_front(&self) -> Option<Job> {
+        self.q.lock().pop_front()
+    }
+
+    fn steal_back(&self) -> Option<Job> {
+        self.q.lock().pop_back()
+    }
+
+    /// Pop one job and move up to `extra` more into `local` in FIFO order.
+    fn grab_batch(&self, local: &JobQueue, extra: usize) -> Option<Job> {
+        let mut q = self.q.lock();
+        let first = q.pop_front()?;
+        if extra > 0 {
+            let mut l = local.q.lock();
+            for _ in 0..extra {
+                match q.pop_front() {
+                    Some(j) => l.push_back(j),
+                    None => break,
+                }
+            }
+        }
+        Some(first)
+    }
+
+    fn len(&self) -> usize {
+        self.q.lock().len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.q.lock().is_empty()
+    }
+
+    fn clear(&self) {
+        self.q.lock().clear();
+    }
+}
+
+/// Capacity ledger guarded by one mutex so blocking-entry and spare-retire
+/// decisions are atomic with respect to each other.
+struct Cap {
+    /// Worker threads currently alive (base + spares).
+    live: usize,
+    /// Workers currently inside a [`blocking`] section (nested entries count
+    /// once per level; each level compensates, which is conservative).
+    blocked: usize,
+    /// Spare workers alive beyond the base pool.
+    spares: usize,
+}
+
+/// A timer entry ordered by `(at, seq)`; min-heap via reversed `Ord`.
+struct TimerEntry {
+    at: Instant,
+    seq: u64,
+    job: Job,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest deadline on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct TimerState {
+    heap: BinaryHeap<TimerEntry>,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+struct Inner {
+    injector: JobQueue,
+    locals: RwLock<Vec<Arc<JobQueue>>>,
+    base: usize,
+    cap: Mutex<Cap>,
+    /// Count of workers parked on `wake` (guarded by `sleep`).
+    sleep: Mutex<usize>,
+    wake: Condvar,
+    timer: Mutex<TimerState>,
+    timer_wake: Condvar,
+    shutdown: AtomicBool,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    steals: AtomicU64,
+    parks: AtomicU64,
+    spare_spawns: AtomicU64,
+    obs: Option<ObsHandles>,
+}
+
+struct ObsHandles {
+    queue_depth: jsym_obs::Gauge,
+    blocked: jsym_obs::Gauge,
+    spares: jsym_obs::Gauge,
+    steals: jsym_obs::Counter,
+    parks: jsym_obs::Counter,
+    spare_spawns: jsym_obs::Counter,
+}
+
+/// A point-in-time view of the executor's internals, for the `executor` shell
+/// command and the swarm benchmark report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    pub threads: usize,
+    pub queue_depth: usize,
+    pub blocked: usize,
+    pub spares: usize,
+    pub steals: u64,
+    pub parks: u64,
+    pub spare_spawns: u64,
+    pub timer_pending: usize,
+}
+
+/// The work-stealing executor. Construct via [`Executor::new`] or
+/// [`Executor::with_obs`]; both return an `Arc` because worker threads and
+/// scheduled tasks hold references back into the pool.
+pub struct Executor {
+    inner: Arc<Inner>,
+}
+
+impl Executor {
+    /// Start an executor with `threads` base workers (clamped to at least 1)
+    /// and no metrics.
+    pub fn new(threads: usize) -> Arc<Executor> {
+        Self::build(threads, None)
+    }
+
+    /// Start an executor exporting `exec.*` gauges/counters into `obs`.
+    pub fn with_obs(threads: usize, obs: jsym_obs::ObsRegistry) -> Arc<Executor> {
+        let handles = ObsHandles {
+            queue_depth: obs.gauge("exec.queue_depth", None, "exec"),
+            blocked: obs.gauge("exec.blocked", None, "exec"),
+            spares: obs.gauge("exec.spares", None, "exec"),
+            steals: obs.counter("exec.steals", None, "exec"),
+            parks: obs.counter("exec.parks", None, "exec"),
+            spare_spawns: obs.counter("exec.spare_spawns", None, "exec"),
+        };
+        Self::build(threads, Some(handles))
+    }
+
+    fn build(threads: usize, obs: Option<ObsHandles>) -> Arc<Executor> {
+        let base = threads.max(1);
+        let inner = Arc::new(Inner {
+            injector: JobQueue::default(),
+            locals: RwLock::new(Vec::new()),
+            base,
+            cap: Mutex::new(Cap {
+                live: base,
+                blocked: 0,
+                spares: 0,
+            }),
+            sleep: Mutex::new(0),
+            wake: Condvar::new(),
+            timer: Mutex::new(TimerState {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                shutdown: false,
+            }),
+            timer_wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+            steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            spare_spawns: AtomicU64::new(0),
+            obs,
+        });
+        let mut handles = Vec::with_capacity(base + 1);
+        for i in 0..base {
+            handles.push(spawn_worker(&inner, i, false));
+        }
+        {
+            let timer_inner = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("jsym-exec-timer".into())
+                    .spawn(move || timer_loop(&timer_inner))
+                    .expect("spawn timer thread"),
+            );
+        }
+        *inner.threads.lock() = handles;
+        Arc::new(Executor { inner })
+    }
+
+    /// Base pool size.
+    pub fn threads(&self) -> usize {
+        self.inner.base
+    }
+
+    /// Schedule `job` to run as soon as a worker is free.
+    pub fn spawn(&self, job: Job) {
+        self.inner.spawn(job);
+    }
+
+    /// Schedule `job` to run at (not before) the real-time instant `at`.
+    /// Jobs with equal deadlines run in submission order.
+    pub fn spawn_at(&self, at: Instant, job: Job) {
+        let mut st = self.inner.timer.lock();
+        if st.shutdown {
+            return;
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let is_new_head = st.heap.peek().is_none_or(|h| at < h.at);
+        st.heap.push(TimerEntry { at, seq, job });
+        drop(st);
+        if is_new_head {
+            self.inner.timer_wake.notify_one();
+        }
+    }
+
+    /// Snapshot queue/steal/park/spare counters.
+    pub fn stats(&self) -> ExecStats {
+        let cap = self.inner.cap.lock();
+        ExecStats {
+            threads: self.inner.base,
+            queue_depth: self.inner.injector.len(),
+            blocked: cap.blocked,
+            spares: cap.spares,
+            steals: self.inner.steals.load(Ordering::Relaxed),
+            parks: self.inner.parks.load(Ordering::Relaxed),
+            spare_spawns: self.inner.spare_spawns.load(Ordering::Relaxed),
+            timer_pending: self.inner.timer.lock().heap.len(),
+        }
+    }
+
+    /// Stop accepting work, wake every worker and the timer, and join them.
+    /// Jobs still queued (or armed on the timer) are dropped. Idempotent.
+    /// Must not be called from an executor worker.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        {
+            let mut st = self.inner.timer.lock();
+            st.shutdown = true;
+            st.heap.clear();
+        }
+        self.inner.timer_wake.notify_all();
+        self.inner.wake.notify_all();
+        // Workers may spawn spares while we join; drain until the list is
+        // stable and empty.
+        loop {
+            let handles = std::mem::take(&mut *self.inner.threads.lock());
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        self.inner.injector.clear();
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Inner {
+    fn spawn(self: &Arc<Self>, job: Job) {
+        if self.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        self.injector.push_back(job);
+        if let Some(o) = &self.obs {
+            o.queue_depth.set(self.injector.len() as f64);
+        }
+        if *self.sleep.lock() > 0 {
+            self.wake.notify_one();
+        }
+    }
+
+    /// Called on `blocking` entry with `blocked` already incremented: spawn a
+    /// spare if the runnable head-count dropped below the base pool size.
+    fn compensate(self: &Arc<Self>, cap: &mut Cap) {
+        if cap.live - cap.blocked < self.base && !self.shutdown.load(Ordering::Acquire) {
+            cap.live += 1;
+            cap.spares += 1;
+            self.spare_spawns.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &self.obs {
+                o.spare_spawns.inc();
+                o.spares.set(cap.spares as f64);
+            }
+            let handle = spawn_worker(self, cap.live, true);
+            self.threads.lock().push(handle);
+        }
+    }
+}
+
+fn spawn_worker(inner: &Arc<Inner>, index: usize, spare: bool) -> JoinHandle<()> {
+    let inner = Arc::clone(inner);
+    let kind = if spare { "s" } else { "w" };
+    std::thread::Builder::new()
+        .name(format!("jsym-exec-{kind}{index}"))
+        .spawn(move || worker_loop(&inner, spare))
+        .expect("spawn executor worker")
+}
+
+fn worker_loop(inner: &Arc<Inner>, spare: bool) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(inner)));
+    let local = Arc::new(JobQueue::default());
+    inner.locals.write().push(Arc::clone(&local));
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        if spare {
+            // Spares retire once nothing is blocked: the base pool is then
+            // whole and keeping extra threads would creep per blocked burst.
+            let mut cap = inner.cap.lock();
+            if cap.blocked == 0 && cap.live > inner.base {
+                cap.live -= 1;
+                cap.spares -= 1;
+                if let Some(o) = &inner.obs {
+                    o.spares.set(cap.spares as f64);
+                }
+                drop(cap);
+                while let Some(job) = local.pop_front() {
+                    inner.injector.push_back(job);
+                }
+                break;
+            }
+        }
+        match find_job(inner, &local) {
+            Some(job) => job(),
+            None => park(inner),
+        }
+    }
+    // Push any batch-grabbed leftovers back so a shutdown racing a grab does
+    // not strand them invisibly (they are cleared with the injector anyway).
+    while let Some(job) = local.pop_front() {
+        inner.injector.push_back(job);
+    }
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    let mut locals = inner.locals.write();
+    locals.retain(|q| !Arc::ptr_eq(q, &local));
+}
+
+fn find_job(inner: &Arc<Inner>, local: &Arc<JobQueue>) -> Option<Job> {
+    if let Some(job) = local.pop_front() {
+        return Some(job);
+    }
+    // Pull a small batch from the injector so hot bursts amortise lock trips
+    // but idle workers still find stealable leftovers.
+    if let Some(job) = inner.injector.grab_batch(local, 4) {
+        return Some(job);
+    }
+    let locals = inner.locals.read();
+    for q in locals.iter() {
+        if Arc::ptr_eq(q, local) {
+            continue;
+        }
+        if let Some(job) = q.steal_back() {
+            inner.steals.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &inner.obs {
+                o.steals.inc();
+            }
+            return Some(job);
+        }
+    }
+    None
+}
+
+fn park(inner: &Arc<Inner>) {
+    let mut sleepers = inner.sleep.lock();
+    // Re-check under the sleepers lock: a spawn that missed our registration
+    // would otherwise strand its job until the timeout below.
+    if !inner.injector.is_empty() || inner.shutdown.load(Ordering::Acquire) {
+        return;
+    }
+    *sleepers += 1;
+    inner.parks.fetch_add(1, Ordering::Relaxed);
+    if let Some(o) = &inner.obs {
+        o.parks.inc();
+        o.queue_depth.set(0.0);
+    }
+    // The timeout doubles as the steal-retry cadence: work sitting in another
+    // worker's local queue is invisible to the injector check above.
+    inner.wake.wait_for(&mut sleepers, Duration::from_millis(1));
+    *sleepers -= 1;
+}
+
+fn timer_loop(inner: &Arc<Inner>) {
+    loop {
+        let mut st = inner.timer.lock();
+        if st.shutdown {
+            return;
+        }
+        match st.heap.peek().map(|e| e.at) {
+            None => {
+                inner.timer_wake.wait(&mut st);
+            }
+            Some(at) => {
+                let now = Instant::now();
+                if at <= now {
+                    let entry = st.heap.pop().expect("peeked entry");
+                    drop(st);
+                    inner.spawn(entry.job);
+                } else {
+                    inner.timer_wake.wait_until(&mut st, at);
+                }
+            }
+        }
+    }
+}
+
+/// Run `f`, booking the current executor worker (if any) as blocked so the
+/// pool spawns a spare when its runnable head-count would drop below base.
+/// On a non-executor thread this is just `f()`.
+///
+/// Wrap any wait whose completion depends on other executor tasks running:
+/// synchronous call waits, result-handle gets, contended object locks. Also
+/// used for long simulated compute sleeps so they don't serialise the pool.
+pub fn blocking<T>(f: impl FnOnce() -> T) -> T {
+    let Some(inner) = CURRENT.with(|c| c.borrow().clone()) else {
+        return f();
+    };
+    {
+        let mut cap = inner.cap.lock();
+        cap.blocked += 1;
+        if let Some(o) = &inner.obs {
+            o.blocked.set(cap.blocked as f64);
+        }
+        inner.compensate(&mut cap);
+    }
+    let out = f();
+    {
+        let mut cap = inner.cap.lock();
+        cap.blocked -= 1;
+        if let Some(o) = &inner.obs {
+            o.blocked.set(cap.blocked as f64);
+        }
+    }
+    out
+}
+
+/// True when the calling thread is an executor worker (so runtime code can
+/// pick cooperative yields over unbounded drains).
+pub fn on_executor() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_spawned_jobs() {
+        let ex = Executor::new(2);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..100 {
+            let tx = tx.clone();
+            ex.spawn(Box::new(move || {
+                let _ = tx.send(i);
+            }));
+        }
+        let mut got: Vec<i32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        ex.shutdown();
+    }
+
+    #[test]
+    fn spawn_at_orders_by_deadline_then_submission() {
+        let ex = Executor::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let base = Instant::now() + Duration::from_millis(50);
+        // Submit out of deadline order; equal deadlines keep submission order.
+        for (tag, off) in [("c", 20u64), ("a", 0), ("b", 10), ("a2", 0)] {
+            let order = Arc::clone(&order);
+            ex.spawn_at(
+                base + Duration::from_millis(off),
+                Box::new(move || order.lock().push(tag)),
+            );
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while order.lock().len() < 4 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(*order.lock(), vec!["a", "a2", "b", "c"]);
+        ex.shutdown();
+    }
+
+    #[test]
+    fn blocking_compensation_prevents_starvation() {
+        // One worker; the first job blocks until the second job (which can
+        // only run on a compensation spare) releases it.
+        let ex = Executor::new(1);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (done_tx, done_rx) = mpsc::channel::<&str>();
+        {
+            let done = done_tx.clone();
+            ex.spawn(Box::new(move || {
+                blocking(|| release_rx.recv().unwrap());
+                let _ = done.send("blocked-job");
+            }));
+        }
+        // Give the first job time to occupy the only base worker.
+        std::thread::sleep(Duration::from_millis(50));
+        ex.spawn(Box::new(move || {
+            release_tx.send(()).unwrap();
+            let _ = done_tx.send("releaser");
+        }));
+        let mut got = vec![
+            done_rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            done_rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+        ];
+        got.sort_unstable();
+        assert_eq!(got, vec!["blocked-job", "releaser"]);
+        assert!(ex.stats().spare_spawns >= 1);
+        ex.shutdown();
+    }
+
+    #[test]
+    fn deep_nested_blocking_chain_completes_on_tiny_pool() {
+        // Each level parks its worker until the next level (a fresh task)
+        // signals back — a depth-64 chain on a 2-thread pool deadlocks
+        // without compensation.
+        let ex = Executor::new(2);
+        fn level(ex: Arc<Executor>, depth: usize, done: mpsc::Sender<()>) {
+            if depth == 0 {
+                let _ = done.send(());
+                return;
+            }
+            let (tx, rx) = mpsc::channel::<()>();
+            {
+                let ex2 = Arc::clone(&ex);
+                ex.spawn(Box::new(move || {
+                    level(ex2, depth - 1, done);
+                    let _ = tx.send(());
+                }));
+            }
+            blocking(|| rx.recv().unwrap());
+        }
+        let (done_tx, done_rx) = mpsc::channel();
+        let ex2 = Arc::clone(&ex);
+        ex.spawn(Box::new(move || level(ex2, 64, done_tx)));
+        done_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("nested chain should complete");
+        ex.shutdown();
+    }
+
+    #[test]
+    fn spares_retire_after_blocking_clears() {
+        let ex = Executor::new(1);
+        let (tx, rx) = mpsc::channel::<()>();
+        ex.spawn(Box::new(move || {
+            blocking(|| rx.recv().unwrap());
+        }));
+        std::thread::sleep(Duration::from_millis(50));
+        // Force compensation by keeping the base worker blocked while more
+        // work flows through spares.
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let c = Arc::clone(&counter);
+            ex.spawn(Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while counter.load(Ordering::SeqCst) < 8 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        tx.send(()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while ex.stats().spares > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(ex.stats().spares, 0, "spares should retire");
+        ex.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drops_pending_and_is_idempotent() {
+        let ex = Executor::new(2);
+        let ran = Arc::new(AtomicUsize::new(0));
+        ex.shutdown();
+        let r = Arc::clone(&ran);
+        ex.spawn(Box::new(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        }));
+        ex.spawn_at(
+            Instant::now(),
+            Box::new(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        ex.shutdown();
+        assert_eq!(ex.stats().queue_depth, 0);
+        assert_eq!(ex.stats().timer_pending, 0);
+    }
+
+    #[test]
+    fn blocking_outside_executor_is_passthrough() {
+        assert_eq!(blocking(|| 41 + 1), 42);
+        assert!(!on_executor());
+    }
+}

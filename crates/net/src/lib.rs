@@ -35,4 +35,5 @@ pub use id::NodeId;
 pub use link::{LinkClass, Topology};
 pub use message::{Batch, Envelope, Payload, BATCH_TAG};
 pub use network::{BatchConfig, LocalHook, Network, NetworkConfig, SendError};
+pub use queue::SpawnAt;
 pub use stats::{EndpointStatsSnapshot, NetStats, NetStatsSnapshot};

@@ -70,6 +70,13 @@ pub struct NetworkConfig {
     /// Node-local traffic is never batched — the loopback plane keeps its
     /// own fast path.
     pub batching: Option<BatchConfig>,
+    /// Route *all* deliveries (not just node-local ones) through the
+    /// destination's [`Network::set_local_hook`] instead of its mailbox
+    /// channel. The executor runtime sets this: with no per-node receiver
+    /// threads, the hook is the only dispatcher, and it must be installed
+    /// *before* the node's endpoint registers so nothing lands in the unread
+    /// mailbox. Nodes without a hook fall back to the mailbox as before.
+    pub deliver_via_hook: bool,
 }
 
 impl Default for NetworkConfig {
@@ -80,6 +87,7 @@ impl Default for NetworkConfig {
             delivery_shards: 4,
             loopback_fast_path: true,
             batching: None,
+            deliver_via_hook: false,
         }
     }
 }
@@ -93,6 +101,12 @@ pub struct BatchConfig {
     /// Flush immediately once a batch's summed payload reaches this many
     /// bytes, without waiting out the window.
     pub max_bytes: usize,
+    /// Adapt the flush window per pair: an EWMA of the pair's inter-send
+    /// gaps sizes each batch's window to `2 × ewma`, clamped to
+    /// `[flush_window / 16, flush_window]`. Chatty pairs flush almost
+    /// immediately (they re-coalesce on the next burst anyway) while sparse
+    /// pairs keep the full window. `flush_window` becomes the ceiling.
+    pub adaptive: bool,
 }
 
 impl Default for BatchConfig {
@@ -100,6 +114,7 @@ impl Default for BatchConfig {
         BatchConfig {
             flush_window: 5e-4,
             max_bytes: 256 * 1024,
+            adaptive: false,
         }
     }
 }
@@ -180,6 +195,9 @@ struct Routing {
     faults: AtomicUsize,
     /// Inline delivery hooks for node-local traffic.
     local: RwLock<HashMap<NodeId, LocalEndpoint>>,
+    /// Mirror of [`NetworkConfig::deliver_via_hook`]: prefer the hook for
+    /// *all* destinations, not just node-local ones.
+    via_hook: bool,
     stats: NetStats,
     obs: ObsRegistry,
 }
@@ -255,11 +273,14 @@ impl Routing {
             self.drop_env(&env);
             return;
         }
-        if env.src == env.dst {
+        if env.src == env.dst || self.via_hook {
             // Queued node-local delivery: hand to the hook under the gate so
             // it serializes with any in-progress inline delivery. Never via
             // the mailbox — the hook keeps "delivered" and "dispatched"
             // synonymous, which the fast path's queued==0 check relies on.
+            // In hook-routed mode (the executor runtime) remote traffic
+            // takes this path too; a destination without a hook falls
+            // through to the mailbox below.
             let ep = self.local.read().get(&env.dst).cloned();
             if let Some(ep) = ep {
                 let (dst, bytes) = (env.dst, env.payload.wire_bytes());
@@ -343,15 +364,64 @@ struct BatchStage {
     pending: parking_lot::Mutex<HashMap<(NodeId, NodeId), PendingBatch>>,
     epochs: AtomicU64,
     config: BatchConfig,
+    /// Per-pair inter-send gap EWMA (virtual seconds), driving the adaptive
+    /// flush window (see [`BatchConfig::adaptive`]). Locked alone, before
+    /// any other stage lock.
+    gaps: parking_lot::Mutex<HashMap<(NodeId, NodeId), GapEwma>>,
 }
 
+/// Inter-send gap tracker for one directed pair.
+struct GapEwma {
+    /// Virtual time of the pair's previous send.
+    last_send: f64,
+    /// Exponentially-weighted moving average of inter-send gaps.
+    ewma: f64,
+}
+
+/// EWMA smoothing factor: each new gap contributes 20%.
+const GAP_ALPHA: f64 = 0.2;
+
 impl BatchStage {
+    /// Observes one send on `pair` at virtual time `now` and returns the
+    /// flush window a batch opened by it should wait: `2 × ewma` of the
+    /// pair's inter-send gaps, clamped to `[flush_window/16, flush_window]`.
+    /// A pair's first send (no gap yet) gets the full window.
+    fn adaptive_window(&self, pair: (NodeId, NodeId), now: f64) -> f64 {
+        let full = self.config.flush_window;
+        let mut gaps = self.gaps.lock();
+        match gaps.get_mut(&pair) {
+            Some(g) => {
+                let gap = (now - g.last_send).max(0.0);
+                g.ewma = (1.0 - GAP_ALPHA) * g.ewma + GAP_ALPHA * gap;
+                g.last_send = now;
+                (2.0 * g.ewma).clamp(full / 16.0, full)
+            }
+            None => {
+                gaps.insert(
+                    pair,
+                    GapEwma {
+                        last_send: now,
+                        ewma: full / 2.0,
+                    },
+                );
+                full
+            }
+        }
+    }
+
     /// Parks `env` on its pair's open batch, opening one (plus its flush
     /// timer) if none is open and flushing eagerly on `max_bytes` overflow.
     fn enqueue(&self, env: Envelope) {
         let pair = (env.src, env.dst);
         let bytes = env.payload.wire_bytes();
         let obs_on = self.routing.obs.is_enabled();
+        // The gap EWMA is fed by every send of the pair, coalesced followers
+        // included; only batch-opening sends read the window back.
+        let window = if self.config.adaptive {
+            self.adaptive_window(pair, self.clock.now())
+        } else {
+            self.config.flush_window
+        };
         let mut pending = self.pending.lock();
         match pending.remove(&pair) {
             Some(mut batch) => {
@@ -390,7 +460,7 @@ impl BatchStage {
                         epoch,
                     },
                 );
-                let due = self.clock.real_deadline(now + self.config.flush_window);
+                let due = self.clock.real_deadline(now + window);
                 if let Some(q) = self.queue.get() {
                     q.push(
                         due,
@@ -546,12 +616,27 @@ impl Network {
         config: NetworkConfig,
         obs: ObsRegistry,
     ) -> Self {
+        Self::with_obs_and_spawner(clock, topo, config, obs, None)
+    }
+
+    /// Creates a network whose delivery plane runs as externally scheduled
+    /// tasks instead of dedicated shard threads, when `spawner` is provided
+    /// (see [`crate::SpawnAt`]; used by the executor runtime). With
+    /// `spawner: None` this is exactly [`Network::with_obs`].
+    pub fn with_obs_and_spawner(
+        clock: SimClock,
+        topo: Topology,
+        config: NetworkConfig,
+        obs: ObsRegistry,
+        spawner: Option<crate::SpawnAt>,
+    ) -> Self {
         let routing = Arc::new(Routing {
             endpoints: RwLock::new(HashMap::new()),
             dead: RwLock::new(HashSet::new()),
             partitions: RwLock::new(HashSet::new()),
             faults: AtomicUsize::new(0),
             local: RwLock::new(HashMap::new()),
+            via_hook: config.deliver_via_hook,
             stats: NetStats::default(),
             obs,
         });
@@ -572,36 +657,38 @@ impl Network {
                 pending: parking_lot::Mutex::new(HashMap::new()),
                 epochs: AtomicU64::new(0),
                 config: bc,
+                gaps: parking_lot::Mutex::new(HashMap::new()),
             })
         });
         let deliver_routing = Arc::clone(&routing);
         let deliver_pairs = Arc::clone(&pair_last);
         let flush_stage = batching.clone();
-        let queue = Arc::new(DelayQueue::start(
-            config.delivery_shards,
-            Arc::new(move |env: Envelope| {
-                // Batch-flush timers never reach an endpoint; they re-enter
-                // the coalescing stage, which schedules the batch proper.
-                if env.payload.tag() == FLUSH_TAG {
-                    if let (Some(stage), Some(tok)) =
-                        (&flush_stage, env.payload.downcast_ref::<FlushToken>())
-                    {
-                        stage.flush_due((env.src, env.dst), tok.epoch);
-                    }
-                    return;
+        let deliver: crate::queue::DeliverFn = Arc::new(move |env: Envelope| {
+            // Batch-flush timers never reach an endpoint; they re-enter
+            // the coalescing stage, which schedules the batch proper.
+            if env.payload.tag() == FLUSH_TAG {
+                if let (Some(stage), Some(tok)) =
+                    (&flush_stage, env.payload.downcast_ref::<FlushToken>())
+                {
+                    stage.flush_due((env.src, env.dst), tok.epoch);
                 }
-                // The queued count underpins the fast path's FIFO guarantee:
-                // decrement only after deliver() returns, i.e. after a local
-                // hook has fully dispatched the message.
-                let local_key = (env.src == env.dst).then_some((env.src, env.dst));
-                deliver_routing.deliver(env);
-                if let Some(key) = local_key {
-                    if let Some(st) = deliver_pairs.lock().get_mut(&key) {
-                        st.queued = st.queued.saturating_sub(1);
-                    }
+                return;
+            }
+            // The queued count underpins the fast path's FIFO guarantee:
+            // decrement only after deliver() returns, i.e. after a local
+            // hook has fully dispatched the message.
+            let local_key = (env.src == env.dst).then_some((env.src, env.dst));
+            deliver_routing.deliver(env);
+            if let Some(key) = local_key {
+                if let Some(st) = deliver_pairs.lock().get_mut(&key) {
+                    st.queued = st.queued.saturating_sub(1);
                 }
-            }),
-        ));
+            }
+        });
+        let queue = Arc::new(match spawner {
+            Some(sp) => DelayQueue::start_tasked(config.delivery_shards, sp, deliver),
+            None => DelayQueue::start(config.delivery_shards, deliver),
+        });
         if let Some(stage) = &batching {
             let _ = stage.queue.set(Arc::clone(&queue));
         }
@@ -1463,12 +1550,105 @@ mod batched_tests {
     }
 
     #[test]
+    fn adaptive_window_tracks_pair_gaps() {
+        let net = batched_net(
+            BatchConfig {
+                flush_window: 1.0,
+                max_bytes: 1 << 20,
+                adaptive: true,
+            },
+            jsym_obs::ObsRegistry::disabled(),
+        );
+        let stage = net.batching.as_ref().expect("batching on");
+        let chatty = (NodeId(0), NodeId(1));
+        let sparse = (NodeId(0), NodeId(2));
+        // First send of a pair gets the full window.
+        assert_eq!(stage.adaptive_window(chatty, 0.0), 1.0);
+        // A chatty pair (1 ms gaps) converges onto the floor, window/16.
+        let mut t = 0.0;
+        let mut w = 1.0;
+        for _ in 0..60 {
+            t += 1e-3;
+            w = stage.adaptive_window(chatty, t);
+        }
+        assert!((w - 1.0 / 16.0).abs() < 1e-9, "chatty window {w}");
+        // A sparse pair (10 s gaps) keeps the full-window ceiling.
+        assert_eq!(stage.adaptive_window(sparse, 0.0), 1.0);
+        assert_eq!(stage.adaptive_window(sparse, 10.0), 1.0);
+        assert_eq!(stage.adaptive_window(sparse, 20.0), 1.0);
+    }
+
+    #[test]
+    fn adaptive_batching_preserves_member_order() {
+        let net = batched_net(
+            BatchConfig {
+                // ~500 µs real at this scale.
+                flush_window: 50.0,
+                max_bytes: 1 << 20,
+                adaptive: true,
+            },
+            jsym_obs::ObsRegistry::disabled(),
+        );
+        let _a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        for i in 0u32..16 {
+            net.send(NodeId(0), NodeId(1), Payload::new("m", 64, i))
+                .unwrap();
+        }
+        let mut got = Vec::new();
+        while got.len() < 16 {
+            let env = b.recv_timeout(Duration::from_secs(5)).expect("delivered");
+            got.push(*env.payload.downcast::<u32>().unwrap());
+        }
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hook_routed_mode_delivers_remote_traffic_via_hook() {
+        let mut topo = Topology::new();
+        topo.set_default_class(LinkClass::Lan100);
+        let net = Network::with_obs(
+            SimClock::new(TimeScale::new(1e-5)),
+            topo,
+            NetworkConfig {
+                deliver_via_hook: true,
+                ..NetworkConfig::default()
+            },
+            jsym_obs::ObsRegistry::disabled(),
+        );
+        let got: Arc<parking_lot::Mutex<Vec<u32>>> = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&got);
+        // Hook first, then register: the executor runtime's ordering.
+        net.set_local_hook(
+            NodeId(1),
+            Arc::new(move |env: Envelope| {
+                sink.lock().push(*env.payload.downcast::<u32>().unwrap());
+            }),
+        );
+        let mailbox = net.register(NodeId(1));
+        let _src = net.register(NodeId(0));
+        for i in 0u32..8 {
+            net.send(NodeId(0), NodeId(1), Payload::new("m", 64, i))
+                .unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while got.lock().len() < 8 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(*got.lock(), (0..8).collect::<Vec<_>>());
+        // Nothing may have landed in the mailbox channel.
+        assert!(mailbox.try_recv().is_err());
+        assert_eq!(net.stats().msgs_delivered, 8);
+    }
+
+    #[test]
     fn coalesced_batch_delivers_members_individually_in_order() {
         let obs = jsym_obs::ObsRegistry::new();
         let net = batched_net(
             BatchConfig {
                 flush_window: 50.0,
                 max_bytes: 1 << 20,
+                adaptive: false,
             },
             obs.clone(),
         );
@@ -1507,6 +1687,7 @@ mod batched_tests {
             BatchConfig {
                 flush_window: 1e9,
                 max_bytes: 256,
+                adaptive: false,
             },
             obs.clone(),
         );
@@ -1533,6 +1714,7 @@ mod batched_tests {
             BatchConfig {
                 flush_window: 1e9,
                 max_bytes: 256,
+                adaptive: false,
             },
             jsym_obs::ObsRegistry::disabled(),
         );
@@ -1551,6 +1733,7 @@ mod batched_tests {
                 // ~200 µs real at this scale.
                 flush_window: 20.0,
                 max_bytes: 1 << 20,
+                adaptive: false,
             },
             jsym_obs::ObsRegistry::disabled(),
         );
@@ -1619,6 +1802,7 @@ mod batched_tests {
             run(Some(BatchConfig {
                 flush_window: 50.0,
                 max_bytes: 1 << 20,
+                adaptive: false,
             })),
             run(None)
         );
@@ -1631,6 +1815,7 @@ mod batched_tests {
                 // ~1 ms real: long enough to kill the node first.
                 flush_window: 100.0,
                 max_bytes: 1 << 20,
+                adaptive: false,
             },
             jsym_obs::ObsRegistry::disabled(),
         );

@@ -8,17 +8,36 @@
 //! lock, while everything bound for one node — in particular every
 //! (src, dst) pair — still funnels through a single shard and keeps its
 //! deterministic (due, seq) order.
+//!
+//! The plane has two implementations behind one handle:
+//!
+//! * **Threaded** ([`DelayQueue::start`]): one OS thread per shard, parked
+//!   on a condvar until the next deadline. The legacy default.
+//! * **Tasked** ([`DelayQueue::start_tasked`]): no threads of its own.
+//!   Each shard keeps the same `(due, seq)` heap, but wake-ups are armed on
+//!   an external scheduler via a [`SpawnAt`] closure (in practice the
+//!   `jsym-exec` work-stealing executor) and the heap is drained by
+//!   cooperatively-yielding tasks. At most one drain task runs per shard at
+//!   a time (a `draining` flag claimed under the shard lock), so per-shard
+//!   delivery order is identical to the threaded plane.
 
 use crate::{Envelope, NodeId};
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Delivery callback: gets the ready message. Shared across shard threads.
 pub(crate) type DeliverFn = Arc<dyn Fn(Envelope) + Send + Sync>;
+
+/// External deadline scheduler: `spawner(at, job)` must run `job` once, at
+/// (not before) real-time `at`, off the caller's thread. Jobs armed for
+/// equal instants must run in arming order. Provided by the embedding
+/// runtime so `jsym-net` needs no dependency on the executor crate.
+pub type SpawnAt = Arc<dyn Fn(Instant, Box<dyn FnOnce() + Send + 'static>) + Send + Sync>;
 
 struct Scheduled {
     due: Instant,
@@ -66,10 +85,40 @@ struct Shard {
     handle: Mutex<Option<JoinHandle<()>>>,
 }
 
+/// One tasked shard: the heap plus drain/arm bookkeeping.
+#[derive(Default)]
+struct TaskedState {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    /// A drain task currently owns this shard. While set, pushes never arm
+    /// a wake-up: the drainer re-peeks under the lock before exiting and
+    /// arms for whatever head it leaves behind.
+    draining: bool,
+    /// Earliest instant a wake-up is armed for, if any. Stale (later) armed
+    /// tasks may exist; they find nothing due and are no-ops.
+    armed: Option<Instant>,
+}
+
+struct TaskedInner {
+    shards: Vec<Mutex<TaskedState>>,
+    spawner: SpawnAt,
+    deliver: DeliverFn,
+    shutdown: AtomicBool,
+}
+
+/// Deliveries one drain task performs before re-scheduling itself, so a
+/// shard under sustained load cannot monopolise an executor worker.
+const DRAIN_BUDGET: usize = 256;
+
+enum Plane {
+    Threaded(Vec<Shard>),
+    Tasked(Arc<TaskedInner>),
+}
+
 /// Handle to the delivery plane. Dropping it stops the threads; pending
 /// messages are discarded (matching a network that disappears).
 pub(crate) struct DelayQueue {
-    shards: Vec<Shard>,
+    plane: Plane,
 }
 
 /// Picks the shard for a destination. All traffic to one node — and hence
@@ -101,21 +150,71 @@ impl DelayQueue {
                 }
             })
             .collect();
-        DelayQueue { shards }
+        DelayQueue {
+            plane: Plane::Threaded(shards),
+        }
+    }
+
+    /// Builds a tasked plane: same shard count and ordering guarantees as
+    /// [`DelayQueue::start`], but wake-ups run as `spawner` jobs instead of
+    /// on dedicated threads.
+    pub(crate) fn start_tasked(shards: usize, spawner: SpawnAt, deliver: DeliverFn) -> Self {
+        let shards = shards.max(1);
+        DelayQueue {
+            plane: Plane::Tasked(Arc::new(TaskedInner {
+                shards: (0..shards)
+                    .map(|_| Mutex::new(TaskedState::default()))
+                    .collect(),
+                spawner,
+                deliver,
+                shutdown: AtomicBool::new(false),
+            })),
+        }
     }
 
     /// Schedules `env` for delivery at real time `due` on the shard owning
     /// its destination node.
     pub(crate) fn push(&self, due: Instant, env: Envelope) {
-        let shard = &self.shards[shard_index(env.dst, self.shards.len())];
-        let mut state = shard.inner.state.lock();
-        if state.shutdown {
-            return;
+        match &self.plane {
+            Plane::Threaded(shards) => {
+                let shard = &shards[shard_index(env.dst, shards.len())];
+                let mut state = shard.inner.state.lock();
+                if state.shutdown {
+                    return;
+                }
+                let seq = state.next_seq;
+                state.next_seq += 1;
+                state.heap.push(Scheduled { due, seq, env });
+                shard.inner.cond.notify_one();
+            }
+            Plane::Tasked(inner) => {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let idx = shard_index(env.dst, inner.shards.len());
+                let wake = {
+                    let mut st = inner.shards[idx].lock();
+                    let seq = st.next_seq;
+                    st.next_seq += 1;
+                    st.heap.push(Scheduled { due, seq, env });
+                    // Invariant: whenever `draining` is false and the heap is
+                    // non-empty, a wake-up is armed at or before the head's
+                    // deadline. A drainer owns the shard otherwise and arms
+                    // on exit.
+                    let wake = due.checked_sub(tasked_horizon()).unwrap_or(due);
+                    if !st.draining && st.armed.is_none_or(|a| wake < a) {
+                        st.armed = Some(wake);
+                        Some(wake)
+                    } else {
+                        None
+                    }
+                };
+                if let Some(at) = wake {
+                    let task_inner = Arc::clone(inner);
+                    (inner.spawner)(at, Box::new(move || drain_shard(&task_inner, idx)));
+                }
+            }
         }
-        let seq = state.next_seq;
-        state.next_seq += 1;
-        state.heap.push(Scheduled { due, seq, env });
-        shard.inner.cond.notify_one();
     }
 
     fn run(inner: Arc<ShardInner>, deliver: DeliverFn) {
@@ -158,19 +257,112 @@ impl DelayQueue {
     }
 
     pub(crate) fn shutdown(&self) {
-        for shard in &self.shards {
-            {
-                let mut state = shard.inner.state.lock();
-                state.shutdown = true;
-                state.heap.clear();
+        match &self.plane {
+            Plane::Threaded(shards) => {
+                for shard in shards {
+                    {
+                        let mut state = shard.inner.state.lock();
+                        state.shutdown = true;
+                        state.heap.clear();
+                    }
+                    shard.inner.cond.notify_all();
+                }
+                // Join after flagging every shard so they wind down in parallel.
+                for shard in shards {
+                    if let Some(h) = shard.handle.lock().take() {
+                        let _ = h.join();
+                    }
+                }
             }
-            shard.inner.cond.notify_all();
+            Plane::Tasked(inner) => {
+                inner.shutdown.store(true, Ordering::Release);
+                for shard in &inner.shards {
+                    let mut st = shard.lock();
+                    st.heap.clear();
+                    st.armed = None;
+                }
+                // Armed wake-ups still held by the external scheduler fire
+                // into `drain_shard`, see the shutdown flag, and no-op.
+            }
         }
-        // Join after flagging every shard so they wind down in parallel.
-        for shard in &self.shards {
-            if let Some(h) = shard.handle.lock().take() {
-                let _ = h.join();
+    }
+}
+
+/// Same near-future horizon as the threaded plane: wake-ups are armed this
+/// much early and the drainer spin-sleeps the remainder, so tasked-mode
+/// deadlines are honoured with the same precision.
+fn tasked_horizon() -> Duration {
+    crate::clock::spin_window() + Duration::from_micros(100)
+}
+
+/// Body of a tasked-shard wake-up: claim the shard, deliver everything due
+/// (in `(due, seq)` order), then either re-arm for the next head or release.
+/// Yields back to the scheduler after [`DRAIN_BUDGET`] deliveries.
+fn drain_shard(inner: &Arc<TaskedInner>, idx: usize) {
+    enum Step {
+        Deliver(Envelope),
+        Spin(Instant),
+        Done,
+    }
+    {
+        let mut st = inner.shards[idx].lock();
+        if st.draining {
+            return; // an active drainer will see whatever we were armed for
+        }
+        st.draining = true;
+        st.armed = None;
+    }
+    let mut delivered = 0usize;
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            let mut st = inner.shards[idx].lock();
+            st.heap.clear();
+            st.draining = false;
+            return;
+        }
+        let step = {
+            let mut st = inner.shards[idx].lock();
+            let now = Instant::now();
+            match st.heap.peek() {
+                None => {
+                    st.draining = false;
+                    Step::Done
+                }
+                Some(s) if s.due <= now => Step::Deliver(st.heap.pop().expect("peeked").env),
+                Some(s) if s.due - now <= tasked_horizon() => Step::Spin(s.due),
+                Some(s) => {
+                    // Future head: hand the shard back and arm a fresh
+                    // wake-up (the one that ran us was consumed above).
+                    let wake = s.due.checked_sub(tasked_horizon()).unwrap_or(s.due);
+                    st.draining = false;
+                    st.armed = Some(wake);
+                    drop(st);
+                    let task_inner = Arc::clone(inner);
+                    (inner.spawner)(wake, Box::new(move || drain_shard(&task_inner, idx)));
+                    return;
+                }
             }
+        };
+        match step {
+            Step::Deliver(env) => {
+                (inner.deliver)(env);
+                delivered += 1;
+                if delivered >= DRAIN_BUDGET {
+                    // Cooperative yield: release the shard and reschedule
+                    // immediately so other tasks get a worker.
+                    let now = Instant::now();
+                    {
+                        let mut st = inner.shards[idx].lock();
+                        st.draining = false;
+                        st.armed = Some(now);
+                    }
+                    let task_inner = Arc::clone(inner);
+                    (inner.spawner)(now, Box::new(move || drain_shard(&task_inner, idx)));
+                    return;
+                }
+            }
+            Step::Spin(due) => crate::clock::sleep_until(due),
+            Step::Done => return,
         }
     }
 }
@@ -282,6 +474,82 @@ mod tests {
         let q = DelayQueue::start(2, Arc::new(|_| {}));
         q.shutdown();
         q.push(Instant::now(), env(1)); // must not panic or hang
+    }
+
+    /// A toy [`SpawnAt`]: one thread per armed job, sleeping to the
+    /// deadline. Good enough to exercise the tasked plane's protocol.
+    fn thread_spawner() -> SpawnAt {
+        Arc::new(|at: Instant, job: Box<dyn FnOnce() + Send + 'static>| {
+            std::thread::spawn(move || {
+                let now = Instant::now();
+                if at > now {
+                    std::thread::sleep(at - now);
+                }
+                job();
+            });
+        })
+    }
+
+    fn collecting_tasked(shards: usize) -> (DelayQueue, Arc<PlMutex<Vec<u32>>>) {
+        let got: Arc<PlMutex<Vec<u32>>> = Arc::new(PlMutex::new(Vec::new()));
+        let sink = Arc::clone(&got);
+        let q = DelayQueue::start_tasked(
+            shards,
+            thread_spawner(),
+            Arc::new(move |e: Envelope| {
+                sink.lock().push(*e.payload.downcast::<u32>().unwrap());
+            }),
+        );
+        (q, got)
+    }
+
+    #[test]
+    fn tasked_delivers_in_deadline_order() {
+        let (q, got) = collecting_tasked(1);
+        let now = Instant::now();
+        q.push(now + Duration::from_millis(30), env(3));
+        q.push(now + Duration::from_millis(10), env(1));
+        q.push(now + Duration::from_millis(20), env(2));
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(*got.lock(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn tasked_equal_deadlines_preserve_send_order() {
+        let (q, got) = collecting_tasked(4);
+        let due = Instant::now() + Duration::from_millis(15);
+        for i in 0..8 {
+            q.push(due, env_to(i, 6));
+        }
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(*got.lock(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tasked_shutdown_discards_pending_and_ignores_push() {
+        let (q, got) = collecting_tasked(2);
+        q.push(Instant::now() + Duration::from_secs(60), env(9));
+        q.shutdown();
+        q.push(Instant::now(), env(1)); // must not panic or deliver
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(got.lock().is_empty());
+    }
+
+    #[test]
+    fn tasked_drain_budget_yields_and_resumes() {
+        // More due-now messages than one drain budget: everything must still
+        // arrive, in order, across the yield boundary.
+        let (q, got) = collecting_tasked(1);
+        let due = Instant::now();
+        let n = (DRAIN_BUDGET * 2 + 10) as u32;
+        for i in 0..n {
+            q.push(due, env(i));
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while (got.lock().len() as u32) < n && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(*got.lock(), (0..n).collect::<Vec<_>>());
     }
 
     #[test]

@@ -132,6 +132,9 @@ pub enum Command {
     /// `batch` — RMI coalescing stage: configuration, flush counters by
     /// reason, mean batch size and modeled wire capacity freed.
     Batch,
+    /// `executor` — runtime scheduling mode: thread-per-node or the
+    /// work-stealing executor, with live worker/queue/blocked counters.
+    Executor,
     /// `metrics [json]` — observability registry: counters, gauges,
     /// histograms and per-endpoint traffic; `json` emits the machine-
     /// readable export instead.
@@ -390,6 +393,7 @@ impl Command {
             "stats" => Ok(Command::Stats),
             "directory" | "dir" => Ok(Command::Directory),
             "batch" => Ok(Command::Batch),
+            "executor" | "exec" => Ok(Command::Executor),
             "metrics" => match rest.as_slice() {
                 [] => Ok(Command::Metrics { json: false }),
                 ["json"] => Ok(Command::Metrics { json: true }),
@@ -438,6 +442,7 @@ commands:
   stats / objects / log [n]              counters / object table / events
   directory                              replicated-directory leader, term, replica lag
   batch                                  RMI coalescing-stage config and counters
+  executor                               scheduling mode and work-stealing pool counters
   metrics [json]                         observability metrics (summary or JSON)
   trace [name-prefix]                    recorded spans as a tree (e.g. `trace migrate`)
   quit";
@@ -456,6 +461,8 @@ mod tests {
         assert_eq!(Command::parse("directory").unwrap(), Command::Directory);
         assert_eq!(Command::parse("dir").unwrap(), Command::Directory);
         assert_eq!(Command::parse("batch").unwrap(), Command::Batch);
+        assert_eq!(Command::parse("executor").unwrap(), Command::Executor);
+        assert_eq!(Command::parse("exec").unwrap(), Command::Executor);
     }
 
     #[test]

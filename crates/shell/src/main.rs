@@ -1,13 +1,15 @@
 //! The `jsym-shell` REPL: administer a simulated JavaSymphony deployment.
 //!
 //! ```text
-//! jsym-shell [nodes] [day|night|dedicated] [time-scale] [--batch]
+//! jsym-shell [nodes] [day|night|dedicated] [time-scale] [--batch] [--executor N]
 //! ```
 //!
 //! Boots the CLUSTER 2000 testbed (first `nodes` machines, default 6) under
 //! the chosen load regime and reads commands from stdin; `help` lists them.
 //! `--batch` arms the send-side RMI coalescing stage (fig5's defaults), so
-//! the `batch` command has live counters to show.
+//! the `batch` command has live counters to show. `--executor N` runs the
+//! deployment on an N-worker work-stealing executor instead of the
+//! thread-per-node runtime; the `executor` command shows its counters.
 
 use jsym_cluster::catalog::{testbed_machines, LoadKind};
 use jsym_cluster::jacobi::register_jacobi_classes;
@@ -22,6 +24,15 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let batching = args.iter().any(|a| a == "--batch");
     args.retain(|a| a != "--batch");
+    let executor: usize = args
+        .iter()
+        .position(|a| a == "--executor")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    if let Some(i) = args.iter().position(|a| a == "--executor") {
+        args.drain(i..(i + 2).min(args.len()));
+    }
     let nodes: usize = args
         .first()
         .and_then(|s| s.parse().ok())
@@ -42,6 +53,9 @@ fn main() {
     if batching {
         shell = shell.rmi_batching(5e-4, 256 * 1024);
     }
+    if executor > 0 {
+        shell = shell.executor(executor);
+    }
     let deployment = shell.boot();
     register_test_classes(&deployment);
     register_matmul_classes(&deployment);
@@ -49,9 +63,14 @@ fn main() {
     register_jacobi_classes(&deployment);
 
     println!(
-        "jsym-shell: {nodes} testbed machines under {} load (1 virtual s = {scale} real s{})",
+        "jsym-shell: {nodes} testbed machines under {} load (1 virtual s = {scale} real s{}{})",
         load.label(),
-        if batching { ", RMI batching on" } else { "" }
+        if batching { ", RMI batching on" } else { "" },
+        if executor > 0 {
+            format!(", {executor}-worker executor")
+        } else {
+            String::new()
+        }
     );
     println!("classes: Counter, Blob (blob.jar), Matrix, Stage, JacobiWorker; `help` for commands");
 

@@ -461,6 +461,30 @@ impl ShellSession {
                 let _ = writeln!(out, "open batches now: {open:.0}");
                 Ok(out)
             }
+            Command::Executor => {
+                let threads = self.deployment.executor_threads();
+                if threads == 0 {
+                    return Ok(
+                        "runtime: thread-per-node (boot with JsShell::executor(n) for the \
+                         work-stealing executor)"
+                            .to_owned(),
+                    );
+                }
+                let mut out = format!("runtime: work-stealing executor, {threads} workers\n");
+                if let Some(s) = self.deployment.exec_stats() {
+                    let _ = writeln!(
+                        out,
+                        "queue depth {}, blocked {}, spares {}, timers pending {}",
+                        s.queue_depth, s.blocked, s.spares, s.timer_pending
+                    );
+                    let _ = writeln!(
+                        out,
+                        "steals {}, parks {}, spare spawns {}",
+                        s.steals, s.parks, s.spare_spawns
+                    );
+                }
+                Ok(out)
+            }
             Command::Metrics { json } => {
                 if json {
                     return Ok(self.deployment.obs().to_json());
@@ -741,6 +765,26 @@ mod obs_tests {
             })
             .unwrap();
         assert!(followers > 0, "{out}");
+    }
+
+    #[test]
+    fn executor_command_reports_mode_and_counters() {
+        // Threaded deployment: reports the mode and how to switch.
+        let d = shell_with_idle_machines(2).boot();
+        register_test_classes(&d);
+        let mut s = ShellSession::new(d).unwrap();
+        let out = s.run_line("executor");
+        assert!(out.contains("thread-per-node"), "{out}");
+        // Executor deployment: reports worker count and live counters.
+        let d = shell_with_idle_machines(2).executor(2).boot();
+        register_test_classes(&d);
+        let mut s = ShellSession::new(d).unwrap();
+        s.run_line("create Counter m1");
+        s.run_line("invoke c1 add 1");
+        let out = s.run_line("exec");
+        assert!(out.contains("work-stealing executor, 2 workers"), "{out}");
+        assert!(out.contains("queue depth"), "{out}");
+        assert!(out.contains("steals"), "{out}");
     }
 
     #[test]
