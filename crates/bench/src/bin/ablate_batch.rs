@@ -129,6 +129,7 @@ fn main() {
                     flush_window: w,
                     max_bytes: s,
                     adaptive: false,
+                    compression: 1.0,
                 }));
             }
         }
@@ -140,6 +141,7 @@ fn main() {
                 flush_window: w,
                 max_bytes: s,
                 adaptive: true,
+                compression: 1.0,
             }));
         }
     }

@@ -13,9 +13,13 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
-/// Supervisor loop: wakes every `period` virtual seconds, finds nodes whose
-/// creation constraints no longer hold, and migrates affected objects to the
-/// nearest (cluster → site → domain) machine that satisfies them.
+/// Supervisor loop: wakes every `period` virtual seconds and runs the
+/// enabled placement passes — constraint-violation automigration (finds
+/// nodes whose creation constraints no longer hold and migrates affected
+/// objects to the nearest cluster → site → domain machine that satisfies
+/// them) and affinity-guided co-location (migrates traffic-hot objects
+/// toward their dominant callers, DESIGN.md §14). The two toggles are
+/// independent.
 pub(crate) fn run(deployment: Weak<DeploymentInner>, period: f64) {
     loop {
         // Sleep one period in small real slices so shutdown stays prompt.
@@ -33,10 +37,13 @@ pub(crate) fn run(deployment: Weak<DeploymentInner>, period: f64) {
                 }
                 std::thread::sleep(Duration::from_millis(2));
             }
-            if !d.automigration.load(Ordering::Relaxed) {
-                continue;
+            let mut moved = 0;
+            if d.automigration.load(Ordering::Relaxed) {
+                moved += round(&d);
             }
-            let moved = round(&d);
+            if d.affinity_placement.load(Ordering::Relaxed) {
+                moved += affinity_round(&d);
+            }
             if moved > 0 {
                 d.events.record(
                     d.clock.now(),
@@ -45,6 +52,74 @@ pub(crate) fn run(deployment: Weak<DeploymentInner>, period: f64) {
             }
         }
     }
+}
+
+/// Objects one affinity round will migrate at most, so a sudden traffic
+/// shift cannot stall the supervisor in one huge migration storm.
+const AFFINITY_MOVES_PER_ROUND: usize = 32;
+
+/// One affinity co-location round: migrate each hot object to its dominant
+/// caller when that caller clearly dominates (`min_share`), the object is
+/// not inside its post-migration cooldown, and the target machine is alive
+/// and not markedly busier than the current host. Returns the number of
+/// objects migrated; exposed crate-internally so tests can drive rounds
+/// deterministically.
+pub(crate) fn affinity_round(d: &Arc<DeploymentInner>) -> usize {
+    d.affinity_rounds.fetch_add(1, Ordering::Relaxed);
+    d.obs.counter("affinity.rounds", None, "").inc();
+    let cfg = d.config.affinity;
+    let now = d.clock.now();
+    let hot = d.affinity.hot_objects(now, cfg.min_calls, cfg.cooldown);
+    if hot.is_empty() {
+        return 0;
+    }
+    let apps: Vec<_> = d.apps.read().values().cloned().collect();
+    let mut migrated = 0;
+    for h in hot {
+        if migrated >= AFFINITY_MOVES_PER_ROUND {
+            break;
+        }
+        // Hysteresis: only a clearly dominant caller justifies a move.
+        if h.share < cfg.min_share {
+            continue;
+        }
+        if d.vda.is_failed(h.dominant) {
+            continue;
+        }
+        let obj = crate::ids::ObjectId(h.object);
+        // Find the owning application and the object's current location.
+        let Some((app, loc)) = apps.iter().find_map(|a| a.location_of(obj).map(|l| (a, l))) else {
+            continue;
+        };
+        if loc == h.dominant {
+            continue;
+        }
+        // Load check: never migrate onto a machine markedly busier than
+        // the current host — co-location must not create hotspots.
+        let load = |n| {
+            d.pool
+                .snapshot_of(n)
+                .ok()
+                .and_then(|s| s.num(jsym_sysmon::SysParam::CpuLoad1))
+                .unwrap_or(0.0)
+        };
+        let Ok(target_snap) = d.pool.snapshot_of(h.dominant) else {
+            continue; // machine gone from the pool
+        };
+        let target_load = target_snap
+            .num(jsym_sysmon::SysParam::CpuLoad1)
+            .unwrap_or(0.0);
+        if target_load > load(loc) + 2.0 {
+            continue;
+        }
+        if app.migrate_object(obj, h.dominant).is_ok() {
+            d.affinity.note_migration(h.object, now);
+            d.affinity_migrations.fetch_add(1, Ordering::Relaxed);
+            d.obs.counter("affinity.migrations", None, "").inc();
+            migrated += 1;
+        }
+    }
+    migrated
 }
 
 /// One auto-migration round. Returns the number of objects migrated;

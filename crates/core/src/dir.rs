@@ -53,16 +53,21 @@ const RETRY_BACKOFF: f64 = 0.05;
 /// couple of ticks apart and elections several heartbeats out — the
 /// protocol's *shape* (heartbeats ≪ election timeout) is preserved at any
 /// scale, and all deadlines stay expressed in virtual time.
-fn scaled_config(scale: jsym_net::TimeScale) -> (f64, DirConfig) {
+fn scaled_config(scale: jsym_net::TimeScale, leases: bool) -> (f64, DirConfig) {
     let base = DirConfig::default();
     let tick = (base.heartbeat_interval / 5.0).max(scale.to_virt(Duration::from_micros(500)));
     let heartbeat = base.heartbeat_interval.max(2.0 * tick);
     let election = base.election_timeout.max(4.0 * heartbeat);
+    // Two heartbeats of lease: long enough that a healthy leader's rounds
+    // renew it continuously, and always < election_timeout (>= 4 heartbeats)
+    // as the lease safety argument requires (DESIGN.md §14).
+    let lease = if leases { 2.0 * heartbeat } else { 0.0 };
     (
         tick,
         DirConfig {
             heartbeat_interval: heartbeat,
             election_timeout: election,
+            lease_duration: lease,
             ..base
         },
     )
@@ -135,6 +140,8 @@ pub struct DirectoryStatus {
     pub heartbeat_interval: f64,
     /// Virtual seconds of leader silence before a re-election starts.
     pub election_timeout: f64,
+    /// Read-lease duration in virtual seconds (`0.0` = leases disabled).
+    pub lease_duration: f64,
 }
 
 /// One hosted directory replica plus the parked client requests it answers
@@ -154,10 +161,11 @@ impl DirHost {
         id: NodeId,
         replicas: &[NodeId],
         scale: jsym_net::TimeScale,
+        leases: bool,
         now: f64,
     ) -> Self {
         let ids: Vec<u32> = replicas.iter().map(|n| n.0).collect();
-        let (tick_period, config) = scaled_config(scale);
+        let (tick_period, config) = scaled_config(scale, leases);
         DirHost {
             replica: Mutex::new(DirReplica::new(id.0, &ids, config, now)),
             tick_period,
@@ -183,6 +191,7 @@ impl DirHost {
             roles: r.state().role_count(),
             heartbeat_interval: r.config().heartbeat_interval,
             election_timeout: r.config().election_timeout,
+            lease_duration: r.config().lease_duration,
         }
     }
 
@@ -302,7 +311,7 @@ impl DirHost {
                         replies.push((to, req, Err(JsError::DirRedirect { hint })));
                     }
                 }
-                DirEvent::ReadReady { seq } => {
+                DirEvent::ReadReady { seq, lease } => {
                     // Take the entry out in its own statement: an `if let`
                     // on `self.reads.lock()` would hold the reads guard for
                     // the whole body while it takes `self.replica.lock()`,
@@ -324,6 +333,14 @@ impl DirHost {
                             .obs
                             .counter("dir.reads", Some(shared.phys.0), "")
                             .inc();
+                        if lease {
+                            // Served from the leader lease: no heartbeat
+                            // round trip stood between request and answer.
+                            shared
+                                .obs
+                                .counter("dir.lease.local_reads", Some(shared.phys.0), "")
+                                .inc();
+                        }
                     }
                 }
                 DirEvent::ReadDropped { seq } => {

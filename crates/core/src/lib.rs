@@ -80,7 +80,7 @@ pub use ids::{AgentAddr, AgentKind, AppId, ObjectHandle, ObjectId};
 pub use jsobj::{JsObj, MigrateTarget, PlacedIn, Placement};
 pub use persist::ObjectStore;
 pub use registration::JsRegistration;
-pub use shell::{Deployment, JsShell, MachineConfig, NodeStats};
+pub use shell::{AffinityConfig, AffinityStats, Deployment, JsShell, MachineConfig, NodeStats};
 pub use statics::JsStaticRef;
 pub use value::{Args, Value};
 

@@ -96,6 +96,11 @@ pub(crate) struct NaState {
     pub declared_failed: Mutex<HashSet<NodeId>>,
     /// Monitoring rounds completed (for tests/benches).
     pub rounds: std::sync::atomic::AtomicU64,
+    /// Generation of the executor-mode monitor timer chain. Re-arming
+    /// (e.g. `set_monitor_period`) bumps this; a fired timer task whose
+    /// captured generation no longer matches is stale and dies instead of
+    /// running a duplicate round and re-arming a second chain.
+    pub timer_gen: std::sync::atomic::AtomicU64,
 }
 
 impl NaState {
@@ -111,6 +116,7 @@ impl NaState {
             last_heard: Mutex::new(HashMap::new()),
             declared_failed: Mutex::new(HashSet::new()),
             rounds: std::sync::atomic::AtomicU64::new(0),
+            timer_gen: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -157,15 +163,27 @@ pub(crate) fn run_na(shared: Arc<NodeShared>, vda: jsym_vda::VdaRegistry) {
 
 /// Executor-mode NA: instead of a dedicated thread sleeping in slices, each
 /// round is a timer task that runs `monitor_round` and re-arms itself one
-/// period ahead. The knob is re-read every round, so a JS-Shell period
-/// change takes effect from the next round on (an already-armed far-future
-/// deadline is not shortened — see DESIGN.md §13).
+/// period ahead. `set_monitor_period` re-arms immediately with the new
+/// period by bumping the chain's generation counter and starting a fresh
+/// chain; the superseded chain notices the stale generation when its timer
+/// fires and dies without running a duplicate round (DESIGN.md §13).
 pub(crate) fn schedule_monitor(
     shared: Arc<NodeShared>,
     vda: jsym_vda::VdaRegistry,
     exec: Arc<jsym_exec::Executor>,
 ) {
-    if shared.shutdown.load(Ordering::Relaxed) {
+    let gen = shared.na.timer_gen.load(Ordering::Relaxed);
+    schedule_monitor_gen(shared, vda, exec, gen);
+}
+
+fn schedule_monitor_gen(
+    shared: Arc<NodeShared>,
+    vda: jsym_vda::VdaRegistry,
+    exec: Arc<jsym_exec::Executor>,
+    gen: u64,
+) {
+    if shared.shutdown.load(Ordering::Relaxed) || shared.na.timer_gen.load(Ordering::Relaxed) != gen
+    {
         return;
     }
     let period = shared.na.knobs.monitor_period().max(1e-4);
@@ -174,11 +192,13 @@ pub(crate) fn schedule_monitor(
     exec.spawn_at(
         at,
         Box::new(move || {
-            if shared.shutdown.load(Ordering::Relaxed) {
+            if shared.shutdown.load(Ordering::Relaxed)
+                || shared.na.timer_gen.load(Ordering::Relaxed) != gen
+            {
                 return;
             }
             monitor_round(&shared, &vda);
-            schedule_monitor(shared, vda, exec2);
+            schedule_monitor_gen(shared, vda, exec2, gen);
         }),
     );
 }
@@ -300,6 +320,10 @@ pub(crate) fn monitor_round(shared: &Arc<NodeShared>, vda: &jsym_vda::VdaRegistr
     }
     for peer in to_fail {
         shared.na.declared_failed.lock().insert(peer);
+        // Stale location-cache entries pointing at the dead peer would
+        // send nested calls into NodeUnreachable; recovery may re-place
+        // its objects, so force the next resolution to ask afresh.
+        shared.location_cache.lock().retain(|_, &mut l| l != peer);
         if shared.obs.is_enabled() {
             shared
                 .obs

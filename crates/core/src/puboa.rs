@@ -53,6 +53,9 @@ pub(crate) fn handle(shared: &Arc<NodeShared>, src: NodeId, msg: Msg) {
             });
         }
         Msg::FreeObject { obj } => {
+            if shared.affinity.enabled() {
+                shared.affinity.forget(obj.0);
+            }
             if shared.objects.lock().remove(&obj).is_some() {
                 shared.events.record(
                     shared.clock.now(),
@@ -70,6 +73,18 @@ pub(crate) fn handle(shared: &Arc<NodeShared>, src: NodeId, msg: Msg) {
             method,
             args,
         } => {
+            // Affinity plane: every delivered invocation — mailbox, hook and
+            // loopback paths all funnel through here — feeds the decayed
+            // caller→object counters. Same-node traffic reinforces the
+            // current placement, which is exactly the hysteresis we want.
+            if shared.affinity.enabled() {
+                shared.affinity.record(
+                    src,
+                    obj.0,
+                    args_wire_size(&args) as u64,
+                    shared.clock.now(),
+                );
+            }
             // Enqueue on the object's executor *from the receiver thread* so
             // same-object invocations run in message-arrival order.
             let entry = shared.objects.lock().get(&obj).cloned();

@@ -196,6 +196,8 @@ pub(crate) struct NodeShared {
     pub apps: RwLock<HashMap<crate::AppId, Arc<appoa::AppShared>>>,
     /// Location cache for foreign object handles used in nested calls.
     pub location_cache: Mutex<HashMap<ObjectId, NodeId>>,
+    /// Deployment-wide caller→object traffic counters (affinity plane).
+    pub affinity: Arc<jsym_net::AffinityTracker>,
     /// Network-agent state (monitoring, heartbeats, failure detection).
     pub na: NaState,
     pub stats: StatCounters,
@@ -381,6 +383,20 @@ impl NodeShared {
                     attempts += 1;
                     if attempts > self.config.max_retries {
                         return Err(JsError::Timeout);
+                    }
+                    self.clock.sleep(self.config.retry_backoff);
+                }
+                Err(JsError::NodeUnreachable(n)) if n == loc => {
+                    // The location may be a stale cache entry pointing at a
+                    // failed node while the directory/AppOA already knows
+                    // the failover placement. Drop the entry; retry only if
+                    // it actually was cached — a fresh resolution pointing
+                    // at a dead node means the object really is unreachable
+                    // right now (recovery, if any, re-resolves next call).
+                    let was_cached = self.location_cache.lock().remove(&handle.id).is_some();
+                    attempts += 1;
+                    if !was_cached || attempts > self.config.max_retries {
+                        return Err(JsError::NodeUnreachable(n));
                     }
                     self.clock.sleep(self.config.retry_backoff);
                 }

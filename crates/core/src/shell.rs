@@ -55,6 +55,57 @@ impl MachineConfig {
     }
 }
 
+/// Configuration of the affinity plane (DESIGN.md §14): decayed
+/// caller→object traffic counters feeding affinity-guided re-placement,
+/// plus lease-based local reads in the replicated directory.
+///
+/// Everything defaults to **off**, in which state the runtime is
+/// byte-identical to a deployment without the plane — the differential
+/// oracle the affinity proptests compare against.
+#[derive(Clone, Copy, Debug)]
+pub struct AffinityConfig {
+    /// Migrate hot objects toward their dominant callers during
+    /// automigrate supervisor rounds (also enables traffic recording).
+    pub placement: bool,
+    /// Grant directory read leases so `resolve_location` on the leader is
+    /// served locally without a read-index heartbeat round (requires
+    /// [`JsShell::directory_replicas`] > 0 to have any effect).
+    pub leases: bool,
+    /// Traffic-counter half-life in virtual seconds.
+    pub half_life: f64,
+    /// Minimum dominant-caller share of an object's call mass before it is
+    /// migrated (hysteresis against ping-pong under mixed traffic).
+    pub min_share: f64,
+    /// Minimum decayed call mass before an object counts as hot.
+    pub min_calls: f64,
+    /// Virtual seconds an object is ineligible after an affinity migration.
+    pub cooldown: f64,
+}
+
+impl Default for AffinityConfig {
+    fn default() -> Self {
+        AffinityConfig {
+            placement: false,
+            leases: false,
+            half_life: 20.0,
+            min_share: 0.6,
+            min_calls: 8.0,
+            cooldown: 30.0,
+        }
+    }
+}
+
+impl AffinityConfig {
+    /// Placement and leases both on, default thresholds.
+    pub fn enabled() -> Self {
+        AffinityConfig {
+            placement: true,
+            leases: true,
+            ..AffinityConfig::default()
+        }
+    }
+}
+
 /// The JS-Shell: deployment configuration builder.
 #[derive(Clone, Debug)]
 pub struct JsShell {
@@ -77,6 +128,7 @@ pub struct JsShell {
     directory_replicas: u32,
     rmi_batching: Option<jsym_net::BatchConfig>,
     executor_threads: usize,
+    pub(crate) affinity: AffinityConfig,
 }
 
 impl JsShell {
@@ -103,6 +155,7 @@ impl JsShell {
             directory_replicas: 0,
             rmi_batching: None,
             executor_threads: 0,
+            affinity: AffinityConfig::default(),
         }
     }
 
@@ -250,7 +303,7 @@ impl JsShell {
         self.rmi_batching = Some(jsym_net::BatchConfig {
             flush_window: flush_window.max(0.0),
             max_bytes: max_bytes.max(1),
-            adaptive: false,
+            ..jsym_net::BatchConfig::default()
         });
         self
     }
@@ -266,7 +319,30 @@ impl JsShell {
             flush_window: flush_window.max(0.0),
             max_bytes: max_bytes.max(1),
             adaptive: true,
+            ..jsym_net::BatchConfig::default()
         });
+        self
+    }
+
+    /// Sets the modeled compression ratio for multi-message RMI batches
+    /// (see [`jsym_net::BatchConfig::compression`]): coalesced batches are
+    /// charged `ceil(bytes × ratio)` wire bytes for transfer time and the
+    /// `max_bytes` overflow check, reflecting how well the shared headers
+    /// and similar small payloads of coalesced RMIs compress. `1.0`
+    /// disables compression (byte-identical accounting); applies on top of
+    /// [`JsShell::rmi_batching`] / [`JsShell::rmi_batching_adaptive`], or
+    /// enables batching with default tunables if neither was called.
+    pub fn rmi_batching_compression(mut self, ratio: f64) -> Self {
+        let ratio = ratio.clamp(0.01, 1.0);
+        match &mut self.rmi_batching {
+            Some(c) => c.compression = ratio,
+            None => {
+                self.rmi_batching = Some(jsym_net::BatchConfig {
+                    compression: ratio,
+                    ..jsym_net::BatchConfig::default()
+                })
+            }
+        }
         self
     }
 
@@ -280,6 +356,17 @@ impl JsShell {
     /// identical to the threaded runtime.
     pub fn executor(mut self, threads: usize) -> Self {
         self.executor_threads = threads;
+        self
+    }
+
+    /// Configures the affinity plane: decayed caller→object traffic
+    /// counters drive affinity-guided re-placement during automigrate
+    /// supervisor rounds, and the replicated directory serves leader-local
+    /// lease reads (DESIGN.md §14). Off by default; with every
+    /// [`AffinityConfig`] toggle off the runtime is byte-identical to one
+    /// without the plane.
+    pub fn affinity(mut self, config: AffinityConfig) -> Self {
+        self.affinity = config;
         self
     }
 
@@ -351,6 +438,9 @@ impl JsShell {
             ))),
         };
 
+        let affinity = Arc::new(jsym_net::AffinityTracker::new(self.affinity.half_life));
+        affinity.set_enabled(self.affinity.placement);
+
         let inner = Arc::new(DeploymentInner {
             clock: clock.clone(),
             network: network.clone(),
@@ -367,6 +457,10 @@ impl JsShell {
             automigration: AtomicBool::new(self.automigration),
             automigrate_dirty: AtomicBool::new(self.automigrate_dirty_set),
             automigrate_rounds: AtomicU64::new(0),
+            affinity,
+            affinity_placement: AtomicBool::new(self.affinity.placement),
+            affinity_migrations: AtomicU64::new(0),
+            affinity_rounds: AtomicU64::new(0),
             dir,
             exec,
             shutdown: AtomicBool::new(false),
@@ -449,6 +543,14 @@ pub(crate) struct DeploymentInner {
     pub automigration: AtomicBool,
     pub automigrate_dirty: AtomicBool,
     pub automigrate_rounds: AtomicU64,
+    /// Decayed caller→object traffic counters (recording gated internally).
+    pub affinity: Arc<jsym_net::AffinityTracker>,
+    /// Whether affinity-guided re-placement rounds run.
+    pub affinity_placement: AtomicBool,
+    /// Objects moved toward a dominant caller by the affinity loop.
+    pub affinity_migrations: AtomicU64,
+    /// Affinity placement rounds completed.
+    pub affinity_rounds: AtomicU64,
     /// Client view of the replicated directory (`None` = legacy resolution).
     pub dir: Option<Arc<crate::dir::DirCluster>>,
     /// The deployment-wide work-stealing executor (`None` = threaded mode).
@@ -463,6 +565,25 @@ pub(crate) struct DeploymentInner {
 #[derive(Clone)]
 pub struct Deployment {
     inner: Arc<DeploymentInner>,
+}
+
+/// Point-in-time affinity-plane statistics (shell `affinity` command).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AffinityStats {
+    /// Whether affinity-guided re-placement (and traffic recording) is on.
+    pub placement: bool,
+    /// Whether the directory grants read leases (boot-time choice).
+    pub leases: bool,
+    /// Traffic-counter half-life in virtual seconds.
+    pub half_life: f64,
+    /// Objects with live traffic counters.
+    pub objects: usize,
+    /// `(caller, object)` pairs with live traffic counters.
+    pub pairs: usize,
+    /// Affinity placement rounds completed.
+    pub rounds: u64,
+    /// Objects moved toward a dominant caller by the affinity loop.
+    pub migrations: u64,
 }
 
 /// Point-in-time runtime counters of one node.
@@ -503,6 +624,7 @@ impl Deployment {
                 phys,
                 &c.replicas,
                 inner.clock.scale(),
+                inner.config.affinity.leases,
                 inner.clock.now(),
             ))),
             _ => None,
@@ -525,6 +647,7 @@ impl Deployment {
             loaded: Mutex::new(std::collections::HashSet::new()),
             apps: RwLock::new(HashMap::new()),
             location_cache: Mutex::new(HashMap::new()),
+            affinity: Arc::clone(&inner.affinity),
             na: NaState::new(NaConfig {
                 monitor_period: inner.config.monitor_period,
                 failure_timeout: inner.config.failure_timeout,
@@ -750,6 +873,21 @@ impl Deployment {
         }
         // The aggregation plane's sample TTL tracks the monitoring period.
         self.inner.vda.set_plane_ttl(secs);
+        // Executor mode: each node's monitor chain is an already-armed timer
+        // task that would only pick up the new period after its old deadline
+        // fires. Re-arm with the new period now; bumping the generation
+        // counter first makes the superseded chain die at its next firing
+        // instead of running duplicate rounds alongside the new chain.
+        if let Some(exec) = &self.inner.exec {
+            for handle in self.inner.nodes.read().values() {
+                handle.shared.na.timer_gen.fetch_add(1, Ordering::Relaxed);
+                na::schedule_monitor(
+                    Arc::clone(&handle.shared),
+                    self.inner.vda.clone(),
+                    Arc::clone(exec),
+                );
+            }
+        }
     }
 
     /// Changes the NAS failure timeout at runtime (JS-Shell, §5.1: the
@@ -787,6 +925,36 @@ impl Deployment {
     /// dirty-set and placement-index sizes).
     pub fn plane_stats(&self) -> jsym_vda::PlaneStats {
         self.inner.vda.plane_stats()
+    }
+
+    /// Enables/disables affinity-guided re-placement at runtime: toggles
+    /// both traffic recording and the placement rounds of the automigrate
+    /// supervisor. Directory read leases are a boot-time choice
+    /// ([`AffinityConfig::leases`]) and are unaffected.
+    pub fn set_affinity(&self, enabled: bool) {
+        self.inner.affinity.set_enabled(enabled);
+        self.inner
+            .affinity_placement
+            .store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether affinity-guided re-placement is currently enabled.
+    pub fn affinity_enabled(&self) -> bool {
+        self.inner.affinity_placement.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time affinity-plane statistics.
+    pub fn affinity_stats(&self) -> AffinityStats {
+        let t = self.inner.affinity.stats();
+        AffinityStats {
+            placement: self.affinity_enabled(),
+            leases: self.inner.config.affinity.leases,
+            half_life: self.inner.affinity.half_life(),
+            objects: t.objects,
+            pairs: t.pairs,
+            rounds: self.inner.affinity_rounds.load(Ordering::Relaxed),
+            migrations: self.inner.affinity_migrations.load(Ordering::Relaxed),
+        }
     }
 
     /// Whether this deployment runs the replicated directory.

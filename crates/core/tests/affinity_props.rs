@@ -1,0 +1,203 @@
+//! Differential oracles for the affinity plane and lease reads (DESIGN.md
+//! §14): every new fast path ships behind a toggle whose *off* state is
+//! byte-identical to the pre-existing behaviour, and the toggled-on lease
+//! path must not change any fault-free observable either — it only removes
+//! a round trip.
+
+use jsym_core::testkit::{register_test_classes, shell_with_idle_machines};
+use jsym_core::{AffinityConfig, JsObj, MigrateTarget, Placement, Value};
+use jsym_net::NodeId;
+use proptest::prelude::*;
+
+/// One step of a randomized object program (same shape as dir_props.rs).
+#[derive(Clone, Debug)]
+enum Op {
+    Create { node: u8 },
+    Add { obj: u8, delta: i64 },
+    Get { obj: u8 },
+    WhereRuns { obj: u8 },
+    MoveTo { obj: u8, node: u8 },
+    NestedAdd { a: u8, b: u8, delta: i64 },
+    Free { obj: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4).prop_map(|node| Op::Create { node }),
+        (any::<u8>(), -50i64..50).prop_map(|(obj, delta)| Op::Add { obj, delta }),
+        any::<u8>().prop_map(|obj| Op::Get { obj }),
+        any::<u8>().prop_map(|obj| Op::WhereRuns { obj }),
+        (any::<u8>(), 0u8..4).prop_map(|(obj, node)| Op::MoveTo { obj, node }),
+        (any::<u8>(), any::<u8>(), -9i64..9).prop_map(|(a, b, delta)| Op::NestedAdd {
+            a,
+            b,
+            delta
+        }),
+        any::<u8>().prop_map(|obj| Op::Free { obj }),
+    ]
+}
+
+/// Runs `ops` on a fresh 4-machine deployment with the given directory
+/// replica count and affinity configuration, returning the transcript of
+/// every step's observable outcome.
+fn run_program(ops: &[Op], replicas: u32, affinity: Option<AffinityConfig>) -> Vec<String> {
+    let mut shell = shell_with_idle_machines(4).directory_replicas(replicas);
+    if let Some(config) = affinity {
+        shell = shell.affinity(config);
+    }
+    let deployment = shell.boot();
+    register_test_classes(&deployment);
+    let reg = deployment.register_app().unwrap();
+    let mut live: Vec<JsObj> = Vec::new();
+    let mut transcript = Vec::new();
+    for op in ops {
+        let outcome = match op {
+            Op::Create { node } => {
+                let obj = JsObj::create(
+                    &reg,
+                    "Counter",
+                    &[],
+                    Placement::OnPhys(NodeId(*node as u32)),
+                    None,
+                )
+                .unwrap();
+                live.push(obj);
+                format!("created on {node}")
+            }
+            Op::Add { obj, delta } => match pick(&live, *obj) {
+                Some(o) => fmt(o.sinvoke("add", &[Value::I64(*delta)])),
+                None => "no object".into(),
+            },
+            Op::Get { obj } => match pick(&live, *obj) {
+                Some(o) => fmt(o.sinvoke("get", &[])),
+                None => "no object".into(),
+            },
+            Op::WhereRuns { obj } => match pick(&live, *obj) {
+                Some(o) => fmt(o.sinvoke("node_name", &[])),
+                None => "no object".into(),
+            },
+            Op::MoveTo { obj, node } => match pick(&live, *obj) {
+                Some(o) => fmt(o
+                    .migrate(MigrateTarget::ToPhys(NodeId(*node as u32)), None)
+                    .map(|n| Value::I64(n.0 as i64))),
+                None => "no object".into(),
+            },
+            Op::NestedAdd { a, b, delta } => match (pick(&live, *a), pick(&live, *b)) {
+                // A self-nested invoke would deadlock on the object's own
+                // mailbox; skip it deterministically on both sides.
+                (Some(oa), Some(ob)) if oa.handle() == ob.handle() => "self".into(),
+                (Some(oa), Some(ob)) => {
+                    fmt(oa.sinvoke("add_to", &[Value::Handle(ob.handle()), Value::I64(*delta)]))
+                }
+                _ => "no object".into(),
+            },
+            Op::Free { obj } => {
+                if live.is_empty() {
+                    "no object".into()
+                } else {
+                    let idx = *obj as usize % live.len();
+                    let o = live.remove(idx);
+                    fmt(o.free().map(|_| Value::Null))
+                }
+            }
+        };
+        transcript.push(outcome);
+    }
+    reg.unregister().unwrap();
+    deployment.shutdown();
+    transcript
+}
+
+fn pick(live: &[JsObj], idx: u8) -> Option<&JsObj> {
+    if live.is_empty() {
+        None
+    } else {
+        live.get(idx as usize % live.len())
+    }
+}
+
+fn fmt(r: jsym_core::Result<Value>) -> String {
+    match r {
+        Ok(v) => format!("{v:?}"),
+        Err(e) => format!("err: {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        max_shrink_iters: 32,
+        .. ProptestConfig::default()
+    })]
+
+    /// With every affinity toggle off (the default config, passed
+    /// explicitly) the deployment behaves byte-for-byte like one that never
+    /// heard of affinity: identical transcripts, including placement
+    /// observations.
+    #[test]
+    fn affinity_off_is_byte_identical_to_plain(
+        ops in proptest::collection::vec(op_strategy(), 1..24)
+    ) {
+        let plain = run_program(&ops, 0, None);
+        let toggled_off = run_program(&ops, 0, Some(AffinityConfig::default()));
+        prop_assert_eq!(plain, toggled_off);
+    }
+
+    /// Lease-served directory reads change latency, never results: on
+    /// fault-free runs with a replicated directory the transcript with
+    /// leases on matches the probe-only transcript byte for byte.
+    #[test]
+    fn lease_reads_are_byte_identical_on_fault_free_runs(
+        ops in proptest::collection::vec(op_strategy(), 1..24)
+    ) {
+        let probe_only = run_program(&ops, 3, None);
+        let leased = run_program(
+            &ops,
+            3,
+            Some(AffinityConfig {
+                leases: true,
+                ..AffinityConfig::default()
+            }),
+        );
+        prop_assert_eq!(probe_only, leased);
+    }
+}
+
+/// Lease reads actually happen: with leases on, a steady-state deployment
+/// resolves foreign handles through the leader's lease fast path, and the
+/// counters prove it.
+#[test]
+fn lease_counters_record_local_reads() {
+    let deployment = shell_with_idle_machines(4)
+        .directory_replicas(3)
+        .affinity(AffinityConfig {
+            leases: true,
+            ..AffinityConfig::default()
+        })
+        .boot();
+    register_test_classes(&deployment);
+    let reg = deployment.register_app().unwrap();
+
+    let a = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(0)), None).unwrap();
+    let b = JsObj::create(&reg, "Counter", &[], Placement::OnPhys(NodeId(2)), None).unwrap();
+    // Nested adds force foreign resolves through the directory on a's host.
+    for _ in 0..20 {
+        a.sinvoke("add_to", &[Value::Handle(b.handle()), Value::I64(1)])
+            .unwrap();
+    }
+    assert_eq!(b.sinvoke("get", &[]).unwrap(), Value::I64(20));
+
+    let snap = deployment.obs().snapshot();
+    let reads = snap.metrics.counter_total("dir.reads");
+    let local = snap.metrics.counter_total("dir.lease.local_reads");
+    assert!(reads > 0, "directory reads should be counted");
+    assert!(
+        local * 10 >= reads * 9,
+        "steady-state reads should be lease-served: {local}/{reads}"
+    );
+
+    a.free().unwrap();
+    b.free().unwrap();
+    reg.unregister().unwrap();
+    deployment.shutdown();
+}

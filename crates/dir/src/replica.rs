@@ -36,6 +36,13 @@ pub struct DirConfig {
     pub compact_threshold: usize,
     /// Maximum log entries shipped per AppendEntries message.
     pub max_batch: usize,
+    /// Leader read-lease duration; `0.0` disables leases entirely, leaving
+    /// every code path byte-identical to the lease-free protocol. When
+    /// enabled it MUST be strictly less than `election_timeout`: a lease
+    /// granted by a heartbeat round sent at `t` is valid until
+    /// `t + lease_duration`, and vote suppression only guarantees no rival
+    /// leader before `t + election_timeout`.
+    pub lease_duration: f64,
 }
 
 impl Default for DirConfig {
@@ -45,6 +52,7 @@ impl Default for DirConfig {
             election_timeout: 2.0,
             compact_threshold: 256,
             max_batch: 64,
+            lease_duration: 0.0,
         }
     }
 }
@@ -306,6 +314,9 @@ pub enum DirEvent {
     ReadReady {
         /// Read sequence returned by [`DirReplica::read_index`].
         seq: u64,
+        /// Whether the read was served from a still-valid leader lease
+        /// (no heartbeat round trip) rather than a probe confirmation.
+        lease: bool,
     },
     /// A read-index request was lost to a leadership change.
     ReadDropped {
@@ -360,6 +371,9 @@ pub struct DirReplicaStatus {
     pub log_entries: usize,
     /// Index folded into the snapshot.
     pub snapshot_index: u64,
+    /// Virtual time the leader's read lease expires (`-inf` when no lease
+    /// is held or leases are disabled).
+    pub lease_expiry: f64,
 }
 
 struct PendingPropose {
@@ -394,6 +408,12 @@ pub struct DirReplica {
     match_index: BTreeMap<u32, u64>,
     probe_seq: u64,
     probe_acks: BTreeMap<u32, u64>,
+    /// Send time of each outstanding heartbeat round (lease mode only):
+    /// once a quorum acks round `r`, the lease extends to
+    /// `probe_times[r] + lease_duration`.
+    probe_times: BTreeMap<u64, f64>,
+    /// Expiry of the leader read lease (`-inf` when none).
+    lease_expiry: f64,
     pending_props: Vec<PendingPropose>,
     pending_reads: Vec<PendingRead>,
     // Volatile candidate state.
@@ -401,6 +421,11 @@ pub struct DirReplica {
     // Timers (virtual seconds).
     last_leader_contact: f64,
     last_heartbeat: f64,
+    /// Last time an Append/Snapshot arrived from a live leader. Unlike
+    /// `last_leader_contact` this is never advanced by vote grants or
+    /// step-downs, so lease-mode vote suppression can't be defeated by the
+    /// solicitation itself refreshing the timer.
+    last_leader_msg: f64,
     // Monotonic sequences for the host.
     next_seq: u64,
     events: Vec<DirEvent>,
@@ -429,11 +454,14 @@ impl DirReplica {
             match_index: BTreeMap::new(),
             probe_seq: 0,
             probe_acks: BTreeMap::new(),
+            probe_times: BTreeMap::new(),
+            lease_expiry: f64::NEG_INFINITY,
             pending_props: Vec::new(),
             pending_reads: Vec::new(),
             votes: Vec::new(),
             last_leader_contact: now,
             last_heartbeat: now,
+            last_leader_msg: f64::NEG_INFINITY,
             next_seq: 1,
             events: Vec::new(),
         }
@@ -492,6 +520,7 @@ impl DirReplica {
             applied: self.applied,
             log_entries: self.log.len(),
             snapshot_index: self.snapshot_index,
+            lease_expiry: self.lease_expiry,
         }
     }
 
@@ -556,15 +585,29 @@ impl DirReplica {
 
     /// Registers a read-index request. Resolved via [`DirEvent::ReadReady`]
     /// once one heartbeat round confirms leadership, after which the state
-    /// may be read linearizably.
-    pub fn read_index(&mut self, _now: f64) -> Result<u64, NotLeader> {
+    /// may be read linearizably. With a valid read lease
+    /// ([`DirConfig::lease_duration`]) the confirmation is immediate: a
+    /// quorum acknowledged a heartbeat sent less than one lease ago, and
+    /// vote suppression guarantees no rival leader within that window.
+    pub fn read_index(&mut self, now: f64) -> Result<u64, NotLeader> {
         if self.role != Role::Leader {
             return Err(NotLeader { hint: self.leader });
         }
         let seq = self.next_seq;
         self.next_seq += 1;
         if self.peers.is_empty() {
-            self.events.push(DirEvent::ReadReady { seq });
+            self.events.push(DirEvent::ReadReady { seq, lease: false });
+            return Ok(seq);
+        }
+        // Lease fast path. The current-term no-op must have committed first
+        // (Raft §6.4): before that the leader may not know about entries a
+        // predecessor committed, and a lease read could miss them.
+        if self.config.lease_duration > 0.0
+            && now < self.lease_expiry
+            && self.applied >= self.commit
+            && self.term_at(self.commit) == Some(self.term)
+        {
+            self.events.push(DirEvent::ReadReady { seq, lease: true });
             return Ok(seq);
         }
         self.pending_reads.push(PendingRead {
@@ -663,6 +706,10 @@ impl DirReplica {
             .collect();
         self.match_index = self.peers.iter().map(|&p| (p, 0)).collect();
         self.probe_acks = self.peers.iter().map(|&p| (p, 0)).collect();
+        // A fresh leader holds no lease until its own quorum round: a lease
+        // inherited across elections could overlap a predecessor's.
+        self.probe_times.clear();
+        self.lease_expiry = f64::NEG_INFINITY;
         // Commit entries from prior terms by appending a no-op in ours
         // (Raft §5.4.2: a leader may only count replicas for entries of its
         // own term).
@@ -696,6 +743,11 @@ impl DirReplica {
             for r in self.pending_reads.drain(..) {
                 self.events.push(DirEvent::ReadDropped { seq: r.seq });
             }
+            // Invalidate the read lease: once stepped down, stale in-flight
+            // acks must never extend it (on_append_ack is role-gated, and
+            // the cleared state makes the invariant explicit).
+            self.probe_times.clear();
+            self.lease_expiry = f64::NEG_INFINITY;
         }
     }
 
@@ -712,6 +764,9 @@ impl DirReplica {
     fn broadcast_append(&mut self, now: f64) -> Vec<(u32, DirMsg)> {
         self.last_heartbeat = now;
         self.probe_seq += 1;
+        if self.config.lease_duration > 0.0 {
+            self.probe_times.insert(self.probe_seq, now);
+        }
         let mut out = Vec::with_capacity(self.peers.len());
         for &p in &self.peers.clone() {
             out.push((p, self.append_for(p)));
@@ -772,6 +827,7 @@ impl DirReplica {
             self.step_down(term, now);
         }
         self.last_leader_contact = now;
+        self.last_leader_msg = now;
         self.set_leader(Some(from));
 
         // The prefix up to snapshot_index is already committed here; skip
@@ -872,6 +928,7 @@ impl DirReplica {
             self.next_index.insert(from, next);
             let prev_probe = self.probe_acks.get(&from).copied().unwrap_or(0);
             self.probe_acks.insert(from, prev_probe.max(probe));
+            self.refresh_lease();
             self.advance_commit();
             self.confirm_reads();
             // Keep pushing if the follower is still behind.
@@ -886,6 +943,34 @@ impl DirReplica {
         Vec::new()
     }
 
+    /// Leader read-lease extension (lease mode only): the lease covers
+    /// `send_time + lease_duration` of the newest heartbeat round that a
+    /// quorum (counting this leader) has acknowledged.
+    fn refresh_lease(&mut self) {
+        if self.config.lease_duration <= 0.0 {
+            return;
+        }
+        let need = self.majority() - 1; // peers needed besides ourselves
+        if need == 0 {
+            return;
+        }
+        let mut acked: Vec<u64> = self.probe_acks.values().copied().collect();
+        acked.sort_unstable_by(|a, b| b.cmp(a));
+        let quorum_probe = acked.get(need - 1).copied().unwrap_or(0);
+        if quorum_probe == 0 {
+            return;
+        }
+        if let Some(&sent) = self.probe_times.get(&quorum_probe) {
+            let expiry = sent + self.config.lease_duration;
+            if expiry > self.lease_expiry {
+                self.lease_expiry = expiry;
+            }
+        }
+        // Rounds at or below the quorum point can never improve the lease
+        // again (send times are monotonic); drop them to bound the map.
+        self.probe_times.retain(|&p, _| p > quorum_probe);
+    }
+
     fn on_request_vote(
         &mut self,
         from: u32,
@@ -894,6 +979,29 @@ impl DirReplica {
         last_log_term: u64,
         now: f64,
     ) -> Vec<(u32, DirMsg)> {
+        // Lease-mode leader stickiness (Raft §4.2.3 / §6.4): while this
+        // replica has heard from a live leader within the base election
+        // timeout — or IS a leader holding a valid lease — it refuses to
+        // vote, regardless of the candidate's term. Without this, a rival
+        // elected mid-lease could commit a placement the lease holder's
+        // local reads would miss. The reply deliberately does not adopt the
+        // candidate's term; a genuine leader loss lets elections proceed
+        // once the timeout elapses.
+        if self.config.lease_duration > 0.0 {
+            let leader_alive = self.leader.is_some()
+                && self.leader != Some(from)
+                && now - self.last_leader_msg < self.config.election_timeout;
+            let own_lease = self.role == Role::Leader && now < self.lease_expiry;
+            if leader_alive || own_lease {
+                return vec![(
+                    from,
+                    DirMsg::Vote {
+                        term: self.term,
+                        granted: false,
+                    },
+                )];
+            }
+        }
         if term > self.term {
             self.step_down(term, now);
             self.set_leader(None);
@@ -957,6 +1065,7 @@ impl DirReplica {
             self.step_down(term, now);
         }
         self.last_leader_contact = now;
+        self.last_leader_msg = now;
         self.set_leader(Some(from));
         // A delayed snapshot at or below our commit point must be ignored:
         // installing it would clear entries already acked toward a majority
@@ -1063,7 +1172,7 @@ impl DirReplica {
             }
         });
         for seq in ready {
-            self.events.push(DirEvent::ReadReady { seq });
+            self.events.push(DirEvent::ReadReady { seq, lease: false });
         }
     }
 
@@ -1116,10 +1225,14 @@ mod tests {
 
     impl Bus {
         fn new(n: u32) -> Bus {
+            Bus::new_with(n, DirConfig::default())
+        }
+
+        fn new_with(n: u32, config: DirConfig) -> Bus {
             let ids: Vec<u32> = (0..n).collect();
             let replicas = ids
                 .iter()
-                .map(|&id| DirReplica::new(id, &ids, DirConfig::default(), 0.0))
+                .map(|&id| DirReplica::new(id, &ids, config, 0.0))
                 .collect();
             Bus {
                 replicas,
@@ -1258,8 +1371,8 @@ mod tests {
         assert!(
             events
                 .iter()
-                .any(|e| matches!(e, DirEvent::ReadReady { seq: s } if *s == seq)),
-            "read must confirm: {events:?}"
+                .any(|e| matches!(e, DirEvent::ReadReady { seq: s, lease: false } if *s == seq)),
+            "read must confirm without a lease: {events:?}"
         );
     }
 
@@ -1521,6 +1634,161 @@ mod tests {
         assert!(
             out.is_empty(),
             "stale ack must not re-send acked entries: {out:?}"
+        );
+    }
+
+    fn lease_config() -> DirConfig {
+        DirConfig {
+            // 2x the heartbeat, safely below the 2.0 s election timeout.
+            lease_duration: 1.0,
+            ..DirConfig::default()
+        }
+    }
+
+    #[test]
+    fn lease_serves_reads_without_a_probe_round() {
+        let mut bus = Bus::new_with(3, lease_config());
+        bus.run_until(5.0);
+        let leader = bus.leader().unwrap();
+        let now = bus.now;
+        bus.replica(leader).take_events();
+        let seq = bus.replica(leader).read_index(now).unwrap();
+        // ReadReady must already be queued — no further bus activity needed.
+        let events = bus.replica(leader).take_events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, DirEvent::ReadReady { seq: s, lease: true } if *s == seq)),
+            "lease read must confirm immediately: {events:?}"
+        );
+    }
+
+    #[test]
+    fn lease_expires_when_quorum_acks_stop() {
+        let mut bus = Bus::new_with(3, lease_config());
+        bus.run_until(5.0);
+        let leader = bus.leader().unwrap();
+        // Cut both followers off; the leader's lease runs out one
+        // lease_duration after its last quorum-acked heartbeat.
+        bus.down.push(1);
+        bus.down.push(2);
+        bus.run_until(bus.now + lease_config().lease_duration + 1.0);
+        let now = bus.now;
+        bus.replica(leader).take_events();
+        let _ = bus.replica(leader).read_index(now).unwrap();
+        let events = bus.replica(leader).take_events();
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, DirEvent::ReadReady { .. })),
+            "expired lease must fall back to the probe path: {events:?}"
+        );
+    }
+
+    #[test]
+    fn follower_suppresses_votes_while_its_leader_is_alive() {
+        let mut bus = Bus::new_with(3, lease_config());
+        bus.run_until(5.0);
+        assert_eq!(bus.leader(), Some(0));
+        // Replica 2 solicits a vote with a higher term while replica 1
+        // still hears leader 0: the vote must be refused and replica 1
+        // must not adopt the rival's term.
+        let now = bus.now;
+        let term_before = bus.replica(1).term();
+        let out = bus.replica(1).receive(
+            2,
+            DirMsg::RequestVote {
+                term: term_before + 5,
+                last_log_index: 1_000,
+                last_log_term: term_before + 5,
+            },
+            now,
+        );
+        assert_eq!(
+            out,
+            vec![(
+                2,
+                DirMsg::Vote {
+                    term: term_before,
+                    granted: false,
+                }
+            )]
+        );
+        assert_eq!(bus.replica(1).term(), term_before);
+        assert_eq!(bus.replica(1).role(), Role::Follower);
+    }
+
+    #[test]
+    fn partitioned_leader_lease_expires_before_successor_commits() {
+        let mut bus = Bus::new_with(3, lease_config());
+        bus.run_until(5.0);
+        assert_eq!(bus.leader(), Some(0));
+        // Partition the old leader (it keeps running, its traffic is
+        // dropped) and wait for the successor.
+        bus.down.push(0);
+        bus.run_until(bus.now + 4.0 * lease_config().election_timeout);
+        let new_leader = bus
+            .replicas
+            .iter()
+            .find(|r| r.role() == Role::Leader && r.id() != 0)
+            .map(|r| r.id())
+            .expect("a successor must be elected despite vote suppression");
+        // By the time the successor can commit anything, the partitioned
+        // ex-leader's lease must have lapsed — the no-overlap invariant
+        // that makes lease reads linearizable.
+        let now = bus.now;
+        let seq = bus
+            .replica(new_leader)
+            .propose(DirCommand::SetLocation { object: 7, node: 1 }, now)
+            .unwrap();
+        bus.run_until(bus.now + 2.0);
+        let events = bus.replica(new_leader).take_events();
+        let commit_by = bus.now;
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, DirEvent::Committed { seq: s, .. } if *s == seq)));
+        let old = bus.replica(0).status();
+        assert!(
+            old.lease_expiry < commit_by,
+            "old lease {} must lapse before successor commit at {commit_by}",
+            old.lease_expiry
+        );
+        // And the stale leader indeed refuses lease reads now.
+        let now = bus.now;
+        bus.replica(0).take_events();
+        let _ = bus.replica(0).read_index(now);
+        let events = bus.replica(0).take_events();
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, DirEvent::ReadReady { .. })));
+    }
+
+    #[test]
+    fn lease_disabled_stays_byte_identical_on_votes() {
+        // Without a lease, a higher-term solicitation must win votes even
+        // from followers that just heard a leader (today's behavior).
+        let mut bus = Bus::new(3);
+        bus.run_until(5.0);
+        let now = bus.now;
+        let term = bus.replica(1).term();
+        let out = bus.replica(1).receive(
+            2,
+            DirMsg::RequestVote {
+                term: term + 1,
+                last_log_index: 1_000,
+                last_log_term: term + 1,
+            },
+            now,
+        );
+        assert_eq!(
+            out,
+            vec![(
+                2,
+                DirMsg::Vote {
+                    term: term + 1,
+                    granted: true,
+                }
+            )]
         );
     }
 

@@ -1,0 +1,296 @@
+//! Decayed caller→object traffic counters: the measurement half of the
+//! affinity plane (DESIGN.md §14).
+//!
+//! The runtime records one sample per delivered invocation — `(caller node,
+//! object, wire bytes)` — into exponentially-decayed per-pair counters. A
+//! re-placement loop periodically asks for the *hot* objects together with
+//! each one's dominant caller and migrates objects toward the nodes that
+//! call them most, the locality lever JavaSymphony's placement story is
+//! built around.
+//!
+//! The tracker is deliberately cheap and lossy:
+//!
+//! * Counters decay with a configurable half-life, so placement follows the
+//!   *current* traffic pattern instead of all-time totals.
+//! * Recording is gated on an atomic flag read before any lock; with the
+//!   affinity plane disabled the hot path costs one relaxed load and the
+//!   runtime is byte-identical to a build without the tracker.
+//! * Per-object migration timestamps give the placement loop hysteresis:
+//!   an object that just moved is ineligible until its cooldown lapses, and
+//!   the dominant-share threshold keeps half-and-half traffic from
+//!   ping-ponging an object between two callers.
+
+use crate::id::NodeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A decayed counter pair (calls and bytes) with its last-update time.
+#[derive(Clone, Copy, Debug, Default)]
+struct Ewma {
+    calls: f64,
+    bytes: f64,
+    last: f64,
+}
+
+impl Ewma {
+    fn decay_to(&mut self, now: f64, half_life: f64) {
+        if now > self.last {
+            let factor = 0.5f64.powf((now - self.last) / half_life);
+            self.calls *= factor;
+            self.bytes *= factor;
+            self.last = now;
+        }
+    }
+}
+
+/// Per-object traffic: one decayed counter per caller node, plus the last
+/// affinity-migration time used for cooldown hysteresis.
+#[derive(Debug, Default)]
+struct ObjTraffic {
+    per_caller: HashMap<u32, Ewma>,
+    last_migrated: Option<f64>,
+}
+
+/// One hot object as reported by [`AffinityTracker::hot_objects`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AffinityHot {
+    /// The object (the runtime's opaque object id).
+    pub object: u64,
+    /// The caller contributing the most decayed call mass.
+    pub dominant: NodeId,
+    /// The dominant caller's fraction of the object's total call mass
+    /// (`0.0..=1.0`).
+    pub share: f64,
+    /// Total decayed call mass across all callers.
+    pub calls: f64,
+    /// Total decayed byte mass across all callers.
+    pub bytes: f64,
+}
+
+/// Point-in-time tracker size for the shell's `affinity` command.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AffinityTrackerStats {
+    /// Objects with live counters.
+    pub objects: usize,
+    /// `(caller, object)` pairs with live counters.
+    pub pairs: usize,
+}
+
+/// Deployment-wide decayed caller→object traffic counters.
+pub struct AffinityTracker {
+    enabled: AtomicBool,
+    half_life: f64,
+    objects: Mutex<HashMap<u64, ObjTraffic>>,
+}
+
+impl AffinityTracker {
+    /// A tracker whose counters lose half their mass every `half_life`
+    /// virtual seconds. Starts disabled.
+    pub fn new(half_life: f64) -> Self {
+        AffinityTracker {
+            enabled: AtomicBool::new(false),
+            half_life: half_life.max(1e-9),
+            objects: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Turns recording on or off. Off clears nothing — counters keep
+    /// decaying and can be re-enabled later.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on; the one-relaxed-load gate callers check
+    /// before paying for a sample.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The configured half-life in virtual seconds.
+    pub fn half_life(&self) -> f64 {
+        self.half_life
+    }
+
+    /// Records one delivered invocation of `object` issued from `caller`
+    /// carrying `bytes` argument wire bytes. No-op while disabled.
+    pub fn record(&self, caller: NodeId, object: u64, bytes: u64, now: f64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut objects = self.objects.lock();
+        let e = objects
+            .entry(object)
+            .or_default()
+            .per_caller
+            .entry(caller.0)
+            .or_default();
+        e.decay_to(now, self.half_life);
+        e.calls += 1.0;
+        e.bytes += bytes as f64;
+    }
+
+    /// Objects whose decayed call mass is at least `min_calls` and whose
+    /// last affinity migration (if any) is at least `cooldown` virtual
+    /// seconds old, with each object's dominant caller. Sorted by call mass
+    /// descending, so a bounded placement round handles the hottest first.
+    pub fn hot_objects(&self, now: f64, min_calls: f64, cooldown: f64) -> Vec<AffinityHot> {
+        let mut objects = self.objects.lock();
+        let mut out = Vec::new();
+        // Decay and prune in the same sweep: entries whose mass has decayed
+        // to noise are dropped so an idle object eventually costs nothing.
+        objects.retain(|&object, traffic| {
+            let mut total_calls = 0.0;
+            let mut total_bytes = 0.0;
+            let mut best: Option<(u32, f64)> = None;
+            traffic.per_caller.retain(|&caller, e| {
+                e.decay_to(now, self.half_life);
+                if e.calls < 1e-3 {
+                    return false;
+                }
+                total_calls += e.calls;
+                total_bytes += e.bytes;
+                if best.map(|(_, c)| e.calls > c).unwrap_or(true) {
+                    best = Some((caller, e.calls));
+                }
+                true
+            });
+            let Some((dominant, dominant_calls)) = best else {
+                return false;
+            };
+            let cooling = traffic
+                .last_migrated
+                .map(|t| now - t < cooldown)
+                .unwrap_or(false);
+            if total_calls >= min_calls && !cooling {
+                out.push(AffinityHot {
+                    object,
+                    dominant: NodeId(dominant),
+                    share: dominant_calls / total_calls,
+                    calls: total_calls,
+                    bytes: total_bytes,
+                });
+            }
+            true
+        });
+        out.sort_by(|a, b| {
+            b.calls
+                .partial_cmp(&a.calls)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out
+    }
+
+    /// Stamps an affinity migration of `object`, starting its cooldown.
+    pub fn note_migration(&self, object: u64, now: f64) {
+        if let Some(t) = self.objects.lock().get_mut(&object) {
+            t.last_migrated = Some(now);
+        }
+    }
+
+    /// Drops all counters for `object` (freed / unregistered).
+    pub fn forget(&self, object: u64) {
+        self.objects.lock().remove(&object);
+    }
+
+    /// Current tracker size.
+    pub fn stats(&self) -> AffinityTrackerStats {
+        let objects = self.objects.lock();
+        AffinityTrackerStats {
+            objects: objects.len(),
+            pairs: objects.values().map(|t| t.per_caller.len()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracker_records_nothing() {
+        let t = AffinityTracker::new(10.0);
+        t.record(NodeId(1), 7, 100, 0.0);
+        assert_eq!(t.stats(), AffinityTrackerStats::default());
+        t.set_enabled(true);
+        t.record(NodeId(1), 7, 100, 0.0);
+        assert_eq!(
+            t.stats(),
+            AffinityTrackerStats {
+                objects: 1,
+                pairs: 1
+            }
+        );
+    }
+
+    #[test]
+    fn dominant_caller_and_share_are_reported() {
+        let t = AffinityTracker::new(10.0);
+        t.set_enabled(true);
+        for _ in 0..9 {
+            t.record(NodeId(2), 7, 50, 1.0);
+        }
+        t.record(NodeId(3), 7, 50, 1.0);
+        let hot = t.hot_objects(1.0, 1.0, 0.0);
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].object, 7);
+        assert_eq!(hot[0].dominant, NodeId(2));
+        assert!((hot[0].share - 0.9).abs() < 1e-9, "{}", hot[0].share);
+        assert!((hot[0].calls - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_decay_with_the_half_life() {
+        let t = AffinityTracker::new(10.0);
+        t.set_enabled(true);
+        for _ in 0..8 {
+            t.record(NodeId(1), 7, 10, 0.0);
+        }
+        // One half-life later only half the mass remains.
+        let hot = t.hot_objects(10.0, 1.0, 0.0);
+        assert!((hot[0].calls - 4.0).abs() < 1e-9, "{}", hot[0].calls);
+        // Far in the future the entry decays below the noise floor and the
+        // object is pruned entirely.
+        assert!(t.hot_objects(500.0, 1e-6, 0.0).is_empty());
+        assert_eq!(t.stats(), AffinityTrackerStats::default());
+    }
+
+    #[test]
+    fn min_calls_and_cooldown_gate_hot_objects() {
+        let t = AffinityTracker::new(10.0);
+        t.set_enabled(true);
+        t.record(NodeId(1), 7, 10, 0.0);
+        assert!(t.hot_objects(0.0, 5.0, 0.0).is_empty(), "below min_calls");
+        for _ in 0..10 {
+            t.record(NodeId(1), 7, 10, 0.0);
+        }
+        assert_eq!(t.hot_objects(0.0, 5.0, 30.0).len(), 1);
+        t.note_migration(7, 0.0);
+        assert!(
+            t.hot_objects(10.0, 5.0, 30.0).is_empty(),
+            "cooling objects are ineligible"
+        );
+        assert_eq!(
+            t.hot_objects(31.0, 1.0, 30.0).len(),
+            1,
+            "eligible again after the cooldown"
+        );
+    }
+
+    #[test]
+    fn hottest_objects_sort_first_and_forget_drops() {
+        let t = AffinityTracker::new(10.0);
+        t.set_enabled(true);
+        for _ in 0..3 {
+            t.record(NodeId(1), 7, 10, 0.0);
+        }
+        for _ in 0..9 {
+            t.record(NodeId(1), 8, 10, 0.0);
+        }
+        let hot = t.hot_objects(0.0, 1.0, 0.0);
+        assert_eq!(hot[0].object, 8);
+        assert_eq!(hot[1].object, 7);
+        t.forget(8);
+        assert_eq!(t.hot_objects(0.0, 1.0, 0.0).len(), 1);
+    }
+}

@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+mod affinity;
 mod clock;
 mod id;
 mod link;
@@ -30,6 +31,7 @@ mod network;
 mod queue;
 mod stats;
 
+pub use affinity::{AffinityHot, AffinityTracker, AffinityTrackerStats};
 pub use clock::{sleep_until, SimClock, TimeScale, VirtDur, VirtTime};
 pub use id::NodeId;
 pub use link::{LinkClass, Topology};

@@ -132,6 +132,12 @@ pub enum Command {
     /// `batch` — RMI coalescing stage: configuration, flush counters by
     /// reason, mean batch size and modeled wire capacity freed.
     Batch,
+    /// `affinity [on|off]` — affinity-plane traffic/migration statistics
+    /// (DESIGN.md §14), or toggle affinity-guided re-placement at runtime.
+    Affinity {
+        /// `Some(enabled)` toggles re-placement; `None` shows statistics.
+        set: Option<bool>,
+    },
     /// `executor` — runtime scheduling mode: thread-per-node or the
     /// work-stealing executor, with live worker/queue/blocked counters.
     Executor,
@@ -393,6 +399,12 @@ impl Command {
             "stats" => Ok(Command::Stats),
             "directory" | "dir" => Ok(Command::Directory),
             "batch" => Ok(Command::Batch),
+            "affinity" => match rest.as_slice() {
+                [] => Ok(Command::Affinity { set: None }),
+                ["on"] => Ok(Command::Affinity { set: Some(true) }),
+                ["off"] => Ok(Command::Affinity { set: Some(false) }),
+                _ => Err(ParseError::Usage("affinity [on|off]")),
+            },
             "executor" | "exec" => Ok(Command::Executor),
             "metrics" => match rest.as_slice() {
                 [] => Ok(Command::Metrics { json: false }),
@@ -442,6 +454,7 @@ commands:
   stats / objects / log [n]              counters / object table / events
   directory                              replicated-directory leader, term, replica lag
   batch                                  RMI coalescing-stage config and counters
+  affinity [on|off]                      affinity-plane stats / toggle re-placement
   executor                               scheduling mode and work-stealing pool counters
   metrics [json]                         observability metrics (summary or JSON)
   trace [name-prefix]                    recorded spans as a tree (e.g. `trace migrate`)
@@ -461,6 +474,22 @@ mod tests {
         assert_eq!(Command::parse("directory").unwrap(), Command::Directory);
         assert_eq!(Command::parse("dir").unwrap(), Command::Directory);
         assert_eq!(Command::parse("batch").unwrap(), Command::Batch);
+        assert_eq!(
+            Command::parse("affinity").unwrap(),
+            Command::Affinity { set: None }
+        );
+        assert_eq!(
+            Command::parse("affinity on").unwrap(),
+            Command::Affinity { set: Some(true) }
+        );
+        assert_eq!(
+            Command::parse("affinity off").unwrap(),
+            Command::Affinity { set: Some(false) }
+        );
+        assert!(matches!(
+            Command::parse("affinity maybe"),
+            Err(ParseError::Usage(_))
+        ));
         assert_eq!(Command::parse("executor").unwrap(), Command::Executor);
         assert_eq!(Command::parse("exec").unwrap(), Command::Executor);
     }

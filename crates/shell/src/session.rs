@@ -377,6 +377,15 @@ impl ShellSession {
                     "heartbeat {:.3}s, election timeout {:.3}s (virtual)",
                     status[0].heartbeat_interval, status[0].election_timeout
                 );
+                if status[0].lease_duration > 0.0 {
+                    let _ = writeln!(
+                        out,
+                        "read leases: {:.3}s (leader serves reads locally while leased)",
+                        status[0].lease_duration
+                    );
+                } else {
+                    out.push_str("read leases: off (every read runs a probe round)\n");
+                }
                 let _ = writeln!(
                     out,
                     "{:<5} {:<10} {:>5} {:>7} {:>8} {:>4} {:>4} {:>9} {:>10} {:>6}",
@@ -449,6 +458,13 @@ impl ShellSession {
                     "coalesced followers: {coalesced}; mean batch size: {mean:.2}"
                 );
                 let _ = writeln!(out, "modeled wire capacity freed: {saved} bytes");
+                let compressed = snap.metrics.counter_total("net.batch.compressed_bytes");
+                if compressed > 0 {
+                    let _ = writeln!(
+                        out,
+                        "compressed batch payload charged to the wire: {compressed} bytes"
+                    );
+                }
                 let open: f64 = snap
                     .metrics
                     .gauges
@@ -459,6 +475,40 @@ impl ShellSession {
                     // render as "-0" when no gauge exists yet.
                     .fold(0.0, |a, v| a + v);
                 let _ = writeln!(out, "open batches now: {open:.0}");
+                Ok(out)
+            }
+            Command::Affinity { set } => {
+                if let Some(enabled) = set {
+                    self.deployment.set_affinity(enabled);
+                    return Ok(format!(
+                        "affinity-guided re-placement {}",
+                        if enabled { "enabled" } else { "disabled" }
+                    ));
+                }
+                let a = self.deployment.affinity_stats();
+                let mut out = format!(
+                    "affinity plane: {} (half-life {:.1}s virtual)\n",
+                    if a.placement { "on" } else { "off" },
+                    a.half_life
+                );
+                let _ = writeln!(
+                    out,
+                    "traffic counters: {} objects, {} caller/object pairs",
+                    a.objects, a.pairs
+                );
+                let _ = writeln!(
+                    out,
+                    "re-placement: {} rounds, {} objects moved toward dominant callers",
+                    a.rounds, a.migrations
+                );
+                let snap = self.deployment.obs().snapshot();
+                let reads = snap.metrics.counter_total("dir.reads");
+                let local = snap.metrics.counter_total("dir.lease.local_reads");
+                let _ = writeln!(
+                    out,
+                    "directory read leases: {} ({local}/{reads} reads served locally)",
+                    if a.leases { "on" } else { "off" }
+                );
                 Ok(out)
             }
             Command::Executor => {
@@ -797,6 +847,37 @@ mod obs_tests {
     }
 
     #[test]
+    fn affinity_command_reports_stats_and_toggles() {
+        // Plain deployment: the plane is off, stats still render.
+        let d = shell_with_idle_machines(2).boot();
+        register_test_classes(&d);
+        let mut s = ShellSession::new(d).unwrap();
+        let out = s.run_line("affinity");
+        assert!(out.contains("affinity plane: off"), "{out}");
+        assert!(out.contains("directory read leases: off"), "{out}");
+        // With re-placement on, traffic counters fill and the toggle works.
+        let d = shell_with_idle_machines(3)
+            .affinity(jsym_core::AffinityConfig {
+                placement: true,
+                ..jsym_core::AffinityConfig::default()
+            })
+            .boot();
+        register_test_classes(&d);
+        let mut s = ShellSession::new(d).unwrap();
+        s.run_line("create Counter m1");
+        for _ in 0..5 {
+            s.run_line("invoke c1 add 1");
+        }
+        let out = s.run_line("affinity");
+        assert!(out.contains("affinity plane: on"), "{out}");
+        assert!(out.contains("traffic counters: 1 objects"), "{out}");
+        assert!(s.run_line("affinity off").contains("disabled"));
+        let out = s.run_line("affinity");
+        assert!(out.contains("affinity plane: off"), "{out}");
+        assert!(s.run_line("affinity on").contains("enabled"));
+    }
+
+    #[test]
     fn trace_command_shows_migration_protocol_subtree() {
         let d = shell_with_idle_machines(3).boot();
         register_test_classes(&d);
@@ -848,6 +929,7 @@ mod directory_tests {
         assert!(out.contains("lag"), "{out}");
         assert!(out.contains("follower"), "{out}");
         assert!(out.contains("heartbeat"), "{out}");
+        assert!(out.contains("read leases: off"), "{out}");
     }
 
     #[test]
