@@ -1,0 +1,348 @@
+//! E14 — `ablate_contention`: hot-path contention ablation (PR 10).
+//!
+//! Sweeps the delivery-plane stripe count against the executor worker count
+//! and measures mixed-storm throughput per cell, alongside the lock, steal
+//! and wake counters the de-contended paths export. The `shards = 1` column
+//! runs with *all* legacy toggles (single-stripe pair state, endpoint cache
+//! off, global-injector executor) and is the contention baseline; every
+//! other cell runs the striped delivery plane, the per-thread endpoint
+//! cache and the striped-injector executor.
+//!
+//! Workload per cell: boot `--nodes` machines in executor mode with RMI
+//! batching armed (so the `pending` and `gaps` stripes are live), create
+//! `--objects` Counters round-robin, then `--drivers` threads each run
+//! `--ops` mixed operations (one-sided / sync / async adds, reads,
+//! migrations). No partitions: every op must succeed, and after quiescing
+//! `sent == delivered` is asserted per cell.
+//!
+//! Usage:
+//!   cargo run --release -p jsym-bench --bin ablate_contention
+//!   cargo run --release -p jsym-bench --bin ablate_contention -- --quick
+//!   (knobs: --nodes N --objects N --ops N --drivers N --seed N)
+
+use jsym_bench::write_json;
+use jsym_core::testkit::register_test_classes;
+use jsym_core::{CostModel, JsObj, JsShell, MachineConfig, MigrateTarget, Placement, Value};
+use jsym_net::NodeId;
+use serde::Serialize;
+use std::time::Instant;
+
+/// xorshift64* — deterministic per-driver op stream without external crates.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    nodes: usize,
+    objects: usize,
+    /// Mixed operations per driver thread.
+    ops: usize,
+    drivers: usize,
+    seed: u64,
+    quick: bool,
+}
+
+impl Config {
+    fn full() -> Config {
+        Config {
+            nodes: 128,
+            objects: 2_048,
+            ops: 4_000,
+            drivers: 4,
+            seed: 1000,
+            quick: false,
+        }
+    }
+
+    fn quick() -> Config {
+        Config {
+            nodes: 16,
+            objects: 256,
+            ops: 400,
+            drivers: 2,
+            seed: 1000,
+            quick: true,
+        }
+    }
+}
+
+/// One grid cell: a (stripe count, worker count) combination and everything
+/// the hot paths counted while the storm ran under it.
+#[derive(Serialize)]
+struct Cell {
+    machine: String,
+    /// Requested stripe count (1 = full legacy toggles).
+    state_shards: usize,
+    /// Effective stripe count after power-of-two rounding.
+    effective_shards: usize,
+    workers: usize,
+    /// True for the `shards = 1` baseline column: endpoint cache off and the
+    /// legacy global-injector executor.
+    legacy: bool,
+    drivers: usize,
+    ops_per_driver: usize,
+    mix_wall_s: f64,
+    ops_per_s: f64,
+    ops_ok: u64,
+    ops_failed: u64,
+    msgs_sent: u64,
+    msgs_delivered: u64,
+    // Delivery-plane contention counters (contended stripe acquisitions).
+    pair_contended: u64,
+    pending_contended: u64,
+    gaps_contended: u64,
+    ep_cache_hits: u64,
+    ep_cache_misses: u64,
+    // Executor counters.
+    exec_steals: u64,
+    exec_parks: u64,
+    exec_spare_spawns: u64,
+    wakes_targeted: u64,
+    wakes_escalated: u64,
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn machine_note() -> String {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    format!(
+        "{}-{} {cpus} cpus",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    )
+}
+
+fn run_cell(cfg: &Config, shards: usize, workers: usize) -> Cell {
+    let legacy = shards == 1;
+    let d = JsShell::new()
+        .add_machines((0..cfg.nodes).map(|i| MachineConfig::idle(&format!("ct{i}"), 50.0)))
+        .time_scale(1e-6)
+        .monitor_period(1e9)
+        .failure_timeout(1e9)
+        .cost_model(CostModel::free())
+        .rmi_batching(1.0, 64 * 1024)
+        .net_state_shards(shards)
+        .net_endpoint_cache(!legacy)
+        .executor(workers)
+        .executor_legacy_injector(legacy)
+        .boot();
+    register_test_classes(&d);
+    let reg = d.register_app().expect("register app");
+    let objs: Vec<JsObj> = (0..cfg.objects)
+        .map(|i| {
+            JsObj::create(
+                &reg,
+                "Counter",
+                &[],
+                Placement::OnPhys(NodeId((i % cfg.nodes) as u32)),
+                None,
+            )
+            .expect("create object")
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let tallies: Vec<(u64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.drivers)
+            .map(|t| {
+                let objs = &objs;
+                s.spawn(move || {
+                    let mut rng = Rng::new(cfg.seed ^ ((t as u64 + 1) << 32));
+                    let (mut ok, mut failed) = (0u64, 0u64);
+                    let mut inflight: Vec<jsym_core::ResultHandle> = Vec::new();
+                    for _ in 0..cfg.ops {
+                        let obj = &objs[(rng.next() as usize) % objs.len()];
+                        let r = match rng.next() % 100 {
+                            0..=54 => obj.oinvoke("add", &[Value::I64(1)]).map(|_| ()),
+                            55..=69 => obj.sinvoke("add", &[Value::I64(1)]).map(|_| ()),
+                            70..=79 => match obj.ainvoke("add", &[Value::I64(1)]) {
+                                Ok(h) => {
+                                    inflight.push(h);
+                                    if inflight.len() >= 32 {
+                                        for h in inflight.drain(..) {
+                                            match h.get_result() {
+                                                Ok(_) => ok += 1,
+                                                Err(_) => failed += 1,
+                                            }
+                                        }
+                                    }
+                                    continue;
+                                }
+                                Err(e) => Err(e),
+                            },
+                            80..=94 => obj.sinvoke("get", &[]).map(|_| ()),
+                            _ => {
+                                let dst = NodeId((rng.next() as usize % cfg.nodes) as u32);
+                                obj.migrate(MigrateTarget::ToPhys(dst), None).map(|_| ())
+                            }
+                        };
+                        match r {
+                            Ok(()) => ok += 1,
+                            Err(_) => failed += 1,
+                        }
+                    }
+                    for h in inflight.drain(..) {
+                        match h.get_result() {
+                            Ok(_) => ok += 1,
+                            Err(_) => failed += 1,
+                        }
+                    }
+                    (ok, failed)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mix_wall_s = t0.elapsed().as_secs_f64();
+
+    // Quiesce trailing one-sided traffic, then read the counters.
+    d.clock().sleep(1.0);
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let net = d.net_stats();
+    let hot = d.net_hot_stats();
+    let exec = d.exec_stats().expect("executor mode");
+    let (ok, failed) = tallies
+        .iter()
+        .fold((0, 0), |(a, b), &(o, f)| (a + o, b + f));
+    let ops_total = (cfg.ops * cfg.drivers) as f64;
+    let cell = Cell {
+        machine: machine_note(),
+        state_shards: shards,
+        effective_shards: hot.state_shards,
+        workers,
+        legacy,
+        drivers: cfg.drivers,
+        ops_per_driver: cfg.ops,
+        mix_wall_s,
+        ops_per_s: ops_total / mix_wall_s.max(1e-9),
+        ops_ok: ok,
+        ops_failed: failed,
+        msgs_sent: net.msgs_sent,
+        msgs_delivered: net.msgs_delivered,
+        pair_contended: hot.pair_contended,
+        pending_contended: hot.pending_contended,
+        gaps_contended: hot.gaps_contended,
+        ep_cache_hits: hot.ep_cache_hits,
+        ep_cache_misses: hot.ep_cache_misses,
+        exec_steals: exec.steals,
+        exec_parks: exec.parks,
+        exec_spare_spawns: exec.spare_spawns,
+        wakes_targeted: exec.wakes_targeted,
+        wakes_escalated: exec.wakes_escalated,
+    };
+    reg.unregister().ok();
+    d.shutdown();
+
+    // No partitions are injected: the whole mix must succeed, and after the
+    // quiesce nothing may still be in flight.
+    assert_eq!(cell.ops_failed, 0, "ops failed in a partition-free storm");
+    assert_eq!(
+        cell.msgs_sent, cell.msgs_delivered,
+        "messages in flight after quiesce"
+    );
+    cell
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = if args.iter().any(|a| a == "--quick") {
+        Config::quick()
+    } else {
+        Config::full()
+    };
+    if let Some(v) = parse_flag::<usize>(&args, "--nodes") {
+        cfg.nodes = v.max(2);
+    }
+    if let Some(v) = parse_flag::<usize>(&args, "--objects") {
+        cfg.objects = v.max(1);
+    }
+    if let Some(v) = parse_flag::<usize>(&args, "--ops") {
+        cfg.ops = v;
+    }
+    if let Some(v) = parse_flag::<usize>(&args, "--drivers") {
+        cfg.drivers = v.clamp(1, 64);
+    }
+    if let Some(v) = parse_flag::<u64>(&args, "--seed") {
+        cfg.seed = v;
+    }
+    let (shard_grid, worker_grid): (&[usize], &[usize]) = if cfg.quick {
+        (&[1, 8], &[2])
+    } else {
+        (&[1, 8, 64], &[2, 4, 8])
+    };
+    eprintln!(
+        "ablate_contention: {} nodes / {} objects, {} drivers x {} ops; shards {:?} x workers {:?}",
+        cfg.nodes, cfg.objects, cfg.drivers, cfg.ops, shard_grid, worker_grid
+    );
+
+    let mut cells = Vec::new();
+    println!("shards workers legacy    ops/s  pair_cont pend_cont gaps_cont cache_hit/miss   steals  wake_t/wake_e");
+    for &workers in worker_grid {
+        for &shards in shard_grid {
+            let cell = run_cell(&cfg, shards, workers);
+            println!(
+                "{:6} {:7} {:6} {:8.0} {:10} {:9} {:9} {:9}/{:<6} {:8} {:7}/{}",
+                cell.state_shards,
+                cell.workers,
+                cell.legacy,
+                cell.ops_per_s,
+                cell.pair_contended,
+                cell.pending_contended,
+                cell.gaps_contended,
+                cell.ep_cache_hits,
+                cell.ep_cache_misses,
+                cell.exec_steals,
+                cell.wakes_targeted,
+                cell.wakes_escalated
+            );
+            cells.push(cell);
+        }
+    }
+
+    // Legacy baseline vs. the widest striped cell at each worker count.
+    for &workers in worker_grid {
+        let base = cells
+            .iter()
+            .find(|c| c.workers == workers && c.legacy)
+            .expect("baseline cell");
+        let best = cells
+            .iter()
+            .filter(|c| c.workers == workers && !c.legacy)
+            .max_by(|a, b| a.ops_per_s.total_cmp(&b.ops_per_s))
+            .expect("striped cell");
+        eprintln!(
+            "workers {}: striped x{} = {:.2}x legacy ({:.0} vs {:.0} ops/s)",
+            workers,
+            best.state_shards,
+            best.ops_per_s / base.ops_per_s.max(1e-9),
+            best.ops_per_s,
+            base.ops_per_s
+        );
+    }
+
+    match write_json("ablate_contention", &cells) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

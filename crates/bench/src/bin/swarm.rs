@@ -26,6 +26,12 @@
 //!   cargo run --release -p jsym-bench --bin swarm -- --quick  # 64 nodes / 2k objects
 //!   (knobs: --nodes N --objects N --ops N --drivers N --executor N
 //!           --scale S --seed N)
+//!
+//! `--legacy-contention` reverts every PR 10 hot-path layout (single-stripe
+//! delivery-plane state, endpoint cache off, global-injector executor) for a
+//! contention baseline. `--compare-contention` runs the storm twice — legacy
+//! layout first, then the striped default — writes both rows into
+//! `swarm.json` and prints the measured speedup.
 
 use jsym_bench::write_json;
 use jsym_core::obs::HistogramSnapshot;
@@ -68,6 +74,9 @@ struct Config {
     time_scale: f64,
     seed: u64,
     quick: bool,
+    /// Revert the PR 10 hot-path layouts (stripes, endpoint cache, striped
+    /// injector) to their legacy single-lock forms.
+    legacy_contention: bool,
 }
 
 impl Config {
@@ -81,6 +90,7 @@ impl Config {
             time_scale: 1e-6,
             seed: 2000,
             quick: false,
+            legacy_contention: false,
         }
     }
 
@@ -94,6 +104,7 @@ impl Config {
             time_scale: 1e-5,
             seed: 2000,
             quick: true,
+            legacy_contention: false,
         }
     }
 }
@@ -120,6 +131,12 @@ struct LatencyReport {
 
 #[derive(Serialize)]
 struct Report {
+    /// OS / arch / CPU count the row was measured on — rows are only
+    /// comparable within one machine string.
+    machine: String,
+    /// True when the run reverted the PR 10 hot paths to their legacy
+    /// single-lock layouts (`--legacy-contention`).
+    legacy_contention: bool,
     nodes: usize,
     objects: usize,
     drivers: usize,
@@ -155,6 +172,30 @@ struct Report {
     exec_parks: u64,
     exec_spare_spawns: u64,
     exec_blocked_at_end: usize,
+    /// Spawns that woke the parked owner of the stripe they pushed to.
+    exec_wakes_targeted: u64,
+    /// Wakes escalated past the stripe owner (owner busy, or backlog).
+    exec_wakes_escalated: u64,
+    /// Effective delivery-plane stripe count.
+    net_state_shards: usize,
+    /// Contended stripe acquisitions: pair state / batching / gap windows.
+    net_pair_contended: u64,
+    net_pending_contended: u64,
+    net_gaps_contended: u64,
+    /// Per-thread endpoint-cache hits (sends with zero directory reads).
+    net_ep_cache_hits: u64,
+    net_ep_cache_misses: u64,
+}
+
+fn machine_note() -> String {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    format!(
+        "{}-{} {cpus} cpus",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    )
 }
 
 /// Linear-interpolated quantile over the histogram's buckets, clamped to the
@@ -281,51 +322,40 @@ fn inject_partitions(d: &Deployment, cfg: &Config, home: NodeId, finished: &Atom
     injected
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cfg = if args.iter().any(|a| a == "--quick") {
-        Config::quick()
-    } else {
-        Config::full()
-    };
-    if let Some(v) = parse_flag::<usize>(&args, "--nodes") {
-        cfg.nodes = v.max(2);
-    }
-    if let Some(v) = parse_flag::<usize>(&args, "--objects") {
-        cfg.objects = v.max(cfg.drivers);
-    }
-    if let Some(v) = parse_flag::<usize>(&args, "--ops") {
-        cfg.ops = v;
-    }
-    if let Some(v) = parse_flag::<usize>(&args, "--drivers") {
-        cfg.drivers = v.clamp(1, 64);
-    }
-    if let Some(v) = parse_flag::<usize>(&args, "--executor") {
-        cfg.executor = v.max(1);
-    }
-    if let Some(v) = parse_flag::<f64>(&args, "--scale") {
-        cfg.time_scale = v;
-    }
-    if let Some(v) = parse_flag::<u64>(&args, "--seed") {
-        cfg.seed = v;
-    }
+/// Boots, runs the three phases under `cfg` and returns the report row.
+fn run_once(cfg: &Config) -> Report {
     eprintln!(
-        "swarm: {} nodes / {} objects on a {}-worker executor, {} drivers x {} ops",
-        cfg.nodes, cfg.objects, cfg.executor, cfg.drivers, cfg.ops
+        "swarm: {} nodes / {} objects on a {}-worker executor, {} drivers x {} ops{}",
+        cfg.nodes,
+        cfg.objects,
+        cfg.executor,
+        cfg.drivers,
+        cfg.ops,
+        if cfg.legacy_contention {
+            " [legacy contention layout]"
+        } else {
+            ""
+        }
     );
 
     let t0 = Instant::now();
     // NA monitoring and failure detection are quiesced (far-future periods):
     // at this scale the counters should reflect application traffic, and the
     // partitions injected below must not trigger failure handling.
-    let d = JsShell::new()
+    let mut shell = JsShell::new()
         .add_machines((0..cfg.nodes).map(|i| MachineConfig::idle(&format!("sw{i}"), 50.0)))
         .time_scale(cfg.time_scale)
         .monitor_period(1e9)
         .failure_timeout(1e9)
         .cost_model(CostModel::free())
-        .executor(cfg.executor)
-        .boot();
+        .executor(cfg.executor);
+    if cfg.legacy_contention {
+        shell = shell
+            .net_state_shards(1)
+            .net_endpoint_cache(false)
+            .executor_legacy_injector(true);
+    }
+    let d = shell.boot();
     register_test_classes(&d);
     let reg = d.register_app().expect("register app");
     let home = d.machines()[0];
@@ -380,7 +410,7 @@ fn main() {
                 s.spawn(move || drive(cfg, reg, objs, t, finished))
             })
             .collect();
-        let injected = inject_partitions(&d, &cfg, home, &finished);
+        let injected = inject_partitions(&d, cfg, home, &finished);
         (
             handles.into_iter().map(|h| h.join().unwrap()).collect(),
             injected,
@@ -406,6 +436,7 @@ fn main() {
         }
     }
     let net = d.net_stats();
+    let hot = d.net_hot_stats();
     let exec = d.exec_stats().expect("executor mode");
     let virt_seconds = d.clock().now();
 
@@ -418,6 +449,8 @@ fn main() {
         t.churn_frees += x.churn_frees;
     }
     let report = Report {
+        machine: machine_note(),
+        legacy_contention: cfg.legacy_contention,
         nodes: cfg.nodes,
         objects: cfg.objects,
         drivers: cfg.drivers,
@@ -457,6 +490,14 @@ fn main() {
         exec_parks: exec.parks,
         exec_spare_spawns: exec.spare_spawns,
         exec_blocked_at_end: exec.blocked,
+        exec_wakes_targeted: exec.wakes_targeted,
+        exec_wakes_escalated: exec.wakes_escalated,
+        net_state_shards: hot.state_shards,
+        net_pair_contended: hot.pair_contended,
+        net_pending_contended: hot.pending_contended,
+        net_gaps_contended: hot.gaps_contended,
+        net_ep_cache_hits: hot.ep_cache_hits,
+        net_ep_cache_misses: hot.ep_cache_misses,
     };
     println!(
         "ops ok {} / failed {} (partitions {}), migrations {}, churn +{}/-{}",
@@ -486,8 +527,10 @@ fn main() {
         report.exec_spare_spawns
     );
 
-    // Sanity: traffic flowed, the op mix mostly succeeded, nothing leaked a
-    // permanently blocked worker.
+    // Sanity: traffic flowed, the op mix mostly succeeded (partition-window
+    // failures are expected, wholesale failure is not), nothing leaked a
+    // permanently blocked worker and nothing is still in flight after the
+    // quiesce. These hold in `--quick` CI runs too.
     assert!(report.ops_ok > 0, "no operation succeeded");
     assert!(
         report.ops_ok as f64 / (report.ops_ok + report.ops_failed) as f64 > 0.5,
@@ -496,10 +539,71 @@ fn main() {
         report.ops_failed
     );
     assert!(report.rmi_latency.count > 0, "no RMI latencies recorded");
+    // Every sent message is accounted for: delivered, or dropped because a
+    // partition cut it mid-flight. Anything else is still in flight.
+    assert_eq!(
+        report.msgs_sent,
+        report.msgs_delivered + report.msgs_dropped,
+        "messages still in flight after quiesce"
+    );
 
     reg.unregister().ok();
     d.shutdown();
-    match write_json("swarm", std::slice::from_ref(&report)) {
+    report
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = if args.iter().any(|a| a == "--quick") {
+        Config::quick()
+    } else {
+        Config::full()
+    };
+    if let Some(v) = parse_flag::<usize>(&args, "--nodes") {
+        cfg.nodes = v.max(2);
+    }
+    if let Some(v) = parse_flag::<usize>(&args, "--objects") {
+        cfg.objects = v.max(cfg.drivers);
+    }
+    if let Some(v) = parse_flag::<usize>(&args, "--ops") {
+        cfg.ops = v;
+    }
+    if let Some(v) = parse_flag::<usize>(&args, "--drivers") {
+        cfg.drivers = v.clamp(1, 64);
+    }
+    if let Some(v) = parse_flag::<usize>(&args, "--executor") {
+        cfg.executor = v.max(1);
+    }
+    if let Some(v) = parse_flag::<f64>(&args, "--scale") {
+        cfg.time_scale = v;
+    }
+    if let Some(v) = parse_flag::<u64>(&args, "--seed") {
+        cfg.seed = v;
+    }
+    cfg.legacy_contention = args.iter().any(|a| a == "--legacy-contention");
+
+    let rows = if args.iter().any(|a| a == "--compare-contention") {
+        // Same storm twice on the same machine: legacy single-lock layouts
+        // first, then the striped default, with the speedup printed.
+        let legacy = run_once(&Config {
+            legacy_contention: true,
+            ..cfg
+        });
+        let striped = run_once(&Config {
+            legacy_contention: false,
+            ..cfg
+        });
+        eprintln!(
+            "contention speedup: {:.2}x ({:.0} vs {:.0} ops/s legacy)",
+            striped.ops_per_s / legacy.ops_per_s.max(1e-9),
+            striped.ops_per_s,
+            legacy.ops_per_s
+        );
+        vec![legacy, striped]
+    } else {
+        vec![run_once(&cfg)]
+    };
+    match write_json("swarm", &rows) {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
     }

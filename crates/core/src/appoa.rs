@@ -330,7 +330,7 @@ impl AppShared {
             node.config.call_timeout,
             Box::new(move |v: &Value| {
                 // Caller-side result unmarshalling.
-                machine.compute(cost.result_cost(Msg::reply_wire_size(&Ok(v.clone()))));
+                machine.compute(cost.result_cost(Msg::reply_wire_size_ok(v)));
                 if let Some(span) = span_cell.lock().take() {
                     match span.start_time() {
                         Some(start) => {

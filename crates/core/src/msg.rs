@@ -220,6 +220,13 @@ impl Msg {
             Err(_) => 64,
         }
     }
+
+    /// [`Msg::reply_wire_size`] for a borrowed success value, so the
+    /// pre-charge on every synchronous RMI reply does not clone the `Value`
+    /// just to size it.
+    pub(crate) fn reply_wire_size_ok(v: &Value) -> usize {
+        48 + v.wire_size()
+    }
 }
 
 #[cfg(test)]

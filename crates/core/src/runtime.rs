@@ -364,10 +364,8 @@ impl NodeShared {
             },
         )?;
         // Caller-side result unmarshalling.
-        self.machine.compute(
-            self.cost
-                .result_cost(Msg::reply_wire_size(&Ok(result.clone()))),
-        );
+        self.machine
+            .compute(self.cost.result_cost(Msg::reply_wire_size_ok(&result)));
         Ok(result)
     }
 

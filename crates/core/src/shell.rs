@@ -128,6 +128,9 @@ pub struct JsShell {
     directory_replicas: u32,
     rmi_batching: Option<jsym_net::BatchConfig>,
     executor_threads: usize,
+    executor_legacy_injector: bool,
+    net_state_shards: usize,
+    net_endpoint_cache: bool,
     pub(crate) affinity: AffinityConfig,
 }
 
@@ -155,6 +158,9 @@ impl JsShell {
             directory_replicas: 0,
             rmi_batching: None,
             executor_threads: 0,
+            executor_legacy_injector: false,
+            net_state_shards: jsym_net::NetworkConfig::default().state_shards,
+            net_endpoint_cache: jsym_net::NetworkConfig::default().endpoint_cache,
             affinity: AffinityConfig::default(),
         }
     }
@@ -359,6 +365,33 @@ impl JsShell {
         self
     }
 
+    /// Routes executor spawns through the legacy single global inject queue
+    /// and global sleep condvar instead of the default per-worker striped
+    /// inject queues with targeted parker wakeups. Scheduling semantics are
+    /// identical (the two are differential-tested against each other); kept
+    /// as the contention oracle for `ablate_contention`.
+    pub fn executor_legacy_injector(mut self, legacy: bool) -> Self {
+        self.executor_legacy_injector = legacy;
+        self
+    }
+
+    /// Sets the lock-stripe count for the delivery plane's per-pair hot-path
+    /// state (`pair_last`, and the batching stage's `pending`/`gaps` maps).
+    /// Rounded up to a power of two; `1` collapses to the legacy
+    /// single-lock layout, kept as the differential oracle (DESIGN.md §15).
+    pub fn net_state_shards(mut self, shards: usize) -> Self {
+        self.net_state_shards = shards.max(1);
+        self
+    }
+
+    /// Enables or disables the per-thread endpoint-directory cache that lets
+    /// fault-free sends resolve their destination without any global
+    /// `RwLock` read (on by default; `false` is the legacy lookup path).
+    pub fn net_endpoint_cache(mut self, enabled: bool) -> Self {
+        self.net_endpoint_cache = enabled;
+        self
+    }
+
     /// Configures the affinity plane: decayed caller→object traffic
     /// counters drive affinity-guided re-placement during automigrate
     /// supervisor rounds, and the replicated directory serves leader-local
@@ -379,9 +412,12 @@ impl JsShell {
             jsym_obs::ObsRegistry::disabled()
         };
         let exec = if self.executor_threads > 0 {
-            Some(jsym_exec::Executor::with_obs(
+            Some(jsym_exec::Executor::with_config(
                 self.executor_threads,
                 obs.clone(),
+                jsym_exec::ExecConfig {
+                    legacy_injector: self.executor_legacy_injector,
+                },
             ))
         } else {
             None
@@ -412,6 +448,8 @@ impl JsShell {
                     delivery_shards: self.delivery_shards,
                     batching: self.rmi_batching.clone(),
                     deliver_via_hook: exec.is_some(),
+                    state_shards: self.net_state_shards,
+                    endpoint_cache: self.net_endpoint_cache,
                     ..jsym_net::NetworkConfig::default()
                 },
                 obs.clone(),
@@ -1042,6 +1080,12 @@ impl Deployment {
     /// Network traffic counters.
     pub fn net_stats(&self) -> jsym_net::NetStatsSnapshot {
         self.inner.network.stats()
+    }
+
+    /// Delivery-plane hot-path contention counters (stripe-lock waits,
+    /// endpoint-cache hit/miss) — see [`jsym_net::NetHotStats`].
+    pub fn net_hot_stats(&self) -> jsym_net::NetHotStats {
+        self.inner.network.hot_stats()
     }
 
     /// The deployment's structural event log (creations, migrations,

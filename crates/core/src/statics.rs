@@ -90,7 +90,7 @@ impl JsStaticRef {
             reissue,
             node.config.call_timeout,
             Box::new(move |v: &Value| {
-                machine.compute(cost.result_cost(Msg::reply_wire_size(&Ok(v.clone()))));
+                machine.compute(cost.result_cost(Msg::reply_wire_size_ok(v)));
             }),
         ))
     }

@@ -4,9 +4,11 @@
 //!
 //! The runtime's legacy model spawns OS threads per node (receiver, NA loop,
 //! worker pool), which caps simulated cluster size at a few hundred nodes.
-//! This crate provides the alternative: a fixed pool of workers fed by a
-//! global injector + per-worker run queues with stealing, plus a single timer
-//! thread that releases [`Executor::spawn_at`] jobs at their real deadline.
+//! This crate provides the alternative: a fixed pool of workers fed by
+//! per-worker striped inject queues (round-robin placement, targeted parker
+//! wakeups; one global injector + condvar in the legacy oracle mode) plus
+//! per-worker run queues with stealing, and a single timer thread that
+//! releases [`Executor::spawn_at`] jobs at their real deadline.
 //! Queues are short-critical-section mutexed `VecDeque`s rather than lock-free
 //! Chase-Lev deques: jobs here are node mailbox drains and RMI dispatches that
 //! run for microseconds to milliseconds, so queue-op cost is noise and the
@@ -32,7 +34,7 @@
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::cell::RefCell;
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -81,10 +83,6 @@ impl JobQueue {
         Some(first)
     }
 
-    fn len(&self) -> usize {
-        self.q.lock().len()
-    }
-
     fn is_empty(&self) -> bool {
         self.q.lock().is_empty()
     }
@@ -92,6 +90,106 @@ impl JobQueue {
     fn clear(&self) {
         self.q.lock().clear();
     }
+}
+
+/// Tunables for [`Executor::with_config`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecConfig {
+    /// Use the legacy layout — one global inject queue plus one global sleep
+    /// condvar — instead of per-worker striped inject queues with targeted
+    /// parker wakeups. Kept as the differential oracle for the striped
+    /// scheduler (and for the `ablate_contention` sweep).
+    pub legacy_injector: bool,
+}
+
+const P_RUNNING: u8 = 0;
+const P_PARKED: u8 = 1;
+const P_NOTIFIED: u8 = 2;
+
+/// One worker's token parker, replacing the legacy global sleep condvar so a
+/// spawn can wake exactly the worker that owns the stripe it pushed to
+/// instead of notifying a herd.
+///
+/// Protocol (Dekker-style): the worker publishes `PARKED` with [`Parker::
+/// prepare`] *before* its final queue re-check, and a spawner pushes its job
+/// *before* calling [`Parker::unpark`]. Under `SeqCst` one of the two must
+/// observe the other, so a job can never be stranded: either the spawner
+/// sees `PARKED` and wakes us, or our re-check sees the job. An `unpark`
+/// against a running worker leaves a `NOTIFIED` token that makes the next
+/// `prepare` skip the park and re-scan instead.
+struct Parker {
+    state: AtomicU8,
+    /// Notification token, guarded so a wake between `prepare` and the wait
+    /// below cannot be lost.
+    m: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Parker {
+    fn new() -> Self {
+        Parker {
+            state: AtomicU8::new(P_RUNNING),
+            m: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Publish intent to park. Returns `false` when a notification was
+    /// already pending (it is consumed; the caller should re-scan the queues
+    /// instead of parking).
+    fn prepare(&self) -> bool {
+        if self
+            .state
+            .compare_exchange(P_RUNNING, P_PARKED, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            true
+        } else {
+            self.state.store(P_RUNNING, Ordering::SeqCst);
+            *self.m.lock() = false;
+            false
+        }
+    }
+
+    /// Abort a prepared park (work appeared during the final re-check).
+    fn cancel(&self) {
+        self.state.store(P_RUNNING, Ordering::SeqCst);
+        *self.m.lock() = false;
+    }
+
+    /// Block until notified or `timeout`; must follow a successful
+    /// [`Parker::prepare`].
+    fn park(&self, timeout: Duration) {
+        let mut notified = self.m.lock();
+        if !*notified && self.state.load(Ordering::SeqCst) == P_PARKED {
+            self.cv.wait_for(&mut notified, timeout);
+        }
+        *notified = false;
+        self.state.store(P_RUNNING, Ordering::SeqCst);
+    }
+
+    /// Wake the owner if it is parked; otherwise leave a token that makes
+    /// its next `prepare` re-scan. Returns whether a parked worker was woken.
+    fn unpark(&self) -> bool {
+        if self.state.swap(P_NOTIFIED, Ordering::SeqCst) == P_PARKED {
+            *self.m.lock() = true;
+            self.cv.notify_one();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Everything a worker thread owns: its private run deque (owner pops the
+/// front, thieves the back), the inject stripe it drains first, and its
+/// parker.
+struct WorkerSlot {
+    local: JobQueue,
+    /// Index of the striped inject queue this worker is biased toward
+    /// (mod the stripe count; spares inherit an arbitrary stripe).
+    stripe: usize,
+    parker: Parker,
 }
 
 /// Capacity ledger guarded by one mutex so blocking-entry and spare-retire
@@ -141,11 +239,25 @@ struct TimerState {
 }
 
 struct Inner {
+    /// Legacy single inject queue; unused (always empty) in striped mode.
     injector: JobQueue,
-    locals: RwLock<Vec<Arc<JobQueue>>>,
+    /// Striped inject queues, one per base worker; empty in legacy mode.
+    stripes: Box<[JobQueue]>,
+    /// Round-robin cursor for stripe placement.
+    rr: AtomicU64,
+    /// Jobs queued anywhere (injector/stripes + worker locals): incremented
+    /// per spawn, decremented when a worker dequeues a job to run it. Signed
+    /// so a shutdown clearing the queues can reset it without racing late
+    /// decrements; reads clamp at zero.
+    depth: AtomicI64,
+    /// Base worker slots, indexable by stripe for targeted wakeups.
+    base_slots: Box<[Arc<WorkerSlot>]>,
+    /// Spare worker slots (registered on spawn, removed on retire).
+    extra_slots: RwLock<Vec<Arc<WorkerSlot>>>,
+    config: ExecConfig,
     base: usize,
     cap: Mutex<Cap>,
-    /// Count of workers parked on `wake` (guarded by `sleep`).
+    /// Count of workers parked on `wake` (guarded by `sleep`; legacy mode).
     sleep: Mutex<usize>,
     wake: Condvar,
     timer: Mutex<TimerState>,
@@ -155,6 +267,8 @@ struct Inner {
     steals: AtomicU64,
     parks: AtomicU64,
     spare_spawns: AtomicU64,
+    wakes_targeted: AtomicU64,
+    wakes_escalated: AtomicU64,
     obs: Option<ObsHandles>,
 }
 
@@ -165,6 +279,8 @@ struct ObsHandles {
     steals: jsym_obs::Counter,
     parks: jsym_obs::Counter,
     spare_spawns: jsym_obs::Counter,
+    wake_targeted: jsym_obs::Counter,
+    wake_escalated: jsym_obs::Counter,
 }
 
 /// A point-in-time view of the executor's internals, for the `executor` shell
@@ -172,12 +288,19 @@ struct ObsHandles {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecStats {
     pub threads: usize,
+    /// Jobs queued across the inject queues *and* worker-local deques (a
+    /// batch-grabbed job counts until a worker actually runs it).
     pub queue_depth: usize,
     pub blocked: usize,
     pub spares: usize,
     pub steals: u64,
     pub parks: u64,
     pub spare_spawns: u64,
+    /// Spawns that woke the parked owner of the stripe they pushed to.
+    pub wakes_targeted: u64,
+    /// Wakes that fell through to another parked worker (owner busy) or were
+    /// added on backlog (queue depth exceeding the worker count).
+    pub wakes_escalated: u64,
     pub timer_pending: usize,
 }
 
@@ -192,11 +315,20 @@ impl Executor {
     /// Start an executor with `threads` base workers (clamped to at least 1)
     /// and no metrics.
     pub fn new(threads: usize) -> Arc<Executor> {
-        Self::build(threads, None)
+        Self::build(threads, None, ExecConfig::default())
     }
 
     /// Start an executor exporting `exec.*` gauges/counters into `obs`.
     pub fn with_obs(threads: usize, obs: jsym_obs::ObsRegistry) -> Arc<Executor> {
+        Self::with_config(threads, obs, ExecConfig::default())
+    }
+
+    /// Start an executor with explicit tunables (see [`ExecConfig`]).
+    pub fn with_config(
+        threads: usize,
+        obs: jsym_obs::ObsRegistry,
+        config: ExecConfig,
+    ) -> Arc<Executor> {
         let handles = ObsHandles {
             queue_depth: obs.gauge("exec.queue_depth", None, "exec"),
             blocked: obs.gauge("exec.blocked", None, "exec"),
@@ -204,15 +336,36 @@ impl Executor {
             steals: obs.counter("exec.steals", None, "exec"),
             parks: obs.counter("exec.parks", None, "exec"),
             spare_spawns: obs.counter("exec.spare_spawns", None, "exec"),
+            wake_targeted: obs.counter("exec.wake.targeted", None, "exec"),
+            wake_escalated: obs.counter("exec.wake.escalated", None, "exec"),
         };
-        Self::build(threads, Some(handles))
+        Self::build(threads, Some(handles), config)
     }
 
-    fn build(threads: usize, obs: Option<ObsHandles>) -> Arc<Executor> {
+    fn build(threads: usize, obs: Option<ObsHandles>, config: ExecConfig) -> Arc<Executor> {
         let base = threads.max(1);
+        let stripes = (0..base)
+            .map(|_| JobQueue::default())
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let base_slots = (0..base)
+            .map(|i| {
+                Arc::new(WorkerSlot {
+                    local: JobQueue::default(),
+                    stripe: i,
+                    parker: Parker::new(),
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         let inner = Arc::new(Inner {
             injector: JobQueue::default(),
-            locals: RwLock::new(Vec::new()),
+            stripes,
+            rr: AtomicU64::new(0),
+            depth: AtomicI64::new(0),
+            base_slots,
+            extra_slots: RwLock::new(Vec::new()),
+            config,
             base,
             cap: Mutex::new(Cap {
                 live: base,
@@ -232,11 +385,14 @@ impl Executor {
             steals: AtomicU64::new(0),
             parks: AtomicU64::new(0),
             spare_spawns: AtomicU64::new(0),
+            wakes_targeted: AtomicU64::new(0),
+            wakes_escalated: AtomicU64::new(0),
             obs,
         });
         let mut handles = Vec::with_capacity(base + 1);
         for i in 0..base {
-            handles.push(spawn_worker(&inner, i, false));
+            let slot = Arc::clone(&inner.base_slots[i]);
+            handles.push(spawn_worker(&inner, slot, i, false));
         }
         {
             let timer_inner = Arc::clone(&inner);
@@ -283,12 +439,14 @@ impl Executor {
         let cap = self.inner.cap.lock();
         ExecStats {
             threads: self.inner.base,
-            queue_depth: self.inner.injector.len(),
+            queue_depth: self.inner.queue_depth(),
             blocked: cap.blocked,
             spares: cap.spares,
             steals: self.inner.steals.load(Ordering::Relaxed),
             parks: self.inner.parks.load(Ordering::Relaxed),
             spare_spawns: self.inner.spare_spawns.load(Ordering::Relaxed),
+            wakes_targeted: self.inner.wakes_targeted.load(Ordering::Relaxed),
+            wakes_escalated: self.inner.wakes_escalated.load(Ordering::Relaxed),
             timer_pending: self.inner.timer.lock().heap.len(),
         }
     }
@@ -307,6 +465,12 @@ impl Executor {
         }
         self.inner.timer_wake.notify_all();
         self.inner.wake.notify_all();
+        for s in self.inner.base_slots.iter() {
+            s.parker.unpark();
+        }
+        for s in self.inner.extra_slots.read().iter() {
+            s.parker.unpark();
+        }
         // Workers may spawn spares while we join; drain until the list is
         // stable and empty.
         loop {
@@ -319,6 +483,13 @@ impl Executor {
             }
         }
         self.inner.injector.clear();
+        for s in self.inner.stripes.iter() {
+            s.clear();
+        }
+        self.inner.depth.store(0, Ordering::Relaxed);
+        if let Some(o) = &self.inner.obs {
+            o.queue_depth.set(0.0);
+        }
     }
 }
 
@@ -329,16 +500,83 @@ impl Drop for Executor {
 }
 
 impl Inner {
+    /// Current queued-job count (inject queues + worker locals), clamped.
+    fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed).max(0) as usize
+    }
+
     fn spawn(self: &Arc<Self>, job: Job) {
         if self.shutdown.load(Ordering::Acquire) {
             return;
         }
-        self.injector.push_back(job);
-        if let Some(o) = &self.obs {
-            o.queue_depth.set(self.injector.len() as f64);
+        if self.config.legacy_injector {
+            self.injector.push_back(job);
+            self.depth.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &self.obs {
+                o.queue_depth.set(self.queue_depth() as f64);
+            }
+            if *self.sleep.lock() > 0 {
+                self.wake.notify_one();
+            }
+        } else {
+            let n = self.stripes.len();
+            let i = (self.rr.fetch_add(1, Ordering::Relaxed) as usize) % n;
+            // The push must precede the unpark: the parker protocol's
+            // no-stranded-job guarantee hangs on that order.
+            self.stripes[i].push_back(job);
+            self.depth.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &self.obs {
+                o.queue_depth.set(self.queue_depth() as f64);
+            }
+            self.wake_for(i);
         }
-        if *self.sleep.lock() > 0 {
-            self.wake.notify_one();
+    }
+
+    /// Wake at most one worker for a job pushed to stripe `i`: the stripe's
+    /// owner if it is parked (targeted), any other parked worker otherwise
+    /// (escalated), plus one extra on backlog — all instead of the legacy
+    /// herd-prone global `notify_one` against a shared condvar.
+    fn wake_for(&self, i: usize) {
+        if self.base_slots[i].parker.unpark() {
+            self.wakes_targeted.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &self.obs {
+                o.wake_targeted.inc();
+            }
+        } else {
+            let mut woke = false;
+            for (j, s) in self.base_slots.iter().enumerate() {
+                if j != i && s.parker.unpark() {
+                    woke = true;
+                    break;
+                }
+            }
+            if !woke {
+                for s in self.extra_slots.read().iter() {
+                    if s.parker.unpark() {
+                        woke = true;
+                        break;
+                    }
+                }
+            }
+            if woke {
+                self.wakes_escalated.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = &self.obs {
+                    o.wake_escalated.inc();
+                }
+            }
+        }
+        // Backlog escalation: the queues are outrunning the pool, so one
+        // wake per spawn is not enough — rouse one more parked worker.
+        if self.depth.load(Ordering::Relaxed) > self.base_slots.len() as i64 {
+            for s in self.base_slots.iter() {
+                if s.parker.unpark() {
+                    self.wakes_escalated.fetch_add(1, Ordering::Relaxed);
+                    if let Some(o) = &self.obs {
+                        o.wake_escalated.inc();
+                    }
+                    break;
+                }
+            }
         }
     }
 
@@ -353,25 +591,57 @@ impl Inner {
                 o.spare_spawns.inc();
                 o.spares.set(cap.spares as f64);
             }
-            let handle = spawn_worker(self, cap.live, true);
+            let slot = Arc::new(WorkerSlot {
+                local: JobQueue::default(),
+                // Spares inherit a stripe round-robin so their leftovers and
+                // inject bias stay spread.
+                stripe: cap.live % self.stripes.len(),
+                parker: Parker::new(),
+            });
+            self.extra_slots.write().push(Arc::clone(&slot));
+            let handle = spawn_worker(self, slot, cap.live, true);
             self.threads.lock().push(handle);
         }
+        // The ledger invariant this whole scheme exists for: after
+        // compensation, the runnable head-count never sits below base.
+        debug_assert!(
+            self.shutdown.load(Ordering::Acquire) || cap.live - cap.blocked >= self.base,
+            "ledger invariant violated: live {} - blocked {} < base {}",
+            cap.live,
+            cap.blocked,
+            self.base
+        );
     }
 }
 
-fn spawn_worker(inner: &Arc<Inner>, index: usize, spare: bool) -> JoinHandle<()> {
+fn spawn_worker(
+    inner: &Arc<Inner>,
+    slot: Arc<WorkerSlot>,
+    index: usize,
+    spare: bool,
+) -> JoinHandle<()> {
     let inner = Arc::clone(inner);
     let kind = if spare { "s" } else { "w" };
     std::thread::Builder::new()
         .name(format!("jsym-exec-{kind}{index}"))
-        .spawn(move || worker_loop(&inner, spare))
+        .spawn(move || worker_loop(&inner, &slot, spare))
         .expect("spawn executor worker")
 }
 
-fn worker_loop(inner: &Arc<Inner>, spare: bool) {
+/// Push batch-grabbed leftovers back where other workers can see them, so a
+/// retirement or shutdown racing a grab does not strand them invisibly.
+fn requeue_leftovers(inner: &Inner, slot: &WorkerSlot) {
+    while let Some(job) = slot.local.pop_front() {
+        if inner.config.legacy_injector {
+            inner.injector.push_back(job);
+        } else {
+            inner.stripes[slot.stripe % inner.stripes.len()].push_back(job);
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>, slot: &Arc<WorkerSlot>, spare: bool) {
     CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(inner)));
-    let local = Arc::new(JobQueue::default());
-    inner.locals.write().push(Arc::clone(&local));
     loop {
         if inner.shutdown.load(Ordering::Acquire) {
             break;
@@ -383,57 +653,115 @@ fn worker_loop(inner: &Arc<Inner>, spare: bool) {
             if cap.blocked == 0 && cap.live > inner.base {
                 cap.live -= 1;
                 cap.spares -= 1;
+                debug_assert!(
+                    cap.live - cap.blocked >= inner.base,
+                    "ledger invariant violated on retire: live {} blocked {} base {}",
+                    cap.live,
+                    cap.blocked,
+                    inner.base
+                );
                 if let Some(o) = &inner.obs {
                     o.spares.set(cap.spares as f64);
                 }
                 drop(cap);
-                while let Some(job) = local.pop_front() {
-                    inner.injector.push_back(job);
-                }
+                requeue_leftovers(inner, slot);
                 break;
             }
         }
-        match find_job(inner, &local) {
+        match find_job(inner, slot) {
             Some(job) => job(),
-            None => park(inner),
+            None => park(inner, slot),
         }
     }
-    // Push any batch-grabbed leftovers back so a shutdown racing a grab does
-    // not strand them invisibly (they are cleared with the injector anyway).
-    while let Some(job) = local.pop_front() {
-        inner.injector.push_back(job);
-    }
+    requeue_leftovers(inner, slot);
     CURRENT.with(|c| *c.borrow_mut() = None);
-    let mut locals = inner.locals.write();
-    locals.retain(|q| !Arc::ptr_eq(q, &local));
+    if spare {
+        let mut extras = inner.extra_slots.write();
+        extras.retain(|s| !Arc::ptr_eq(s, slot));
+    }
 }
 
-fn find_job(inner: &Arc<Inner>, local: &Arc<JobQueue>) -> Option<Job> {
-    if let Some(job) = local.pop_front() {
-        return Some(job);
-    }
-    // Pull a small batch from the injector so hot bursts amortise lock trips
-    // but idle workers still find stealable leftovers.
-    if let Some(job) = inner.injector.grab_batch(local, 4) {
-        return Some(job);
-    }
-    let locals = inner.locals.read();
-    for q in locals.iter() {
-        if Arc::ptr_eq(q, local) {
-            continue;
+fn find_job(inner: &Arc<Inner>, slot: &Arc<WorkerSlot>) -> Option<Job> {
+    let job = find_queued(inner, slot);
+    if job.is_some() {
+        // The job leaves the queue accounting only now that a worker is
+        // actually about to run it.
+        inner.depth.fetch_sub(1, Ordering::Relaxed);
+        if let Some(o) = &inner.obs {
+            o.queue_depth.set(inner.queue_depth() as f64);
         }
-        if let Some(job) = q.steal_back() {
-            inner.steals.fetch_add(1, Ordering::Relaxed);
-            if let Some(o) = &inner.obs {
-                o.steals.inc();
+    }
+    job
+}
+
+fn find_queued(inner: &Arc<Inner>, slot: &Arc<WorkerSlot>) -> Option<Job> {
+    if let Some(job) = slot.local.pop_front() {
+        return Some(job);
+    }
+    if inner.config.legacy_injector {
+        // Pull a small batch from the injector so hot bursts amortise lock
+        // trips but idle workers still find stealable leftovers.
+        if let Some(job) = inner.injector.grab_batch(&slot.local, 4) {
+            return Some(job);
+        }
+    } else {
+        // Own stripe first (batched — the bias that keeps the round-robin
+        // placement roughly 1:1 with consumers), then the others singly.
+        let n = inner.stripes.len();
+        if let Some(job) = inner.stripes[slot.stripe % n].grab_batch(&slot.local, 4) {
+            return Some(job);
+        }
+        for k in 1..n {
+            if let Some(job) = inner.stripes[(slot.stripe + k) % n].pop_front() {
+                return Some(job);
             }
+        }
+    }
+    let steal = |s: &Arc<WorkerSlot>| -> Option<Job> {
+        if Arc::ptr_eq(s, slot) {
+            return None;
+        }
+        let job = s.local.steal_back()?;
+        inner.steals.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &inner.obs {
+            o.steals.inc();
+        }
+        Some(job)
+    };
+    for s in inner.base_slots.iter() {
+        if let Some(job) = steal(s) {
+            return Some(job);
+        }
+    }
+    for s in inner.extra_slots.read().iter() {
+        if let Some(job) = steal(s) {
             return Some(job);
         }
     }
     None
 }
 
-fn park(inner: &Arc<Inner>) {
+fn park(inner: &Arc<Inner>, slot: &Arc<WorkerSlot>) {
+    if !inner.config.legacy_injector {
+        // Dekker order: publish PARKED *before* the final queue re-check, so
+        // a concurrent spawn either sees PARKED (and unparks us) or we see
+        // its job here.
+        if !slot.parker.prepare() {
+            return;
+        }
+        if inner.shutdown.load(Ordering::Acquire) || !inner.stripes.iter().all(|s| s.is_empty()) {
+            slot.parker.cancel();
+            return;
+        }
+        inner.parks.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &inner.obs {
+            o.parks.inc();
+        }
+        // The timeout doubles as the steal-retry cadence: work sitting in
+        // another worker's local queue is invisible to the stripe check.
+        slot.parker.park(Duration::from_millis(1));
+        return;
+    }
     let mut sleepers = inner.sleep.lock();
     // Re-check under the sleepers lock: a spawn that missed our registration
     // would otherwise strand its job until the timeout below.
@@ -444,7 +772,6 @@ fn park(inner: &Arc<Inner>) {
     inner.parks.fetch_add(1, Ordering::Relaxed);
     if let Some(o) = &inner.obs {
         o.parks.inc();
-        o.queue_depth.set(0.0);
     }
     // The timeout doubles as the steal-retry cadence: work sitting in another
     // worker's local queue is invisible to the injector check above.

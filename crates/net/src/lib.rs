@@ -29,6 +29,7 @@ mod link;
 mod message;
 mod network;
 mod queue;
+mod shard;
 mod stats;
 
 pub use affinity::{AffinityHot, AffinityTracker, AffinityTrackerStats};
@@ -36,6 +37,6 @@ pub use clock::{sleep_until, SimClock, TimeScale, VirtDur, VirtTime};
 pub use id::NodeId;
 pub use link::{LinkClass, Topology};
 pub use message::{Batch, Envelope, Payload, BATCH_TAG};
-pub use network::{BatchConfig, LocalHook, Network, NetworkConfig, SendError};
+pub use network::{BatchConfig, LocalHook, NetHotStats, Network, NetworkConfig, SendError};
 pub use queue::SpawnAt;
 pub use stats::{EndpointStatsSnapshot, NetStats, NetStatsSnapshot};

@@ -2,13 +2,15 @@
 
 use crate::message::{Batch, BATCH_TAG};
 use crate::queue::DelayQueue;
+use crate::shard::{pair_key, PairMap, SegmentSlots, Striped};
 use crate::{
     EndpointStatsSnapshot, Envelope, LinkClass, NetStats, NetStatsSnapshot, NodeId, Payload,
     SimClock, Topology,
 };
 use crossbeam::channel::{Receiver, Sender};
-use jsym_obs::{bounds, ObsRegistry};
+use jsym_obs::{bounds, Counter, ObsRegistry};
 use parking_lot::RwLock;
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -77,6 +79,15 @@ pub struct NetworkConfig {
     /// *before* the node's endpoint registers so nothing lands in the unread
     /// mailbox. Nodes without a hook fall back to the mailbox as before.
     pub deliver_via_hook: bool,
+    /// Lock stripes for the per-pair hot-path state (`pair_last`, and the
+    /// coalescing stage's open batches and gap EWMAs), rounded up to a power
+    /// of two. `1` collapses to the legacy single-lock layout, which stays
+    /// as the differential oracle.
+    pub state_shards: usize,
+    /// Cache the per-destination endpoint/hook lookup in a per-thread,
+    /// generation-validated snapshot so fault-free sends take zero global
+    /// `RwLock` reads. `false` restores the legacy read-locked lookups.
+    pub endpoint_cache: bool,
 }
 
 impl Default for NetworkConfig {
@@ -88,6 +99,8 @@ impl Default for NetworkConfig {
             loopback_fast_path: true,
             batching: None,
             deliver_via_hook: false,
+            state_shards: 64,
+            endpoint_cache: true,
         }
     }
 }
@@ -194,6 +207,40 @@ struct PairState {
     queued: u32,
 }
 
+/// One per-thread-cached directory entry for a destination: its mailbox
+/// sender and its local-hook endpoint, both absent-capable (a negative
+/// entry is as cacheable as a positive one — any change bumps the
+/// generation).
+#[derive(Clone, Default)]
+struct CachedEp {
+    sender: Option<Sender<Envelope>>,
+    local: Option<LocalEndpoint>,
+}
+
+struct EpCache {
+    /// Which [`Routing`] instance the entries belong to (tests boot many
+    /// networks per process; a thread may serve several in sequence).
+    routing: u64,
+    /// The directory generation the entries were read at.
+    gen: u64,
+    map: HashMap<NodeId, CachedEp>,
+}
+
+thread_local! {
+    /// Per-thread endpoint-directory cache. Validated against the owning
+    /// routing table's generation with one atomic load per lookup; a
+    /// mismatch (rare: registration churn, hook swaps) clears the thread's
+    /// entries wholesale.
+    static EP_CACHE: RefCell<EpCache> = RefCell::new(EpCache {
+        routing: 0,
+        gen: 0,
+        map: HashMap::new(),
+    });
+}
+
+/// Routing-instance id source for [`EpCache::routing`].
+static NEXT_ROUTING_ID: AtomicU64 = AtomicU64::new(1);
+
 struct Routing {
     endpoints: RwLock<HashMap<NodeId, Sender<Envelope>>>,
     dead: RwLock<HashSet<NodeId>>,
@@ -208,11 +255,79 @@ struct Routing {
     /// Mirror of [`NetworkConfig::deliver_via_hook`]: prefer the hook for
     /// *all* destinations, not just node-local ones.
     via_hook: bool,
+    /// Process-unique instance id keying the per-thread endpoint caches.
+    id: u64,
+    /// Directory generation: bumped by `register`/`unregister`/
+    /// `set_local_hook` so per-thread caches validate without touching the
+    /// `RwLock`s above.
+    gen: AtomicU64,
+    /// Mirror of [`NetworkConfig::endpoint_cache`].
+    cache_enabled: bool,
+    ep_cache_hits: AtomicU64,
+    ep_cache_misses: AtomicU64,
+    /// Pre-resolved `net.shard.cache_miss` handle (no-op when obs is off).
+    obs_cache_miss: Counter,
     stats: NetStats,
     obs: ObsRegistry,
 }
 
 impl Routing {
+    fn bump_gen(&self) {
+        self.gen.fetch_add(1, Ordering::Release);
+    }
+
+    /// Looks `dst` up through the calling thread's cache: zero `RwLock`
+    /// reads while the directory generation is unchanged — the steady state
+    /// for every send and delivery after boot.
+    fn cached<R>(&self, dst: NodeId, f: impl FnOnce(&CachedEp) -> R) -> R {
+        EP_CACHE.with(|c| {
+            let mut c = c.borrow_mut();
+            let gen = self.gen.load(Ordering::Acquire);
+            if c.routing != self.id || c.gen != gen {
+                c.map.clear();
+                c.routing = self.id;
+                c.gen = gen;
+            }
+            if let Some(e) = c.map.get(&dst) {
+                self.ep_cache_hits.fetch_add(1, Ordering::Relaxed);
+                return f(e);
+            }
+            self.ep_cache_misses.fetch_add(1, Ordering::Relaxed);
+            self.obs_cache_miss.inc();
+            let e = CachedEp {
+                sender: self.endpoints.read().get(&dst).cloned(),
+                local: self.local.read().get(&dst).cloned(),
+            };
+            f(c.map.entry(dst).or_insert(e))
+        })
+    }
+
+    /// Whether `dst` has a registered mailbox endpoint.
+    fn has_endpoint(&self, dst: NodeId) -> bool {
+        if self.cache_enabled {
+            self.cached(dst, |e| e.sender.is_some())
+        } else {
+            self.endpoints.read().contains_key(&dst)
+        }
+    }
+
+    /// The local-hook endpoint for `dst`, if installed.
+    fn local_ep(&self, dst: NodeId) -> Option<LocalEndpoint> {
+        if self.cache_enabled {
+            self.cached(dst, |e| e.local.clone())
+        } else {
+            self.local.read().get(&dst).cloned()
+        }
+    }
+
+    /// The mailbox sender for `dst`, if registered.
+    fn sender(&self, dst: NodeId) -> Option<Sender<Envelope>> {
+        if self.cache_enabled {
+            self.cached(dst, |e| e.sender.clone())
+        } else {
+            self.endpoints.read().get(&dst).cloned()
+        }
+    }
     fn pair_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
         if a <= b {
             (a, b)
@@ -291,7 +406,7 @@ impl Routing {
             // In hook-routed mode (the executor runtime) remote traffic
             // takes this path too; a destination without a hook falls
             // through to the mailbox below.
-            let ep = self.local.read().get(&env.dst).cloned();
+            let ep = self.local_ep(env.dst);
             if let Some(ep) = ep {
                 let (dst, bytes) = (env.dst, env.payload.wire_bytes());
                 ep.gate.acquire();
@@ -305,7 +420,7 @@ impl Routing {
                 return;
             }
         }
-        let sender = self.endpoints.read().get(&env.dst).cloned();
+        let sender = self.sender(env.dst);
         match sender {
             Some(tx) => {
                 let (dst, bytes) = (env.dst, env.payload.wire_bytes());
@@ -356,28 +471,34 @@ struct PendingBatch {
 /// semantics, ordering and [`NetStats`] attribution are exactly those of
 /// the unbatched plane.
 ///
-/// Lock order: `pending` → `pair_last` → `segment_last` → queue shard. The
-/// pending lock is held through the FIFO reservation *and* the queue push,
-/// so two flushes of the same pair (a window timer racing a `max_bytes`
-/// overflow of the successor batch) cannot reserve out of order.
+/// Lock order: `pending` stripe → `pair_last` stripe → `segment_last` slot →
+/// queue shard. The pending stripe lock is held through the FIFO reservation
+/// *and* the queue push, so two flushes of the same pair (a window timer
+/// racing a `max_bytes` overflow of the successor batch) cannot reserve out
+/// of order. All per-pair state is striped on the packed pair key (see
+/// [`crate::shard`]): a pair's state always lives on one stripe, so the
+/// per-pair protocol is untouched while unrelated pairs stop contending.
 struct BatchStage {
     clock: SimClock,
     topo: Arc<RwLock<Topology>>,
     routing: Arc<Routing>,
-    pair_last: Arc<parking_lot::Mutex<HashMap<(NodeId, NodeId), PairState>>>,
-    segment_last: Arc<parking_lot::Mutex<HashMap<LinkClass, f64>>>,
+    pair_last: Arc<Striped<PairState>>,
+    segment_last: Arc<SegmentSlots>,
     shared_segments: Vec<LinkClass>,
     /// Back-reference to the delivery plane, set right after the plane is
     /// started (its deliver closure needs the stage first).
     queue: OnceLock<Arc<DelayQueue>>,
-    /// Open batches per directed pair.
-    pending: parking_lot::Mutex<HashMap<(NodeId, NodeId), PendingBatch>>,
+    /// Open batches per directed pair, striped on the packed pair key.
+    pending: Striped<PendingBatch>,
+    /// Count of currently open batches (backs the `net.batch.pending`
+    /// gauge without walking every stripe).
+    open_batches: AtomicU64,
     epochs: AtomicU64,
     config: BatchConfig,
     /// Per-pair inter-send gap EWMA (virtual seconds), driving the adaptive
     /// flush window (see [`BatchConfig::adaptive`]). Locked alone, before
     /// any other stage lock.
-    gaps: parking_lot::Mutex<HashMap<(NodeId, NodeId), GapEwma>>,
+    gaps: Striped<GapEwma>,
 }
 
 /// Inter-send gap tracker for one directed pair.
@@ -409,8 +530,9 @@ impl BatchStage {
     /// A pair's first send (no gap yet) gets the full window.
     fn adaptive_window(&self, pair: (NodeId, NodeId), now: f64) -> f64 {
         let full = self.config.flush_window;
-        let mut gaps = self.gaps.lock();
-        match gaps.get_mut(&pair) {
+        let key = pair_key(pair.0, pair.1);
+        let mut gaps = self.gaps.lock(key);
+        match gaps.get_mut(&key) {
             Some(g) => {
                 let gap = (now - g.last_send).max(0.0);
                 g.ewma = (1.0 - GAP_ALPHA) * g.ewma + GAP_ALPHA * gap;
@@ -419,7 +541,7 @@ impl BatchStage {
             }
             None => {
                 gaps.insert(
-                    pair,
+                    key,
                     GapEwma {
                         last_send: now,
                         ewma: full / 2.0,
@@ -434,6 +556,7 @@ impl BatchStage {
     /// timer) if none is open and flushing eagerly on `max_bytes` overflow.
     fn enqueue(&self, env: Envelope) {
         let pair = (env.src, env.dst);
+        let key = pair_key(env.src, env.dst);
         let bytes = env.payload.wire_bytes();
         let obs_on = self.routing.obs.is_enabled();
         // The gap EWMA is fed by every send of the pair, coalesced followers
@@ -443,8 +566,8 @@ impl BatchStage {
         } else {
             self.config.flush_window
         };
-        let mut pending = self.pending.lock();
-        match pending.remove(&pair) {
+        let mut pending = self.pending.lock(key);
+        match pending.remove(&key) {
             Some(mut batch) => {
                 batch.envs.push(env);
                 batch.bytes += bytes;
@@ -458,9 +581,10 @@ impl BatchStage {
                 // compressing batch can coalesce proportionally more
                 // payload before an eager flush.
                 if self.charged_bytes(batch.envs.len(), batch.bytes) >= self.config.max_bytes {
+                    self.open_batches.fetch_sub(1, Ordering::Relaxed);
                     self.transmit(&mut pending, pair, batch, "bytes");
                 } else {
-                    pending.insert(pair, batch);
+                    pending.insert(key, batch);
                 }
             }
             None if bytes >= self.config.max_bytes => {
@@ -477,13 +601,14 @@ impl BatchStage {
                 let now = self.clock.now();
                 let epoch = self.epochs.fetch_add(1, Ordering::Relaxed);
                 pending.insert(
-                    pair,
+                    key,
                     PendingBatch {
                         envs: vec![env],
                         bytes,
                         epoch,
                     },
                 );
+                self.open_batches.fetch_add(1, Ordering::Relaxed);
                 let due = self.clock.real_deadline(now + window);
                 if let Some(q) = self.queue.get() {
                     q.push(
@@ -502,27 +627,29 @@ impl BatchStage {
             self.routing
                 .obs
                 .gauge("net.batch.pending", None, "")
-                .set(pending.len() as f64);
+                .set(self.open_batches.load(Ordering::Relaxed) as f64);
         }
     }
 
     /// Window-timer fire: flushes the pair's batch if it is still the one
     /// the timer was armed for.
     fn flush_due(&self, pair: (NodeId, NodeId), epoch: u64) {
-        let mut pending = self.pending.lock();
-        match pending.remove(&pair) {
+        let key = pair_key(pair.0, pair.1);
+        let mut pending = self.pending.lock(key);
+        match pending.remove(&key) {
             Some(batch) if batch.epoch == epoch => {
+                self.open_batches.fetch_sub(1, Ordering::Relaxed);
                 self.transmit(&mut pending, pair, batch, "window");
                 if self.routing.obs.is_enabled() {
                     self.routing
                         .obs
                         .gauge("net.batch.pending", None, "")
-                        .set(pending.len() as f64);
+                        .set(self.open_batches.load(Ordering::Relaxed) as f64);
                 }
             }
             // A successor batch opened after ours overflowed: not ours.
             Some(batch) => {
-                pending.insert(pair, batch);
+                pending.insert(key, batch);
             }
             None => {}
         }
@@ -533,12 +660,13 @@ impl BatchStage {
     /// caller holds the pending lock — see the lock-order note on the type.
     fn transmit(
         &self,
-        _pending: &mut HashMap<(NodeId, NodeId), PendingBatch>,
+        _pending: &mut PairMap<PendingBatch>,
         pair: (NodeId, NodeId),
         batch: PendingBatch,
         reason: &'static str,
     ) {
         let (src, dst) = pair;
+        let key = pair_key(src, dst);
         let now = self.clock.now();
         let n = batch.envs.len();
         // Transfer time is paid on the modeled (possibly compressed) wire
@@ -552,21 +680,22 @@ impl BatchStage {
         // Same reservation discipline as the unbatched path in
         // `Network::send`, applied once for the whole batch.
         let due = {
-            let mut pairs = self.pair_last.lock();
-            let st = pairs.entry(pair).or_default();
+            let mut pairs = self.pair_last.lock(key);
+            let st = pairs.entry(key).or_default();
             let mut start = (now + latency).max(st.arrival);
             let shared = self.shared_segments.contains(&link);
-            if shared {
-                let seg = self.segment_last.lock();
-                if let Some(&busy_until) = seg.get(&link) {
-                    start = start.max(busy_until);
-                }
-            }
-            let arrival = start + tx_time;
+            let arrival = if shared {
+                // Holding the slot across read + write serializes the whole
+                // segment reservation, same as the legacy double-lock.
+                let mut seg = self.segment_last.lock(link);
+                start = start.max(*seg);
+                let arrival = start + tx_time;
+                *seg = arrival;
+                arrival
+            } else {
+                start + tx_time
+            };
             st.arrival = arrival;
-            if shared {
-                self.segment_last.lock().insert(link, arrival);
-            }
             self.clock.real_deadline(arrival)
         };
         if self.routing.obs.is_enabled() {
@@ -618,14 +747,35 @@ pub struct Network {
     queue: Arc<DelayQueue>,
     /// Connection state (last scheduled arrival in virtual time, queued
     /// local count) per directed node pair, enforcing connection-FIFO
-    /// ordering.
-    pair_last: Arc<parking_lot::Mutex<HashMap<(NodeId, NodeId), PairState>>>,
+    /// ordering. Lock-striped by the packed pair key
+    /// ([`NetworkConfig::state_shards`]); `shards == 1` is the legacy
+    /// single-lock oracle.
+    pair_last: Arc<Striped<PairState>>,
     /// Last scheduled arrival per shared segment (see
-    /// [`NetworkConfig::shared_segments`]).
-    segment_last: Arc<parking_lot::Mutex<HashMap<crate::LinkClass, f64>>>,
+    /// [`NetworkConfig::shared_segments`]): one slot per link class.
+    segment_last: Arc<SegmentSlots>,
     /// The coalescing stage, when [`NetworkConfig::batching`] is set.
     batching: Option<Arc<BatchStage>>,
     config: NetworkConfig,
+}
+
+/// Snapshot of the delivery plane's hot-path contention counters
+/// ([`Network::hot_stats`]). "Contended" counts stripe-lock acquisitions
+/// that found the lock held and had to wait.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetHotStats {
+    /// Effective stripe count (after power-of-two rounding).
+    pub state_shards: usize,
+    /// Contended acquisitions of `pair_last` stripes.
+    pub pair_contended: u64,
+    /// Contended acquisitions of the batching stage's `pending` stripes.
+    pub pending_contended: u64,
+    /// Contended acquisitions of the adaptive-window `gaps` stripes.
+    pub gaps_contended: u64,
+    /// Per-thread endpoint-cache hits (lookups with zero `RwLock` reads).
+    pub ep_cache_hits: u64,
+    /// Endpoint-cache misses (directory reads under the `RwLock`s).
+    pub ep_cache_misses: u64,
 }
 
 impl Network {
@@ -662,6 +812,12 @@ impl Network {
         obs: ObsRegistry,
         spawner: Option<crate::SpawnAt>,
     ) -> Self {
+        // Pre-resolve the shard counters before `obs` moves into `Routing`;
+        // each is a no-op handle when observability is off.
+        let c_pair = obs.counter("net.shard.contended", None, "pair");
+        let c_pending = obs.counter("net.shard.contended", None, "pending");
+        let c_gaps = obs.counter("net.shard.contended", None, "gaps");
+        let c_cache_miss = obs.counter("net.shard.cache_miss", None, "");
         let routing = Arc::new(Routing {
             endpoints: RwLock::new(HashMap::new()),
             dead: RwLock::new(HashSet::new()),
@@ -669,13 +825,20 @@ impl Network {
             faults: AtomicUsize::new(0),
             local: RwLock::new(HashMap::new()),
             via_hook: config.deliver_via_hook,
+            id: NEXT_ROUTING_ID.fetch_add(1, Ordering::Relaxed),
+            gen: AtomicU64::new(0),
+            cache_enabled: config.endpoint_cache,
+            ep_cache_hits: AtomicU64::new(0),
+            ep_cache_misses: AtomicU64::new(0),
+            obs_cache_miss: c_cache_miss,
             stats: NetStats::default(),
             obs,
         });
-        let pair_last: Arc<parking_lot::Mutex<HashMap<(NodeId, NodeId), PairState>>> =
-            Arc::new(parking_lot::Mutex::new(HashMap::new()));
-        let segment_last: Arc<parking_lot::Mutex<HashMap<crate::LinkClass, f64>>> =
-            Arc::new(parking_lot::Mutex::new(HashMap::new()));
+        // Per-stripe capacities: pairs are the hottest map (every directed
+        // pair ever seen), batches are bounded by in-flight pairs.
+        let shards = config.state_shards;
+        let pair_last = Arc::new(Striped::new(shards, 256, c_pair));
+        let segment_last = Arc::new(SegmentSlots::new());
         let topo = Arc::new(RwLock::new(topo));
         let batching = config.batching.clone().map(|bc| {
             Arc::new(BatchStage {
@@ -686,10 +849,11 @@ impl Network {
                 segment_last: Arc::clone(&segment_last),
                 shared_segments: config.shared_segments.clone(),
                 queue: OnceLock::new(),
-                pending: parking_lot::Mutex::new(HashMap::new()),
+                pending: Striped::new(shards, 64, c_pending),
+                open_batches: AtomicU64::new(0),
                 epochs: AtomicU64::new(0),
                 config: bc,
-                gaps: parking_lot::Mutex::new(HashMap::new()),
+                gaps: Striped::new(shards, 256, c_gaps),
             })
         });
         let deliver_routing = Arc::clone(&routing);
@@ -709,10 +873,10 @@ impl Network {
             // The queued count underpins the fast path's FIFO guarantee:
             // decrement only after deliver() returns, i.e. after a local
             // hook has fully dispatched the message.
-            let local_key = (env.src == env.dst).then_some((env.src, env.dst));
+            let local_key = (env.src == env.dst).then(|| pair_key(env.src, env.dst));
             deliver_routing.deliver(env);
             if let Some(key) = local_key {
-                if let Some(st) = deliver_pairs.lock().get_mut(&key) {
+                if let Some(st) = deliver_pairs.lock(key).get_mut(&key) {
                     st.queued = st.queued.saturating_sub(1);
                 }
             }
@@ -742,6 +906,7 @@ impl Network {
     pub fn register(&self, node: NodeId) -> Receiver<Envelope> {
         let (tx, rx) = crossbeam::channel::bounded(self.config.mailbox_capacity);
         self.routing.endpoints.write().insert(node, tx);
+        self.routing.bump_gen();
         {
             let mut dead = self.routing.dead.write();
             if dead.remove(&node) {
@@ -765,12 +930,14 @@ impl Network {
                 gate: Arc::new(Gate::new()),
             },
         );
+        self.routing.bump_gen();
     }
 
     /// Removes the endpoint for `node`; in-flight messages to it are dropped.
     pub fn unregister(&self, node: NodeId) {
         self.routing.endpoints.write().remove(&node);
         self.routing.local.write().remove(&node);
+        self.routing.bump_gen();
     }
 
     fn reject(&self, src: NodeId, bytes: usize, err: SendError) -> SendError {
@@ -809,7 +976,7 @@ impl Network {
                 return Err(self.reject(src, bytes, SendError::Partitioned(src, dst)));
             }
         }
-        if !self.routing.endpoints.read().contains_key(&dst) {
+        if !self.routing.has_endpoint(dst) {
             return Err(self.reject(src, bytes, SendError::UnknownDestination(dst)));
         }
         let now = self.clock.now();
@@ -868,28 +1035,31 @@ impl Network {
         //     *inside* a hook dispatch and it sent to itself) falls back to
         //     the queued path rather than deadlocking or reordering.
         let local = src == dst;
+        let key = pair_key(src, dst);
         let mut inline: Option<LocalEndpoint> = None;
         let due = {
-            let mut pairs = self.pair_last.lock();
-            let st = pairs.entry((src, dst)).or_default();
+            let mut pairs = self.pair_last.lock(key);
+            let st = pairs.entry(key).or_default();
             let mut start = (now + latency).max(st.arrival);
             let shared = self.config.shared_segments.contains(&link);
-            if shared {
-                let seg = self.segment_last.lock();
-                if let Some(&busy_until) = seg.get(&link) {
-                    start = start.max(busy_until);
-                }
-            }
-            let arrival = start + tx_time;
+            let arrival = if shared {
+                // Hold the class slot across read + write so the segment
+                // reservation is a single serialized critical section, same
+                // as the legacy double-lock sequence.
+                let mut seg = self.segment_last.lock(link);
+                start = start.max(*seg);
+                let arrival = start + tx_time;
+                *seg = arrival;
+                arrival
+            } else {
+                start + tx_time
+            };
             st.arrival = arrival;
-            if shared {
-                self.segment_last.lock().insert(link, arrival);
-            }
             let due = self.clock.real_deadline(arrival);
             if local && self.config.loopback_fast_path && st.queued == 0 {
                 let eligible = due.saturating_duration_since(Instant::now()) <= inline_horizon();
                 if eligible {
-                    if let Some(ep) = self.routing.local.read().get(&dst).cloned() {
+                    if let Some(ep) = self.routing.local_ep(dst) {
                         if ep.gate.try_acquire() {
                             inline = Some(ep);
                         }
@@ -989,6 +1159,19 @@ impl Network {
     /// The coalescing-stage tunables, or `None` when batching is disabled.
     pub fn batching_config(&self) -> Option<BatchConfig> {
         self.config.batching.clone()
+    }
+
+    /// Hot-path contention counters (see [`NetHotStats`]); the per-cell
+    /// signal the `ablate_contention` bench sweeps.
+    pub fn hot_stats(&self) -> NetHotStats {
+        NetHotStats {
+            state_shards: self.pair_last.shard_count(),
+            pair_contended: self.pair_last.contended(),
+            pending_contended: self.batching.as_ref().map_or(0, |b| b.pending.contended()),
+            gaps_contended: self.batching.as_ref().map_or(0, |b| b.gaps.contended()),
+            ep_cache_hits: self.routing.ep_cache_hits.load(Ordering::Relaxed),
+            ep_cache_misses: self.routing.ep_cache_misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Stops the delivery plane, discarding in-flight messages. Further
@@ -1288,6 +1471,84 @@ mod tests {
             got.push(*env.payload.downcast::<u32>().unwrap());
         }
         assert_eq!(got, (0..32).collect::<Vec<_>>());
+    }
+
+    /// Per-pair `(due, seq)` order under concurrent senders and many
+    /// stripes: each directed pair's messages must arrive in send order no
+    /// matter how the pairs spread over stripe locks. Run for both the
+    /// striped and the legacy (1-stripe) layout.
+    fn assert_pair_order_with_shards(shards: usize) {
+        let mut topo = Topology::new();
+        topo.set_default_class(LinkClass::Lan100);
+        let net = Network::with_config(
+            SimClock::new(TimeScale::new(1e-6)),
+            topo,
+            NetworkConfig {
+                state_shards: shards,
+                ..NetworkConfig::default()
+            },
+        );
+        const SENDERS: u32 = 8;
+        const MSGS: u32 = 64;
+        let receivers: Vec<_> = (0..SENDERS)
+            .map(|d| net.register(NodeId(100 + d)))
+            .collect();
+        let handles: Vec<_> = (0..SENDERS)
+            .map(|s| {
+                let net = net.clone();
+                std::thread::spawn(move || {
+                    for i in 0..MSGS {
+                        net.send(NodeId(s), NodeId(100 + s), Payload::new("seq", 8, i))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for rx in &receivers {
+            let mut got = Vec::new();
+            for _ in 0..MSGS {
+                let env = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+                got.push(*env.payload.downcast::<u32>().unwrap());
+            }
+            assert_eq!(got, (0..MSGS).collect::<Vec<_>>(), "per-pair order broke");
+        }
+    }
+
+    #[test]
+    fn per_pair_order_holds_across_many_stripes() {
+        assert_pair_order_with_shards(64);
+    }
+
+    #[test]
+    fn per_pair_order_holds_on_legacy_single_stripe() {
+        assert_pair_order_with_shards(1);
+    }
+
+    #[test]
+    fn endpoint_cache_sees_unregister_and_reregister() {
+        let net = fast_net();
+        let b = net.register(NodeId(1));
+        // Prime this thread's cache with a successful lookup.
+        net.send(NodeId(0), NodeId(1), Payload::new("x", 8, 1u8))
+            .unwrap();
+        assert!(b.recv_timeout(Duration::from_secs(2)).is_ok());
+        net.unregister(NodeId(1));
+        assert!(matches!(
+            net.send(NodeId(0), NodeId(1), Payload::new("x", 8, 2u8)),
+            Err(SendError::UnknownDestination(NodeId(1)))
+        ));
+        // Re-register: the generation bump must invalidate the negative
+        // entry just as it did the positive one.
+        let b2 = net.register(NodeId(1));
+        net.send(NodeId(0), NodeId(1), Payload::new("x", 8, 3u8))
+            .unwrap();
+        let env = b2.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(*env.payload.downcast::<u8>().unwrap(), 3);
+        let hot = net.hot_stats();
+        assert!(hot.ep_cache_hits + hot.ep_cache_misses > 0);
     }
 }
 
